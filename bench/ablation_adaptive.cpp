@@ -1,0 +1,74 @@
+// Dynamic-vs-static pattern ablation (the trade-off the paper's related-work
+// section describes): adaptive per-row pattern growth is numerically
+// stronger per nonzero than a-priori patterns, but it is oblivious to the
+// decomposition — its entries land wherever the residual points, including
+// halo columns that *enlarge the communication scheme*. FSAIE-Comm takes the
+// opposite deal: cheaper, communication-neutral entries.
+#include "bench_common.hpp"
+
+#include "core/adaptive.hpp"
+#include "sparse/ops.hpp"
+#include "solver/pcg.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Ablation — adaptive (dynamic) patterns vs FSAI / FSAIE-Comm",
+               "extends HPDC'22 Section 6 (static vs dynamic patterns)");
+
+  const Machine machine = machine_a64fx();
+  const CostModel cost(machine, {.threads_per_rank = 8});
+
+  for (const char* name : {"thermal2", "Fault_639"}) {
+    const auto& entry = suite_entry(name);
+    ExperimentConfig cfg;
+    cfg.machine = machine;
+    ExperimentRunner runner(cfg);
+    const auto& sys = runner.prepare(entry);
+
+    TextTable table({"pattern", "G.nnz", "iters", "halo.B(G+GT)",
+                     "modeled.time"});
+    const auto run_pattern = [&](const std::string& label,
+                                 const SparsityPattern& p) {
+      const auto g = compute_fsai_factor(sys.matrix, p);
+      const DistCsr g_dist = DistCsr::distribute(g, sys.layout);
+      const DistCsr gt_dist = DistCsr::distribute(transpose(g), sys.layout);
+      const FactorizedPreconditioner precond(g_dist, gt_dist, label);
+      DistVector x(sys.layout);
+      const auto r = pcg_solve(sys.a_dist, sys.b, x, precond, cfg.solve);
+      const double t =
+          r.iterations *
+          cost.pcg_iteration_cost(sys.a_dist, g_dist, gt_dist).total();
+      table.add_row({label, std::to_string(g.nnz()),
+                     std::to_string(r.iterations) + (r.converged ? "" : "*"),
+                     std::to_string(g_dist.halo_update_bytes() +
+                                    gt_dist.halo_update_bytes()),
+                     sci2(t)});
+    };
+
+    run_pattern("fsai (lower(A))", fsai_base_pattern(sys.matrix, 1, 0.0));
+    {
+      FsaiOptions opts;
+      opts.extension = ExtensionMode::CommAware;
+      opts.cache_line_bytes = machine.l1.line_bytes;
+      opts.filter = 0.01;
+      opts.filter_strategy = FilterStrategy::Dynamic;
+      const auto build = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      run_pattern("fsaie-comm d0.01", build.final_pattern);
+    }
+    for (const int steps : {2, 4, 6}) {
+      run_pattern(strformat("adaptive s=%d", steps),
+                  adaptive_fsai_pattern(
+                      sys.matrix, {.growth_steps = steps, .entries_per_step = 2}));
+    }
+
+    std::cout << entry.name << " (" << sys.matrix.rows() << " rows, "
+              << sys.nranks << " ranks):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading guide: adaptive patterns buy iterations per nonzero "
+               "but grow halo traffic with the growth budget; FSAIE-Comm "
+               "keeps the FSAI halo bytes exactly.\n";
+  return 0;
+}

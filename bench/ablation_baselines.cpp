@@ -1,0 +1,129 @@
+// Baseline panorama: the full preconditioner ladder on representative suite
+// matrices — unpreconditioned CG, Jacobi, Block-Jacobi, block-IC(0), SPAI,
+// FSAI and FSAIE-Comm — with iterations, modeled time and application
+// communication. Reproduces the *motivation* of the paper (Sections 1-2):
+// implicit factorizations (IC) are strong numerically but their triangular
+// solves are sequential within a rank and decouple across ranks, while the
+// SAI family applies as communication-regular SpMVs.
+#include "bench_common.hpp"
+
+#include "core/spai.hpp"
+#include "solver/chebyshev.hpp"
+#include "solver/ic0.hpp"
+#include "solver/pcg.hpp"
+
+namespace {
+
+using namespace fsaic;
+using namespace fsaic::bench;
+
+/// Modeled cost of one block-IC(0) application: two triangular sweeps over
+/// the local factor, *serial within the rank* (the dependency chain runs
+/// through every row), so no thread speedup — the structural handicap of
+/// implicit preconditioners that motivates FSAI.
+double ic_apply_cost(const Machine& machine, const Layout& layout,
+                     const std::vector<offset_t>& factor_nnz) {
+  double worst = 0.0;
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    const double work =
+        2.0 * static_cast<double>(factor_nnz[static_cast<std::size_t>(p)]) *
+        (machine.nnz_stream_cost() + machine.nnz_flop_cost());
+    worst = std::max(worst, work);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Baseline comparison — the preconditioner ladder",
+               "HPDC'22 Sections 1-2 (why FSAI over implicit methods)");
+
+  const Machine machine = machine_skylake();
+  const CostModel cost(machine, {.threads_per_rank = 8});
+
+  for (const char* name : {"thermal2", "Fault_639", "af_shell7"}) {
+    const auto& entry = suite_entry(name);
+    ExperimentConfig cfg;
+    cfg.machine = machine;
+    ExperimentRunner runner(cfg);
+    const auto& sys = runner.prepare(entry);
+
+    TextTable table({"preconditioner", "iters", "apply.cost/iter", "iter.cost",
+                     "modeled.time", "apply.halo.B"});
+    const auto add_run = [&](const std::string& label, const Preconditioner& m,
+                             double apply_cost, std::int64_t apply_halo) {
+      DistVector x(sys.layout);
+      const auto r = pcg_solve(sys.a_dist, sys.b, x, m, cfg.solve);
+      const double iter_cost = cost.spmv_cost(sys.a_dist).total() +
+                               cost.blas1_cost(sys.layout, 3) +
+                               3.0 * cost.allreduce_cost(sys.nranks) + apply_cost;
+      table.add_row({label,
+                     std::to_string(r.iterations) + (r.converged ? "" : "*"),
+                     sci2(apply_cost), sci2(iter_cost),
+                     sci2(r.iterations * iter_cost), std::to_string(apply_halo)});
+    };
+
+    // Explicit (SpMV-applied) preconditioners reuse the SpMV cost model.
+    add_run("none", IdentityPreconditioner{}, 0.0, 0);
+    {
+      const JacobiPreconditioner m(sys.a_dist);
+      add_run("jacobi", m, cost.blas1_cost(sys.layout, 1), 0);
+    }
+    {
+      const BlockJacobiPreconditioner m(sys.a_dist, 32);
+      add_run("block-jacobi(32)", m, cost.blas1_cost(sys.layout, 2), 0);
+    }
+    {
+      const BlockIc0Preconditioner m(sys.a_dist);
+      std::vector<offset_t> fnnz;
+      for (rank_t p = 0; p < sys.nranks; ++p) {
+        // The factor has the local block's lower-triangular nonzeros.
+        fnnz.push_back((sys.a_dist.block(p).local_entries +
+                        sys.layout.local_size(p)) /
+                       2);
+      }
+      add_run("block-ic0 (serial solves)", m,
+              ic_apply_cost(machine, sys.layout, fnnz), 0);
+    }
+    {
+      const SpaiPreconditioner m(sys.matrix, sys.layout);
+      add_run("spai (symmetrized)", m, cost.spmv_cost(m.m()).total(),
+              m.m().halo_update_bytes());
+    }
+    {
+      // Chebyshev degree 4: the other SpMV-only preconditioner — same
+      // communication regularity as FSAI, quality from the polynomial
+      // degree instead of the pattern.
+      const auto cheb =
+          ChebyshevPreconditioner::with_estimated_spectrum(sys.matrix,
+                                                           sys.a_dist, 4);
+      add_run("chebyshev(4)", cheb, 3.0 * cost.spmv_cost(sys.a_dist).total(),
+              3 * sys.a_dist.halo_update_bytes());
+    }
+    for (const auto mode : {ExtensionMode::None, ExtensionMode::CommAware}) {
+      FsaiOptions opts;
+      opts.extension = mode;
+      opts.cache_line_bytes = machine.l1.line_bytes;
+      opts.filter = 0.01;
+      opts.filter_strategy = FilterStrategy::Dynamic;
+      const auto build = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      const auto m = make_factorized_preconditioner(build, to_string(mode));
+      add_run(to_string(mode), *m,
+              cost.spmv_cost(build.g_dist).total() +
+                  cost.spmv_cost(build.gt_dist).total(),
+              build.g_dist.halo_update_bytes() +
+                  build.gt_dist.halo_update_bytes());
+    }
+
+    std::cout << entry.name << " (" << sys.matrix.rows() << " rows, "
+              << sys.nranks << " ranks):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Reading guide: block-ic0 wins iterations but its serial "
+               "triangular solves dominate the modeled iteration cost; the "
+               "FSAI family applies as thread-parallel SpMVs, and FSAIE-Comm "
+               "buys extra iterations at unchanged halo traffic.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: cache-line size sweep. The paper treats the line size as a
+// hardware given (64 B on Skylake/Zen 2, 256 B on A64FX) and attributes the
+// A64FX's larger gains to its wider lines; this ablation sweeps the
+// extension granularity from 32 B to 512 B on one machine model to expose
+// the full curve — added entries, iteration decrease and modeled time
+// decrease per line size.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Ablation — extension granularity (cache-line size sweep)",
+               "extends HPDC'22 Sections 5.3/5.4 (64 B vs 256 B comparison)");
+
+  // Machine model fixed (Skylake timing constants); only the extension's
+  // line size varies, isolating the pattern-granularity effect.
+  TextTable table({"line.B", "avg.+%NNZ", "avg.iter.dec%", "avg.time.dec%"});
+  for (const int line : {32, 64, 128, 256, 512}) {
+    ExperimentConfig cfg;
+    cfg.machine = machine_skylake();
+    cfg.machine.l1.line_bytes = line;
+    // Keep the set count constant so capacity effects stay fixed.
+    cfg.machine.l1.size_bytes = 32 * 1024 / 64 * line;
+    ExperimentRunner runner(cfg);
+
+    double nnz = 0.0;
+    double it = 0.0;
+    double tm = 0.0;
+    int count = 0;
+    for (const auto& entry : small_suite()) {
+      const auto& base = runner.baseline(entry);
+      const auto& comm = runner.run(
+          entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, 0.01});
+      const auto imp = improvement_over(base, comm);
+      nnz += comm.nnz_increase_pct;
+      it += imp.iterations_pct;
+      tm += imp.time_pct;
+      ++count;
+    }
+    table.add_row({std::to_string(line), pct2(nnz / count), pct2(it / count),
+                   pct2(tm / count)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: added entries and iteration gains grow "
+               "monotonically with the line size; time gains saturate once "
+               "the extra entries' streaming cost catches up.\n";
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace fsaic::bench {
+
+/// The Filter values the paper sweeps in Tables 3/5/6/7.
+inline const std::vector<value_t> kFilters{0.01, 0.05, 0.1, 0.2};
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n==== " << title << " ====\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+/// Per-matrix method columns in the style of the paper's Tables 1-2:
+/// modeled solver time, iterations, % NNZ for FSAI / FSAIE / FSAIE-Comm.
+inline void print_matrix_table(ExperimentRunner& runner,
+                               const std::vector<SuiteEntry>& suite,
+                               value_t filter) {
+  TextTable table({"ID", "Matrix", "#rows", "NNZ", "Ranks",
+                   "FSAI.time", "FSAI.it",
+                   "FSAIE.time", "FSAIE.it", "FSAIE.%NNZ",
+                   "Comm.time", "Comm.it", "Comm.%NNZ",
+                   "paper.FSAI.it", "paper.Comm.it", "paper.Comm.%NNZ"});
+  int id = 1;
+  for (const auto& entry : suite) {
+    const auto& base = runner.baseline(entry);
+    const auto& fsaie = runner.run(
+        entry, {ExtensionMode::LocalOnly, FilterStrategy::Dynamic, filter});
+    const auto& comm = runner.run(
+        entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, filter});
+    table.add_row({std::to_string(id++), entry.name, std::to_string(base.rows),
+                   std::to_string(base.matrix_nnz), std::to_string(base.nranks),
+                   sci2(base.modeled_time), std::to_string(base.iterations),
+                   sci2(fsaie.modeled_time), std::to_string(fsaie.iterations),
+                   pct2(fsaie.nnz_increase_pct),
+                   sci2(comm.modeled_time), std::to_string(comm.iterations),
+                   pct2(comm.nnz_increase_pct),
+                   std::to_string(entry.paper_fsai_iters),
+                   std::to_string(entry.paper_fsaie_comm_iters),
+                   pct2(entry.paper_nnz_pct)});
+  }
+  table.print(std::cout);
+}
+
+/// Filter-sweep summary block (one strategy, one extension mode), the format
+/// of Tables 3/5/6/7: avg iteration dec, avg time dec, highest improvement,
+/// highest degradation per filter value plus the per-matrix best filter.
+inline void print_sweep_block(ExperimentRunner& runner,
+                              const std::vector<SuiteEntry>& suite,
+                              ExtensionMode mode, FilterStrategy strategy,
+                              const std::string& title) {
+  std::cout << title << "\n";
+  TextTable table({"Filter", "Avg.iter.dec%", "Avg.time.dec%", "Highest.imp%",
+                   "Highest.deg%"});
+  for (value_t f : kFilters) {
+    const auto imps = fixed_filter_improvements(runner, suite, mode, strategy, f);
+    const auto row = summarize(imps);
+    table.add_row({strformat("%.2f", static_cast<double>(f)),
+                   pct2(row.avg_iterations_pct), pct2(row.avg_time_pct),
+                   pct2(row.highest_improvement_pct),
+                   pct2(row.highest_degradation_pct)});
+  }
+  const auto best = summarize(
+      best_filter_improvements(runner, suite, mode, strategy, kFilters));
+  table.add_row({"best", pct2(best.avg_iterations_pct), pct2(best.avg_time_pct),
+                 pct2(best.highest_improvement_pct),
+                 pct2(best.highest_degradation_pct)});
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+/// Per-matrix time-decrease series (the Figure 2/4/6/8 bars): best filter
+/// and one fixed filter.
+inline void print_permatrix_figure(ExperimentRunner& runner,
+                                   const std::vector<SuiteEntry>& suite,
+                                   value_t fixed_filter) {
+  TextTable table({"Matrix", "time.dec.best%", strformat(
+                       "time.dec.f=%.2f%%", static_cast<double>(fixed_filter))});
+  for (const auto& entry : suite) {
+    const auto& base = runner.baseline(entry);
+    double best = -1e300;
+    for (value_t f : kFilters) {
+      const auto& rec = runner.run(
+          entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, f});
+      best = std::max(best, improvement_over(base, rec).time_pct);
+    }
+    const auto& fixed = runner.run(
+        entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, fixed_filter});
+    table.add_row({entry.name, pct2(best),
+                   pct2(improvement_over(base, fixed).time_pct)});
+  }
+  table.print(std::cout);
+}
+
+/// Histogram helper for the Figure 3/5/7 panels: bucket a metric over the
+/// suite and print counts for the FSAI and FSAIE-Comm series side by side.
+inline void print_histogram(const std::string& metric,
+                            const std::vector<double>& fsai_values,
+                            const std::vector<double>& comm_values, int buckets) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto* vec : {&fsai_values, &comm_values}) {
+    for (double v : *vec) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  TextTable table({metric, "FSAI.count", "FSAIE-Comm.count"});
+  const double width = (hi - lo) / buckets;
+  for (int b = 0; b < buckets; ++b) {
+    const double b_lo = lo + b * width;
+    const double b_hi = b_lo + width;
+    int c1 = 0;
+    int c2 = 0;
+    for (double v : fsai_values) {
+      if (v >= b_lo && (v < b_hi || b == buckets - 1)) ++c1;
+    }
+    for (double v : comm_values) {
+      if (v >= b_lo && (v < b_hi || b == buckets - 1)) ++c2;
+    }
+    table.add_row({strformat("[%.3g, %.3g)", b_lo, b_hi), std::to_string(c1),
+                   std::to_string(c2)});
+  }
+  table.print(std::cout);
+}
+
+inline double average(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+/// The Figure 3/5 panels: histograms of x-access L1 misses per nnz(G) and of
+/// GFLOP/s per process in G^T G x, FSAI vs unfiltered FSAIE-Comm.
+inline void run_cache_figure(const Machine& machine, const std::string& title,
+                             const std::string& ref) {
+  print_header(title, ref);
+  ExperimentConfig cfg;
+  cfg.machine = machine;
+  cfg.threads_per_rank = 8;
+  ExperimentRunner runner(cfg);
+
+  std::vector<double> fsai_misses;
+  std::vector<double> comm_misses;
+  std::vector<double> fsai_gflops;
+  std::vector<double> comm_gflops;
+  for (const auto& entry : small_suite()) {
+    const auto& base = runner.baseline(entry);
+    const auto& comm = runner.run(
+        entry, {ExtensionMode::CommAware, FilterStrategy::Static, 0.0});
+    fsai_misses.push_back(base.x_misses_per_gnnz);
+    comm_misses.push_back(comm.x_misses_per_gnnz);
+    fsai_gflops.push_back(base.precond_gflops);
+    comm_gflops.push_back(comm.precond_gflops);
+  }
+
+  std::cout << "(a) L1 DCM on x per nnz(G) in G^T G x\n";
+  print_histogram("misses/nnz", fsai_misses, comm_misses, 10);
+  std::cout << strformat("\navg misses/nnz: FSAI %.4f  FSAIE-Comm %.4f "
+                         "(decrease %.1f%%)\n",
+                         average(fsai_misses), average(comm_misses),
+                         100.0 * (1.0 - average(comm_misses) /
+                                            average(fsai_misses)));
+
+  std::cout << "\n(b) GFLOP/s per process in G^T G x\n";
+  print_histogram("GFLOP/s", fsai_gflops, comm_gflops, 10);
+  std::cout << strformat("\navg GFLOP/s: FSAI %.3f  FSAIE-Comm %.3f "
+                         "(increase %.1f%%)\n",
+                         average(fsai_gflops), average(comm_gflops),
+                         100.0 * (average(comm_gflops) / average(fsai_gflops) -
+                                  1.0));
+}
+
+}  // namespace fsaic::bench

@@ -1,0 +1,71 @@
+// Section 3 claim, verified byte-exactly: FSAIE-Comm extensions leave the
+// halo-update communication scheme of both G x and G^T x untouched, while a
+// naive halo extension (FSAIE-Full, same cache-line rule without the
+// admission test) inflates traffic. For every suite matrix this bench
+// reports the bytes and messages of one halo update of G and G^T under each
+// method, plus the number of extension entries gained in the halo.
+#include "bench_common.hpp"
+
+#include "dist/comm_scheme.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Communication invariance — FSAI vs FSAIE vs FSAIE-Comm vs naive",
+               "HPDC'22 Section 3 ('the communication cost is unvaried')");
+
+  ExperimentConfig cfg;
+  cfg.machine = machine_a64fx();  // 256 B lines: widest extensions
+  ExperimentRunner runner(cfg);
+
+  TextTable table({"Matrix", "Ranks", "halo.B.fsai", "halo.B.comm",
+                   "halo.B.naive", "msgs.fsai", "msgs.comm", "msgs.naive",
+                   "halo.added.comm", "halo.added.naive"});
+  int invariant = 0;
+  int naive_grew = 0;
+  for (const auto& entry : small_suite()) {
+    const auto& sys = runner.prepare(entry);
+    FsaiOptions opts;
+    opts.cache_line_bytes = cfg.machine.l1.line_bytes;
+    opts.extension = ExtensionMode::None;
+    const auto fsai = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+    opts.extension = ExtensionMode::CommAware;
+    const auto comm = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+    opts.extension = ExtensionMode::FullHalo;
+    const auto naive = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+
+    const auto total_bytes = [](const FsaiBuildResult& b) {
+      return b.g_dist.halo_update_bytes() + b.gt_dist.halo_update_bytes();
+    };
+    const auto total_msgs = [](const FsaiBuildResult& b) {
+      return b.g_dist.halo_update_messages() + b.gt_dist.halo_update_messages();
+    };
+    const ExtensionResult ext_comm =
+        extend_pattern(fsai.base_pattern, sys.layout, opts.cache_line_bytes,
+                       ExtensionMode::CommAware);
+    const ExtensionResult ext_naive =
+        extend_pattern(fsai.base_pattern, sys.layout, opts.cache_line_bytes,
+                       ExtensionMode::FullHalo);
+
+    if (total_bytes(comm) == total_bytes(fsai) &&
+        total_msgs(comm) == total_msgs(fsai)) {
+      ++invariant;
+    }
+    if (total_bytes(naive) > total_bytes(fsai)) ++naive_grew;
+
+    table.add_row({entry.name, std::to_string(sys.nranks),
+                   std::to_string(total_bytes(fsai)),
+                   std::to_string(total_bytes(comm)),
+                   std::to_string(total_bytes(naive)),
+                   std::to_string(total_msgs(fsai)),
+                   std::to_string(total_msgs(comm)),
+                   std::to_string(total_msgs(naive)),
+                   std::to_string(ext_comm.halo_added),
+                   std::to_string(ext_naive.halo_added)});
+  }
+  table.print(std::cout);
+  std::cout << "\nFSAIE-Comm kept the scheme byte-identical on " << invariant
+            << "/39 matrices; the naive extension grew traffic on "
+            << naive_grew << "/39.\n";
+  return 0;
+}

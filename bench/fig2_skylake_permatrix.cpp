@@ -1,0 +1,16 @@
+// Figure 2 reproduction: per-matrix time decrease of FSAIE-Comm vs FSAI on
+// the Skylake model, for the best dynamic Filter (blue bars) and Filter 0.01
+// (orange bars).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Figure 2 — per-matrix time decrease, Skylake",
+               "HPDC'22 Fig. 2 (best Filter + Filter 0.01 bars)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_skylake();
+  ExperimentRunner runner(cfg);
+  print_permatrix_figure(runner, small_suite(), 0.01);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 4 reproduction: per-matrix time decrease of FSAIE-Comm vs FSAI on
+// the A64FX model (256 B lines), best dynamic Filter and Filter 0.05.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Figure 4 — per-matrix time decrease, A64FX",
+               "HPDC'22 Fig. 4 (best Filter + Filter 0.05 bars)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_a64fx();
+  ExperimentRunner runner(cfg);
+  print_permatrix_figure(runner, small_suite(), 0.05);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 6 reproduction: per-matrix time decrease of FSAIE-Comm vs FSAI on
+// the Zen 2 model, best dynamic Filter and Filter 0.05.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Figure 6 — per-matrix time decrease, Zen 2",
+               "HPDC'22 Fig. 6 (best Filter + Filter 0.05 bars)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_zen2();
+  ExperimentRunner runner(cfg);
+  print_permatrix_figure(runner, small_suite(), 0.05);
+  return 0;
+}

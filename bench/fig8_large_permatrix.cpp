@@ -1,0 +1,17 @@
+// Figure 8 reproduction: per-matrix time decrease of FSAIE-Comm vs FSAI on
+// the Zen 2 model for the large suite, best dynamic Filter and Filter 0.01.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Figure 8 — per-matrix time decrease, large suite, Zen 2",
+               "HPDC'22 Fig. 8 (best Filter + Filter 0.01 bars)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_zen2();
+  cfg.nnz_per_rank = 8000;
+  cfg.max_ranks = 64;
+  ExperimentRunner runner(cfg);
+  print_permatrix_figure(runner, large_suite(), 0.01);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Table 1 reproduction: the 39-matrix small suite on the Skylake model.
+// Solver time (modeled seconds), iterations-to-convergence and % pattern
+// entries added, for FSAI, FSAIE and FSAIE-Comm with a dynamic Filter of
+// 0.01. The paper's reference iteration counts are printed alongside.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Table 1 — small suite, Skylake, dynamic Filter 0.01",
+               "HPDC'22 Table 1 (solving times, iterations, %NNZ)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_skylake();
+  ExperimentRunner runner(cfg);
+  print_matrix_table(runner, small_suite(), 0.01);
+  return 0;
+}

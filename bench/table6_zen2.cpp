@@ -1,0 +1,18 @@
+// Table 6 reproduction: Zen 2 averages for FSAIE-Comm with dynamic filters.
+// Same 64 B lines as Skylake, so the patterns — and iteration counts — match
+// the Skylake runs; only the machine model (bandwidth, FLOP rate, network)
+// changes the time column.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fsaic;
+  using namespace fsaic::bench;
+  print_header("Table 6 — FSAIE-Comm dynamic filter sweep, small suite, Zen 2",
+               "HPDC'22 Table 6 (paper best filter: 20.64% iters, 16.74% time)");
+  ExperimentConfig cfg;
+  cfg.machine = machine_zen2();
+  ExperimentRunner runner(cfg);
+  print_sweep_block(runner, small_suite(), ExtensionMode::CommAware,
+                    FilterStrategy::Dynamic, "FSAIE-Comm - Dynamic Filter");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Communication study: why the admission rule of FSAIE-Comm matters.
+//
+// Builds one system, distributes it over a growing number of ranks and
+// prints, for each extension flavour, the pattern growth, the halo traffic
+// of one G / G^T halo update, and the iteration count — demonstrating that
+// FSAIE-Comm matches the naive extension's iteration quality almost entirely
+// while moving exactly as many bytes as plain FSAI.
+//
+//   build/examples/comm_study [grid = 48] [line_bytes = 256]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "harness/table.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+#include "solver/pcg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsaic;
+  const index_t grid = argc > 1 ? std::atoi(argv[1]) : 48;
+  const int line = argc > 2 ? std::atoi(argv[2]) : 256;
+
+  const CsrMatrix a = permute_symmetric(
+      graded2d(grid, grid, 1e4), tile_permutation_2d(grid, grid, 4, 2));
+  std::cout << "graded2d " << grid << "x" << grid << ", " << a.nnz()
+            << " nnz, cache line " << line << " B\n\n";
+
+  for (const rank_t nranks : {4, 8, 16}) {
+    const PartitionedSystem sys = partition_system(a, nranks);
+    const DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout);
+    Rng rng(77);
+    std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
+    for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+    const DistVector b(sys.layout, bg);
+
+    TextTable table({"method", "+%NNZ", "halo.bytes(G+GT)", "halo.msgs",
+                     "iterations"});
+    for (const ExtensionMode mode :
+         {ExtensionMode::None, ExtensionMode::LocalOnly, ExtensionMode::CommAware,
+          ExtensionMode::FullHalo}) {
+      FsaiOptions opts;
+      opts.extension = mode;
+      opts.cache_line_bytes = line;
+      const FsaiBuildResult build =
+          build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      const auto precond = make_factorized_preconditioner(build, to_string(mode));
+      DistVector x(sys.layout);
+      const SolveResult r = pcg_solve(a_dist, b, x, *precond,
+                                      {.rel_tol = 1e-8, .max_iterations = 20000});
+      table.add_row({to_string(mode),
+                     std::to_string(build.nnz_increase_pct),
+                     std::to_string(build.g_dist.halo_update_bytes() +
+                                    build.gt_dist.halo_update_bytes()),
+                     std::to_string(build.g_dist.halo_update_messages() +
+                                    build.gt_dist.halo_update_messages()),
+                     std::to_string(r.iterations)});
+    }
+    std::cout << nranks << " ranks (edge cut " << sys.edge_cut << "):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "fsaie-comm keeps the fsai traffic byte-identical; fsaie-full "
+               "buys the same iterations for strictly more communication.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Filter tuning walkthrough: sweep the Filter value and compare static
+// against dynamic filtering on a deliberately skewed decomposition — the
+// workflow a user follows to pick the filter for their own problem.
+//
+//   build/examples/filter_tuning [grid = 64]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "harness/table.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+#include "perf/cost_model.hpp"
+#include "solver/pcg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fsaic;
+  const index_t grid = argc > 1 ? std::atoi(argv[1]) : 64;
+
+  const CsrMatrix a = permute_symmetric(
+      graded2d(grid, grid, 1e5), tile_permutation_2d(grid, grid, 4, 2));
+  // A skewed 4-rank split: rank 0 owns 40% of the rows, so unfiltered
+  // extensions overload it.
+  const index_t n = a.rows();
+  const Layout layout({0, 2 * n / 5, 3 * n / 5, 4 * n / 5, n});
+  const DistCsr a_dist = DistCsr::distribute(a, layout);
+  const CostModel cost(machine_a64fx(), {.threads_per_rank = 8});
+
+  Rng rng(31);
+  std::vector<value_t> bg(static_cast<std::size_t>(n));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector b(layout, bg);
+
+  std::cout << "graded2d " << grid << "x" << grid
+            << " on a skewed 4-rank layout (rank 0 owns 40% of rows)\n\n";
+
+  const auto solve = [&](const FsaiOptions& opts) {
+    const auto build = build_fsai_preconditioner(a, layout, opts);
+    const auto precond = make_factorized_preconditioner(build, "sweep");
+    DistVector x(layout);
+    const auto r = pcg_solve(a_dist, b, x, *precond,
+                             {.rel_tol = 1e-8, .max_iterations = 20000});
+    const double t = r.iterations *
+                     cost.pcg_iteration_cost(a_dist, build.g_dist, build.gt_dist)
+                         .total();
+    return std::tuple{r.iterations, t, build.nnz_increase_pct,
+                      build.imbalance_avg()};
+  };
+
+  FsaiOptions base_opts;
+  base_opts.cache_line_bytes = 256;
+  const auto [it0, t0, nnz0, imb0] = solve(base_opts);
+  std::cout << "fsai baseline: " << it0 << " iterations, modeled " << t0
+            << " s, imbalance " << imb0 << "\n\n";
+
+  TextTable table({"Filter", "strategy", "iters", "+%NNZ", "imbalance",
+                   "time.dec%"});
+  for (const value_t filter : {0.005, 0.01, 0.05, 0.1, 0.2}) {
+    for (const FilterStrategy strategy :
+         {FilterStrategy::Static, FilterStrategy::Dynamic}) {
+      FsaiOptions opts = base_opts;
+      opts.extension = ExtensionMode::CommAware;
+      opts.filter = filter;
+      opts.filter_strategy = strategy;
+      const auto [it, t, nnz, imb] = solve(opts);
+      table.add_row({std::to_string(filter), to_string(strategy),
+                     std::to_string(it), std::to_string(nnz),
+                     std::to_string(imb),
+                     std::to_string(100.0 * (t0 - t) / t0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading guide: small filters keep the largest extensions "
+               "(fewest iterations) but can overload the fat rank; the "
+               "dynamic strategy trims only that rank, keeping the iteration "
+               "gain while restoring balance.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Error handling: a library exception type plus invariant-check macros.
+//
+// Public API entry points validate their inputs with FSAIC_REQUIRE (always
+// active, throws fsaic::Error). Internal invariants use FSAIC_CHECK, which is
+// also always active: the cost of these checks is negligible next to the
+// numerical kernels, and silent corruption in a solver is far more expensive
+// than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fsaic {
+
+/// Exception thrown on precondition violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace fsaic
+
+/// Validate a caller-supplied precondition; throws fsaic::Error on failure.
+#define FSAIC_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fsaic::detail::throw_error("precondition", #cond, __FILE__,    \
+                                   __LINE__, (msg));                   \
+    }                                                                  \
+  } while (false)
+
+/// Validate an internal invariant; throws fsaic::Error on failure.
+#define FSAIC_CHECK(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fsaic::detail::throw_error("invariant", #cond, __FILE__,       \
+                                   __LINE__, (msg));                   \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,25 @@
+// Small string-formatting helpers shared by the bench harness and examples.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace fsaic {
+
+/// printf-style formatting into a std::string.
+template <typename... Args>
+std::string strformat(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+/// Scientific notation with two significant decimals, like the paper tables
+/// (e.g. "1.43e+00").
+inline std::string sci2(double v) { return strformat("%.2e", v); }
+
+/// Fixed-point percentage with two decimals (e.g. "17.98").
+inline std::string pct2(double v) { return strformat("%.2f", v); }
+
+}  // namespace fsaic

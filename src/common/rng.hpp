@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic inputs in this reproduction (right-hand sides, random graph
+// edges, perturbations) come from this xoshiro256** generator so that every
+// experiment is bit-reproducible across runs and machines. We deliberately do
+// not use std::mt19937 + std::uniform_real_distribution because their output
+// streams are not guaranteed identical across standard library versions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fsaic {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference constants).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, the initializer recommended by the authors.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  value_t next_uniform() {
+    return static_cast<value_t>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  value_t next_uniform(value_t lo, value_t hi) {
+    return lo + (hi - lo) * next_uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  index_t next_index(index_t n) {
+    return static_cast<index_t>(next_u64() % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace fsaic

@@ -1,0 +1,23 @@
+// Fundamental scalar and index types used throughout the library.
+#pragma once
+
+#include <cstdint>
+
+namespace fsaic {
+
+/// Row/column index type. Matrices in this reproduction are well below 2^31
+/// rows and nonzeros, so a 32-bit signed index keeps CSR arrays compact (the
+/// dominant memory stream in SpMV) while still allowing -1 sentinels.
+using index_t = std::int32_t;
+
+/// Nonzero-count type. Offsets into value/column arrays (CSR row pointers)
+/// use 64 bits so that nnz > 2^31 would not overflow intermediate sums.
+using offset_t = std::int64_t;
+
+/// Floating-point value type of all numerical kernels.
+using value_t = double;
+
+/// Rank identifier in the simulated distributed runtime.
+using rank_t = std::int32_t;
+
+}  // namespace fsaic

@@ -1,0 +1,30 @@
+// Adaptive (dynamic) FSAI pattern selection, the family of methods the
+// paper's related-work section contrasts with its static approach (FSPAI /
+// adaptive Block-FSAI): instead of fixing the pattern a priori, each row
+// grows its pattern greedily by the entries with the largest residual of
+// the local minimization — more powerful numerically, but costlier to set
+// up and oblivious to communication (an adaptive entry can land anywhere,
+// including halo columns that enlarge the exchange). The ablation bench
+// quantifies exactly that trade-off against FSAIE-Comm.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+
+struct AdaptiveOptions {
+  /// Pattern-growth rounds per row.
+  int growth_steps = 3;
+  /// Entries added per round per row.
+  index_t entries_per_step = 2;
+};
+
+/// Grow a lower-triangular pattern per row: starting from the diagonal,
+/// repeatedly solve the local system A(S_i,S_i) g = e_i and admit the
+/// candidates k (k < i, reachable through A from S_i) with the largest
+/// |(A g)_k| residual — the first-order decrease of the Kaporin functional.
+[[nodiscard]] SparsityPattern adaptive_fsai_pattern(const CsrMatrix& a,
+                                                    const AdaptiveOptions& options = {});
+
+}  // namespace fsaic

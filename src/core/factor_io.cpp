@@ -1,0 +1,94 @@
+#include "core/factor_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'A', 'I', 'C', 'F', '1', '\0'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void write_span(std::ostream& out, std::span<const T> v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FSAIC_REQUIRE(in.good(), "truncated factor file");
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::size_t count) {
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  FSAIC_REQUIRE(in.good(), "truncated factor file");
+  return v;
+}
+
+}  // namespace
+
+void save_factor(const std::string& path, const CsrMatrix& g,
+                 const Layout& layout) {
+  FSAIC_REQUIRE(g.rows() == layout.global_size(),
+                "factor and layout sizes must agree");
+  std::ofstream out(path, std::ios::binary);
+  FSAIC_REQUIRE(out.good(), "cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, layout.nranks());
+  for (rank_t p = 0; p <= layout.nranks(); ++p) {
+    const index_t begin = p < layout.nranks() ? layout.begin(p) : layout.global_size();
+    write_pod(out, begin);
+  }
+  write_pod(out, g.rows());
+  write_pod(out, g.cols());
+  write_pod(out, g.nnz());
+  write_span<offset_t>(out, g.row_ptr());
+  write_span<index_t>(out, g.col_idx());
+  write_span<value_t>(out, g.values());
+  FSAIC_REQUIRE(out.good(), "write failed: " + path);
+}
+
+SavedFactor load_factor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FSAIC_REQUIRE(in.good(), "cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  FSAIC_REQUIRE(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                "not a FSAIC factor file: " + path);
+  const auto nranks = read_pod<rank_t>(in);
+  FSAIC_REQUIRE(nranks >= 1 && nranks < (1 << 24), "implausible rank count");
+  std::vector<index_t> begin(static_cast<std::size_t>(nranks) + 1);
+  for (auto& b : begin) {
+    b = read_pod<index_t>(in);
+  }
+  const auto rows = read_pod<index_t>(in);
+  const auto cols = read_pod<index_t>(in);
+  const auto nnz = read_pod<offset_t>(in);
+  FSAIC_REQUIRE(rows >= 0 && cols >= 0 && nnz >= 0, "corrupt factor header");
+  auto row_ptr = read_vector<offset_t>(in, static_cast<std::size_t>(rows) + 1);
+  auto col_idx = read_vector<index_t>(in, static_cast<std::size_t>(nnz));
+  auto values = read_vector<value_t>(in, static_cast<std::size_t>(nnz));
+  SavedFactor out{CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                            std::move(values)),
+                  Layout(std::move(begin))};
+  FSAIC_REQUIRE(out.layout.global_size() == out.g.rows(),
+                "factor/layout mismatch in file");
+  return out;
+}
+
+}  // namespace fsaic

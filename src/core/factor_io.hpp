@@ -1,0 +1,35 @@
+// Binary serialization of computed preconditioner factors.
+//
+// Setup is the expensive phase (see bench/amortization); production
+// workflows factor once and reuse across runs/restarts. The format stores
+// the lower-triangular factor G together with the row layout it was built
+// for, so a reload reconstructs the distributed G / G^T pair exactly.
+//
+// Layout (little-endian, fixed-width):
+//   magic   "FSAICF1\0"             8 bytes
+//   nranks  int32
+//   rank_begin[nranks+1]            int32 each
+//   rows, cols                      int32 each
+//   nnz                             int64
+//   row_ptr[rows+1]                 int64 each
+//   col_idx[nnz]                    int32 each
+//   values[nnz]                     float64 each
+#pragma once
+
+#include <string>
+
+#include "dist/layout.hpp"
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+struct SavedFactor {
+  CsrMatrix g;
+  Layout layout;
+};
+
+void save_factor(const std::string& path, const CsrMatrix& g, const Layout& layout);
+
+[[nodiscard]] SavedFactor load_factor(const std::string& path);
+
+}  // namespace fsaic

@@ -1,0 +1,102 @@
+#include "core/fsai.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "dense/dense_matrix.hpp"
+#include "dense/factorizations.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+
+CsrMatrix compute_fsai_factor(const CsrMatrix& a, const SparsityPattern& s,
+                              FsaiFactorStats* stats) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "FSAI requires a square matrix");
+  FSAIC_REQUIRE(s.rows() == a.rows() && s.cols() == a.cols(),
+                "pattern shape mismatch");
+  FSAIC_REQUIRE(s.is_lower_triangular(), "FSAI pattern must be lower triangular");
+  FSAIC_REQUIRE(s.has_full_diagonal(), "FSAI pattern must contain the diagonal");
+
+  CsrMatrix g{s};
+  const index_t n = a.rows();
+  std::atomic<index_t> fallback_rows{0};
+  std::atomic<index_t> degenerate_rows{0};
+
+#pragma omp parallel
+  {
+    // Per-thread scratch reused across rows.
+    std::vector<value_t> rhs;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      const auto cols = s.row(i);
+      const auto m = static_cast<index_t>(cols.size());
+      // The diagonal is the last pattern entry of a sorted lower-triangular
+      // row.
+      FSAIC_CHECK(cols.back() == i, "diagonal must close each pattern row");
+      const index_t diag_pos = m - 1;
+
+      DenseMatrix local(m, m);
+      for (index_t r = 0; r < m; ++r) {
+        for (index_t c = 0; c < m; ++c) {
+          local(r, c) = a.at(cols[static_cast<std::size_t>(r)],
+                             cols[static_cast<std::size_t>(c)]);
+        }
+      }
+      rhs.assign(static_cast<std::size_t>(m), 0.0);
+      rhs[static_cast<std::size_t>(diag_pos)] = 1.0;
+
+      bool solved = false;
+      {
+        DenseMatrix chol = local;
+        if (cholesky_factor(chol)) {
+          cholesky_solve(chol, rhs);
+          solved = true;
+        }
+      }
+      if (!solved) {
+        fallback_rows.fetch_add(1, std::memory_order_relaxed);
+        rhs.assign(static_cast<std::size_t>(m), 0.0);
+        rhs[static_cast<std::size_t>(diag_pos)] = 1.0;
+        solved = solve_spd_system(local, rhs);
+      }
+
+      auto out = g.row_vals(i);
+      const value_t ghat_ii = solved ? rhs[static_cast<std::size_t>(diag_pos)] : 0.0;
+      if (!solved || !(ghat_ii > 0.0) || !std::isfinite(ghat_ii)) {
+        // Degenerate local system: degrade this row to Jacobi scaling, which
+        // keeps G well defined (and SPD as a preconditioner).
+        degenerate_rows.fetch_add(1, std::memory_order_relaxed);
+        const value_t aii = a.at(i, i);
+        const value_t scale = aii > 0.0 ? 1.0 / std::sqrt(aii) : 1.0;
+        for (index_t k = 0; k < m; ++k) {
+          out[static_cast<std::size_t>(k)] = (k == diag_pos) ? scale : 0.0;
+        }
+        continue;
+      }
+      const value_t inv_sqrt = 1.0 / std::sqrt(ghat_ii);
+      for (index_t k = 0; k < m; ++k) {
+        out[static_cast<std::size_t>(k)] = rhs[static_cast<std::size_t>(k)] * inv_sqrt;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->fallback_rows = fallback_rows.load();
+    stats->degenerate_rows = degenerate_rows.load();
+  }
+  return g;
+}
+
+SparsityPattern fsai_base_pattern(const CsrMatrix& a, int sparsity_level,
+                                  value_t prefilter_threshold) {
+  FSAIC_REQUIRE(sparsity_level >= 1, "sparsity level must be >= 1");
+  const CsrMatrix filtered =
+      prefilter_threshold > 0.0 ? threshold(a, prefilter_threshold) : a;
+  SparsityPattern p = filtered.pattern();
+  if (sparsity_level > 1) {
+    p = p.symbolic_power(sparsity_level);
+  }
+  return p.lower_triangle().with_full_diagonal();
+}
+
+}  // namespace fsaic

@@ -1,0 +1,35 @@
+// FSAI factor computation (Algorithm 1, steps 2–3): given an SPD matrix A
+// and a lower-triangular pattern S with full diagonal, compute the rows of G
+// by solving the per-row Frobenius-minimization systems
+//
+//     A(S_i, S_i) ghat = e_i ,    g_i = ghat / sqrt(ghat[i]) ,
+//
+// which yields G with G A G^T ≈ I (Kolotilina–Yeremin / Chow). Each system
+// is small, dense and SPD; rows are independent and solved in parallel.
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+
+struct FsaiFactorStats {
+  /// Rows whose dense system fell back from Cholesky (still solved).
+  index_t fallback_rows = 0;
+  /// Rows whose system was singular; the row degraded to Jacobi scaling.
+  index_t degenerate_rows = 0;
+};
+
+/// Compute G on pattern `s` for SPD matrix `a`. `s` must be lower triangular,
+/// square of a's size and contain every diagonal entry.
+[[nodiscard]] CsrMatrix compute_fsai_factor(const CsrMatrix& a,
+                                            const SparsityPattern& s,
+                                            FsaiFactorStats* stats = nullptr);
+
+/// The a-priori pattern of Algorithm 1 steps 1–2: lower triangle of the
+/// pattern of Ã^N (Ã = threshold(A, tau)), with the full diagonal inserted.
+[[nodiscard]] SparsityPattern fsai_base_pattern(const CsrMatrix& a,
+                                                int sparsity_level,
+                                                value_t prefilter_threshold);
+
+}  // namespace fsaic

@@ -1,0 +1,112 @@
+#include "core/pattern_extend.hpp"
+
+#include <algorithm>
+
+#include "dist/comm_scheme.hpp"
+
+namespace fsaic {
+
+const char* to_string(ExtensionMode mode) {
+  switch (mode) {
+    case ExtensionMode::None:
+      return "fsai";
+    case ExtensionMode::LocalOnly:
+      return "fsaie";
+    case ExtensionMode::CommAware:
+      return "fsaie-comm";
+    case ExtensionMode::FullHalo:
+      return "fsaie-full";
+  }
+  return "?";
+}
+
+ExtensionResult extend_pattern(const SparsityPattern& s, const Layout& layout,
+                               int cache_line_bytes, ExtensionMode mode) {
+  FSAIC_REQUIRE(s.rows() == s.cols(), "pattern must be square");
+  FSAIC_REQUIRE(s.rows() == layout.global_size(), "layout size mismatch");
+  FSAIC_REQUIRE(s.is_lower_triangular(), "pattern of G must be lower triangular");
+  FSAIC_REQUIRE(cache_line_bytes >= static_cast<int>(sizeof(value_t)) &&
+                    cache_line_bytes % static_cast<int>(sizeof(value_t)) == 0,
+                "cache line must hold a whole number of values");
+
+  if (mode == ExtensionMode::None) {
+    return {s, 0, 0};
+  }
+
+  const auto entries_per_line =
+      static_cast<index_t>(cache_line_bytes / sizeof(value_t));
+  const index_t n = s.rows();
+
+  // Communication schemes of the initial pattern; halo admissions must stay
+  // within both (Gx and G^T x keep their exchanges unchanged).
+  CommScheme scheme_g;
+  CommScheme scheme_gt;
+  if (mode == ExtensionMode::CommAware) {
+    scheme_g = CommScheme::from_pattern(s, layout);
+    scheme_gt = CommScheme::from_pattern(s.transposed(), layout);
+  }
+
+  ExtensionResult result;
+  std::vector<std::vector<index_t>> rows_out(static_cast<std::size_t>(n));
+  // Scratch marker so duplicate candidates within a row are counted once.
+  std::vector<index_t> last_row_touch(static_cast<std::size_t>(n), -1);
+
+  for (index_t i = 0; i < n; ++i) {
+    const rank_t p = layout.owner(i);
+    const auto base = s.row(i);
+    auto& out = rows_out[static_cast<std::size_t>(i)];
+    out.assign(base.begin(), base.end());
+    for (index_t j : base) {
+      last_row_touch[static_cast<std::size_t>(j)] = i;
+    }
+
+    index_t prev_block = -1;
+    for (index_t j : base) {
+      const index_t block = j / entries_per_line;
+      if (block == prev_block) continue;  // Alg. 3 line 6: block already done
+      prev_block = block;
+      const index_t k_begin = block * entries_per_line;
+      const index_t k_end = std::min<index_t>(k_begin + entries_per_line, n);
+      for (index_t k = k_begin; k < k_end; ++k) {
+        if (k > i) break;  // keep G lower triangular
+        if (last_row_touch[static_cast<std::size_t>(k)] == i) continue;  // present
+        bool admit = false;
+        if (layout.owns(p, k)) {
+          admit = true;  // Alg. 3 line 12: local entries are always free
+          if (admit) ++result.local_added;
+        } else {
+          switch (mode) {
+            case ExtensionMode::LocalOnly:
+              admit = false;
+              break;
+            case ExtensionMode::FullHalo:
+              admit = true;
+              break;
+            case ExtensionMode::CommAware:
+              // Alg. 3 line 13 generalized to both products (Section 3):
+              // x_k must already flow to owner(i) for Gx, and x_i must
+              // already flow to owner(k) for G^T x.
+              admit = scheme_g.receives(p, k) &&
+                      scheme_gt.receives(layout.owner(k), i);
+              break;
+            case ExtensionMode::None:
+              admit = false;
+              break;
+          }
+          if (admit) ++result.halo_added;
+        }
+        if (admit) {
+          out.push_back(k);
+          last_row_touch[static_cast<std::size_t>(k)] = i;
+        }
+      }
+    }
+  }
+
+  result.extended = SparsityPattern::from_rows(n, n, std::move(rows_out));
+  FSAIC_CHECK(result.extended.nnz() == s.nnz() + result.total_added(),
+              "extension bookkeeping mismatch");
+  return result;
+}
+
+}  // namespace fsaic

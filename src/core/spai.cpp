@@ -1,0 +1,102 @@
+#include "core/spai.hpp"
+
+#include <algorithm>
+
+#include "dense/dense_matrix.hpp"
+#include "dense/factorizations.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+
+CsrMatrix compute_spai(const CsrMatrix& a, const SparsityPattern& s) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "SPAI requires a square matrix");
+  FSAIC_REQUIRE(s.rows() == a.rows() && s.cols() == a.cols(),
+                "pattern shape mismatch");
+  // Column-oriented: m_j minimizes ||e_j - A m_j|| over the columns S_j of
+  // the pattern's *row* j (pattern assumed structurally symmetric, as for
+  // the SPD systems this library targets). The normal equations
+  //   (A_{:,S})^T (A_{:,S}) m = (A_{:,S})^T e_j
+  // only involve the rows J where A_{:,S} is nonzero; the Gram matrix is
+  // assembled through A^T A restricted to S x S.
+  const CsrMatrix at = transpose(a);
+  CsrMatrix m{s};
+
+  const index_t n = a.rows();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t j = 0; j < n; ++j) {
+    const auto cols = s.row(j);
+    const auto k = static_cast<index_t>(cols.size());
+    if (k == 0) continue;
+    // Gram(u, v) = column_u(A) . column_v(A) = row_u(A^T) . row_v(A^T).
+    DenseMatrix gram(k, k);
+    for (index_t u = 0; u < k; ++u) {
+      const auto ucols = at.row_cols(cols[static_cast<std::size_t>(u)]);
+      const auto uvals = at.row_vals(cols[static_cast<std::size_t>(u)]);
+      for (index_t v = u; v < k; ++v) {
+        const auto vcols = at.row_cols(cols[static_cast<std::size_t>(v)]);
+        const auto vvals = at.row_vals(cols[static_cast<std::size_t>(v)]);
+        value_t dot = 0.0;
+        std::size_t pu = 0;
+        std::size_t pv = 0;
+        while (pu < ucols.size() && pv < vcols.size()) {
+          if (ucols[pu] == vcols[pv]) {
+            dot += uvals[pu] * vvals[pv];
+            ++pu;
+            ++pv;
+          } else if (ucols[pu] < vcols[pv]) {
+            ++pu;
+          } else {
+            ++pv;
+          }
+        }
+        gram(u, v) = dot;
+        gram(v, u) = dot;
+      }
+    }
+    // rhs_u = column_u(A) . e_j = A(j, col_u).
+    std::vector<value_t> rhs(static_cast<std::size_t>(k));
+    for (index_t u = 0; u < k; ++u) {
+      rhs[static_cast<std::size_t>(u)] = a.at(j, cols[static_cast<std::size_t>(u)]);
+    }
+    if (!solve_spd_system(std::move(gram), rhs)) {
+      // Degenerate column: fall back to Jacobi scaling.
+      std::fill(rhs.begin(), rhs.end(), 0.0);
+      const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+      if (it != cols.end() && *it == j && a.at(j, j) != 0.0) {
+        rhs[static_cast<std::size_t>(it - cols.begin())] = 1.0 / a.at(j, j);
+      }
+    }
+    auto out = m.row_vals(j);
+    std::copy(rhs.begin(), rhs.end(), out.begin());
+  }
+  return m;
+}
+
+SpaiPreconditioner::SpaiPreconditioner(const CsrMatrix& a, const Layout& layout) {
+  const CsrMatrix m = compute_spai(a, a.pattern());
+  // Symmetrize so CG's requirement of a symmetric preconditioner holds.
+  const CsrMatrix mt = transpose(m);
+  CooBuilder sym(m.rows(), m.cols());
+  sym.reserve(2 * static_cast<std::size_t>(m.nnz()));
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      sym.add(i, cols[k], 0.5 * vals[k]);
+    }
+    const auto tcols = mt.row_cols(i);
+    const auto tvals = mt.row_vals(i);
+    for (std::size_t k = 0; k < tcols.size(); ++k) {
+      sym.add(i, tcols[k], 0.5 * tvals[k]);
+    }
+  }
+  m_dist_ = DistCsr::distribute(sym.to_csr(), layout);
+}
+
+void SpaiPreconditioner::apply(const DistVector& r, DistVector& z,
+                               CommStats* stats) const {
+  m_dist_.spmv(r, z, stats);
+}
+
+}  // namespace fsaic

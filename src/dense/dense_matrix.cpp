@@ -1,0 +1,31 @@
+#include "dense/dense_matrix.hpp"
+
+#include <cmath>
+
+namespace fsaic {
+
+void DenseMatrix::multiply(std::span<const value_t> x, std::span<value_t> y) const {
+  FSAIC_REQUIRE(x.size() == static_cast<std::size_t>(cols_), "x size mismatch");
+  FSAIC_REQUIRE(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  for (index_t i = 0; i < rows_; ++i) y[static_cast<std::size_t>(i)] = 0.0;
+  for (index_t j = 0; j < cols_; ++j) {
+    const value_t xj = x[static_cast<std::size_t>(j)];
+    const auto* col = data_.data() +
+                      static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_);
+    for (index_t i = 0; i < rows_; ++i) {
+      y[static_cast<std::size_t>(i)] += col[i] * xj;
+    }
+  }
+}
+
+bool DenseMatrix::is_symmetric(value_t tol) const {
+  if (rows_ != cols_) return false;
+  for (index_t j = 0; j < cols_; ++j) {
+    for (index_t i = j + 1; i < rows_; ++i) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,64 @@
+// Small dense matrices for the per-row FSAI systems A(S_i, S_i) g = e_i.
+//
+// The paper solves these with MKL/OpenBLAS; this substrate implements the
+// factorizations from scratch (see dense/factorizations.hpp). Column-major
+// storage matches the access order of the right-looking factorizations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fsaic {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+    FSAIC_REQUIRE(rows >= 0 && cols >= 0, "shape must be non-negative");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+
+  [[nodiscard]] value_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
+                 static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] value_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] std::span<value_t> data() { return data_; }
+  [[nodiscard]] std::span<const value_t> data() const { return data_; }
+
+  /// Column j as a contiguous span.
+  [[nodiscard]] std::span<value_t> column(index_t j) {
+    return {data_.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_),
+            static_cast<std::size_t>(rows_)};
+  }
+
+  [[nodiscard]] static DenseMatrix identity(index_t n) {
+    DenseMatrix m(n, n);
+    for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  /// y = (*this) * x.
+  void multiply(std::span<const value_t> x, std::span<value_t> y) const;
+
+  [[nodiscard]] bool is_symmetric(value_t tol = 0.0) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace fsaic

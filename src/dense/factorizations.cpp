@@ -1,0 +1,179 @@
+#include "dense/factorizations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fsaic {
+
+bool cholesky_factor(DenseMatrix& a) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const index_t n = a.rows();
+  for (index_t k = 0; k < n; ++k) {
+    value_t d = a(k, k);
+    for (index_t j = 0; j < k; ++j) {
+      d -= a(k, j) * a(k, j);
+    }
+    // Reject pivots that are non-positive or tiny relative to the original
+    // diagonal: continuing would amplify rounding into garbage G rows.
+    if (!(d > std::abs(a(k, k)) * 1e-14) || !std::isfinite(d)) return false;
+    const value_t lkk = std::sqrt(d);
+    a(k, k) = lkk;
+    for (index_t i = k + 1; i < n; ++i) {
+      value_t s = a(i, k);
+      for (index_t j = 0; j < k; ++j) {
+        s -= a(i, j) * a(k, j);
+      }
+      a(i, k) = s / lkk;
+    }
+  }
+  return true;
+}
+
+void cholesky_solve(const DenseMatrix& a, std::span<value_t> b) {
+  const index_t n = a.rows();
+  FSAIC_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  // Forward: L y = b.
+  for (index_t i = 0; i < n; ++i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= a(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s / a(i, i);
+  }
+  // Backward: L^T x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      s -= a(j, i) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s / a(i, i);
+  }
+}
+
+bool ldlt_factor(DenseMatrix& a) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "LDL^T requires a square matrix");
+  const index_t n = a.rows();
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      v[static_cast<std::size_t>(k)] = a(j, k) * a(k, k);
+    }
+    value_t d = a(j, j);
+    for (index_t k = 0; k < j; ++k) {
+      d -= a(j, k) * v[static_cast<std::size_t>(k)];
+    }
+    if (d == 0.0 || !std::isfinite(d)) return false;
+    a(j, j) = d;
+    for (index_t i = j + 1; i < n; ++i) {
+      value_t s = a(i, j);
+      for (index_t k = 0; k < j; ++k) {
+        s -= a(i, k) * v[static_cast<std::size_t>(k)];
+      }
+      a(i, j) = s / d;
+    }
+  }
+  return true;
+}
+
+void ldlt_solve(const DenseMatrix& a, std::span<value_t> b) {
+  const index_t n = a.rows();
+  FSAIC_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  // L y = b (unit lower).
+  for (index_t i = 0; i < n; ++i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= a(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s;
+  }
+  // D z = y.
+  for (index_t i = 0; i < n; ++i) {
+    b[static_cast<std::size_t>(i)] /= a(i, i);
+  }
+  // L^T x = z.
+  for (index_t i = n - 1; i >= 0; --i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      s -= a(j, i) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s;
+  }
+}
+
+bool lu_factor(DenseMatrix& a, std::span<index_t> pivots) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "LU requires a square matrix");
+  const index_t n = a.rows();
+  FSAIC_REQUIRE(pivots.size() == static_cast<std::size_t>(n), "pivot size mismatch");
+  for (index_t k = 0; k < n; ++k) {
+    index_t p = k;
+    value_t maxval = std::abs(a(k, k));
+    for (index_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > maxval) {
+        maxval = std::abs(a(i, k));
+        p = i;
+      }
+    }
+    if (maxval == 0.0 || !std::isfinite(maxval)) return false;
+    pivots[static_cast<std::size_t>(k)] = p;
+    if (p != k) {
+      for (index_t j = 0; j < n; ++j) {
+        std::swap(a(k, j), a(p, j));
+      }
+    }
+    const value_t inv = 1.0 / a(k, k);
+    for (index_t i = k + 1; i < n; ++i) {
+      const value_t lik = a(i, k) * inv;
+      a(i, k) = lik;
+      for (index_t j = k + 1; j < n; ++j) {
+        a(i, j) -= lik * a(k, j);
+      }
+    }
+  }
+  return true;
+}
+
+void lu_solve(const DenseMatrix& a, std::span<const index_t> pivots,
+              std::span<value_t> b) {
+  const index_t n = a.rows();
+  FSAIC_REQUIRE(b.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = pivots[static_cast<std::size_t>(k)];
+    if (p != k) std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(p)]);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= a(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s;
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    value_t s = b[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      s -= a(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    b[static_cast<std::size_t>(i)] = s / a(i, i);
+  }
+}
+
+bool solve_spd_system(DenseMatrix a, std::span<value_t> b) {
+  DenseMatrix chol = a;
+  if (cholesky_factor(chol)) {
+    cholesky_solve(chol, b);
+    return true;
+  }
+  DenseMatrix ldlt = a;
+  if (ldlt_factor(ldlt)) {
+    ldlt_solve(ldlt, b);
+    return true;
+  }
+  std::vector<index_t> pivots(static_cast<std::size_t>(a.rows()));
+  if (lu_factor(a, pivots)) {
+    lu_solve(a, pivots, b);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fsaic

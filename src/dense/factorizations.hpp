@@ -1,0 +1,41 @@
+// Dense factorizations for the local FSAI systems: Cholesky (the common
+// case: A(S_i,S_i) is SPD when A is), LDL^T (robust to tiny pivots from
+// aggressive thresholding), and partially pivoted LU (general fallback used
+// by tests and the generators).
+#pragma once
+
+#include <span>
+
+#include "dense/dense_matrix.hpp"
+
+namespace fsaic {
+
+/// In-place lower Cholesky: on success `a`'s lower triangle holds L with
+/// A = L L^T. Returns false if a pivot is not safely positive (the matrix is
+/// then left partially overwritten — callers must refactor a fresh copy).
+[[nodiscard]] bool cholesky_factor(DenseMatrix& a);
+
+/// Solve L L^T x = b given the Cholesky factor in the lower triangle of `a`.
+void cholesky_solve(const DenseMatrix& a, std::span<value_t> b);
+
+/// In-place LDL^T without pivoting: lower triangle holds unit L, diagonal
+/// holds D. Returns false on an exactly-zero pivot.
+[[nodiscard]] bool ldlt_factor(DenseMatrix& a);
+
+/// Solve L D L^T x = b given an LDL^T factorization.
+void ldlt_solve(const DenseMatrix& a, std::span<value_t> b);
+
+/// In-place LU with partial pivoting; `pivots[k]` records the row swapped
+/// into position k. Returns false if the matrix is numerically singular.
+[[nodiscard]] bool lu_factor(DenseMatrix& a, std::span<index_t> pivots);
+
+/// Solve P L U x = b given an LU factorization.
+void lu_solve(const DenseMatrix& a, std::span<const index_t> pivots,
+              std::span<value_t> b);
+
+/// Driver used by the FSAI row solves: try Cholesky, fall back to LDL^T,
+/// then to LU. `a` is consumed (overwritten). Returns false only if all
+/// three factorizations fail (singular local system).
+[[nodiscard]] bool solve_spd_system(DenseMatrix a, std::span<value_t> b);
+
+}  // namespace fsaic

@@ -1,0 +1,44 @@
+#include "dist/comm_scheme.hpp"
+
+namespace fsaic {
+
+CommScheme CommScheme::from_pattern(const SparsityPattern& p, const Layout& layout) {
+  FSAIC_REQUIRE(p.rows() == layout.global_size(),
+                "pattern rows must match layout");
+  FSAIC_REQUIRE(p.cols() == layout.global_size(),
+                "pattern cols must match layout (square operators only)");
+  CommScheme scheme;
+  scheme.layout_ = layout;
+  for (rank_t r = 0; r < layout.nranks(); ++r) {
+    for (index_t i = layout.begin(r); i < layout.end(r); ++i) {
+      for (index_t j : p.row(i)) {
+        if (!layout.owns(r, j)) {
+          scheme.pairs_.insert(key(r, j));
+        }
+      }
+    }
+  }
+  return scheme;
+}
+
+std::size_t CommScheme::message_count() const {
+  std::unordered_set<std::uint64_t> rank_pairs;
+  for (std::uint64_t k : pairs_) {
+    const auto receiver = static_cast<rank_t>(k >> 32);
+    const auto gid = static_cast<index_t>(k & 0xFFFFFFFFu);
+    const rank_t sender = layout_.owner(gid);
+    rank_pairs.insert((static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver))
+                       << 32) |
+                      static_cast<std::uint32_t>(sender));
+  }
+  return rank_pairs.size();
+}
+
+bool CommScheme::subset_of(const CommScheme& other) const {
+  for (std::uint64_t k : pairs_) {
+    if (!other.pairs_.contains(k)) return false;
+  }
+  return true;
+}
+
+}  // namespace fsaic

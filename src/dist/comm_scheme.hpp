@@ -1,0 +1,57 @@
+// The communication scheme a sparse pattern induces under a row layout:
+// which x coefficients each rank must receive (from their owners) to compute
+// y = M x. This is the object FSAIE-Comm keeps invariant — Section 3 of the
+// paper admits a halo extension entry only if both the Gx and the G^T x
+// schemes already carry the coefficients it needs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+
+class CommScheme {
+ public:
+  CommScheme() = default;
+
+  /// Scheme of y = M x for pattern `p` (rows and the x vector distributed by
+  /// `layout`): rank r receives x[gid] iff some row owned by r has a column
+  /// gid owned elsewhere.
+  static CommScheme from_pattern(const SparsityPattern& p, const Layout& layout);
+
+  /// Does `receiver` obtain x[gid] during the halo update? (The sender is
+  /// implicitly owner(gid).)
+  [[nodiscard]] bool receives(rank_t receiver, index_t gid) const {
+    return pairs_.contains(key(receiver, gid));
+  }
+
+  /// Total number of (receiver, coefficient) exchange pairs — the halo
+  /// communication volume in units of vector entries.
+  [[nodiscard]] std::size_t exchange_count() const { return pairs_.size(); }
+
+  /// Number of distinct (sender, receiver) rank pairs — the message count of
+  /// one halo update.
+  [[nodiscard]] std::size_t message_count() const;
+
+  /// True if every exchange of this scheme also appears in `other`.
+  [[nodiscard]] bool subset_of(const CommScheme& other) const;
+
+  bool operator==(const CommScheme& other) const { return pairs_ == other.pairs_; }
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+
+ private:
+  static std::uint64_t key(rank_t receiver, index_t gid) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver)) << 32) |
+           static_cast<std::uint32_t>(gid);
+  }
+
+  Layout layout_;
+  std::unordered_set<std::uint64_t> pairs_;
+};
+
+}  // namespace fsaic

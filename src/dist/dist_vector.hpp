@@ -1,0 +1,70 @@
+// Distributed dense vector: one contiguous block per simulated rank.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/layout.hpp"
+
+namespace fsaic {
+
+class DistVector {
+ public:
+  DistVector() = default;
+
+  /// Zero vector over the layout.
+  explicit DistVector(Layout layout) : layout_(std::move(layout)) {
+    blocks_.resize(static_cast<std::size_t>(layout_.nranks()));
+    for (rank_t p = 0; p < layout_.nranks(); ++p) {
+      blocks_[static_cast<std::size_t>(p)].assign(
+          static_cast<std::size_t>(layout_.local_size(p)), 0.0);
+    }
+  }
+
+  /// Scatter a global vector.
+  DistVector(Layout layout, std::span<const value_t> global)
+      : DistVector(std::move(layout)) {
+    FSAIC_REQUIRE(global.size() == static_cast<std::size_t>(layout_.global_size()),
+                  "global vector size mismatch");
+    for (rank_t p = 0; p < layout_.nranks(); ++p) {
+      auto& b = blocks_[static_cast<std::size_t>(p)];
+      for (index_t i = 0; i < layout_.local_size(p); ++i) {
+        b[static_cast<std::size_t>(i)] =
+            global[static_cast<std::size_t>(layout_.begin(p) + i)];
+      }
+    }
+  }
+
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+  [[nodiscard]] rank_t nranks() const { return layout_.nranks(); }
+
+  [[nodiscard]] std::span<value_t> block(rank_t p) {
+    return blocks_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::span<const value_t> block(rank_t p) const {
+    return blocks_[static_cast<std::size_t>(p)];
+  }
+
+  /// Gather into a single global vector.
+  [[nodiscard]] std::vector<value_t> to_global() const {
+    std::vector<value_t> out(static_cast<std::size_t>(layout_.global_size()));
+    for (rank_t p = 0; p < layout_.nranks(); ++p) {
+      const auto b = block(p);
+      std::copy(b.begin(), b.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(layout_.begin(p)));
+    }
+    return out;
+  }
+
+  void fill(value_t v) {
+    for (auto& b : blocks_) {
+      std::fill(b.begin(), b.end(), v);
+    }
+  }
+
+ private:
+  Layout layout_;
+  std::vector<std::vector<value_t>> blocks_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,91 @@
+// Row layout of a distributed matrix/vector: each rank owns a contiguous
+// range of global indices. Partitions produced by graph/partition.hpp are
+// turned into this form by symmetrically permuting the matrix with
+// partition_permutation(), exactly as an MPI code would renumber unknowns
+// after calling METIS.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fsaic {
+
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Build from the (nranks+1) range boundaries; rank p owns
+  /// [begin[p], begin[p+1]).
+  explicit Layout(std::vector<index_t> rank_begin) : begin_(std::move(rank_begin)) {
+    FSAIC_REQUIRE(begin_.size() >= 2, "layout needs at least one rank");
+    FSAIC_REQUIRE(begin_.front() == 0, "layout must start at 0");
+    FSAIC_REQUIRE(std::is_sorted(begin_.begin(), begin_.end()),
+                  "rank ranges must be non-decreasing");
+  }
+
+  /// Even block layout of n indices over nranks ranks (remainder spread over
+  /// the first ranks).
+  static Layout blocked(index_t n, rank_t nranks) {
+    FSAIC_REQUIRE(n >= 0 && nranks >= 1, "invalid layout shape");
+    std::vector<index_t> begin(static_cast<std::size_t>(nranks) + 1);
+    const index_t base = n / nranks;
+    const index_t extra = n % nranks;
+    begin[0] = 0;
+    for (rank_t p = 0; p < nranks; ++p) {
+      begin[static_cast<std::size_t>(p) + 1] =
+          begin[static_cast<std::size_t>(p)] + base + (p < extra ? 1 : 0);
+    }
+    return Layout(std::move(begin));
+  }
+
+  /// Layout matching the contiguous ranges of a graph partition (call after
+  /// permuting the matrix with partition_permutation()).
+  static Layout from_part_sizes(std::span<const index_t> sizes) {
+    std::vector<index_t> begin(sizes.size() + 1, 0);
+    for (std::size_t p = 0; p < sizes.size(); ++p) {
+      begin[p + 1] = begin[p] + sizes[p];
+    }
+    return Layout(std::move(begin));
+  }
+
+  [[nodiscard]] rank_t nranks() const {
+    return static_cast<rank_t>(begin_.size()) - 1;
+  }
+  [[nodiscard]] index_t global_size() const { return begin_.back(); }
+
+  [[nodiscard]] index_t begin(rank_t p) const {
+    return begin_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] index_t end(rank_t p) const {
+    return begin_[static_cast<std::size_t>(p) + 1];
+  }
+  [[nodiscard]] index_t local_size(rank_t p) const { return end(p) - begin(p); }
+
+  /// Owning rank of global index gid.
+  [[nodiscard]] rank_t owner(index_t gid) const {
+    FSAIC_REQUIRE(gid >= 0 && gid < global_size(), "gid out of range");
+    const auto it = std::upper_bound(begin_.begin(), begin_.end(), gid);
+    return static_cast<rank_t>(it - begin_.begin()) - 1;
+  }
+
+  [[nodiscard]] bool owns(rank_t p, index_t gid) const {
+    return gid >= begin(p) && gid < end(p);
+  }
+
+  /// Local index of gid on its owning rank.
+  [[nodiscard]] index_t to_local(rank_t p, index_t gid) const {
+    FSAIC_REQUIRE(owns(p, gid), "gid not owned by rank");
+    return gid - begin(p);
+  }
+
+  bool operator==(const Layout& other) const = default;
+
+ private:
+  std::vector<index_t> begin_{0, 0};
+};
+
+}  // namespace fsaic

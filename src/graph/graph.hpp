@@ -1,0 +1,59 @@
+// Undirected adjacency graph of a sparse matrix, the input to the
+// partitioner. The paper partitions the adjacency graph of the system matrix
+// with METIS; graph/partition.hpp is this repo's from-scratch equivalent.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+
+/// CSR adjacency structure: symmetric, no self-loops.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from a matrix pattern: edge {i, j} for every off-diagonal entry
+  /// (i, j) or (j, i). The result is symmetrized.
+  static Graph from_pattern(const SparsityPattern& p);
+
+  [[nodiscard]] index_t num_vertices() const { return n_; }
+  [[nodiscard]] offset_t num_edges() const { return static_cast<offset_t>(adj_.size()) / 2; }
+
+  [[nodiscard]] std::span<const index_t> neighbors(index_t v) const {
+    return {adj_.data() + xadj_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(xadj_[static_cast<std::size_t>(v) + 1] -
+                                     xadj_[static_cast<std::size_t>(v)])};
+  }
+
+  [[nodiscard]] index_t degree(index_t v) const {
+    return static_cast<index_t>(xadj_[static_cast<std::size_t>(v) + 1] -
+                                xadj_[static_cast<std::size_t>(v)]);
+  }
+
+  /// BFS distances from a seed, restricted to vertices where mask[v] == part
+  /// (mask may be empty to search the whole graph). Unreached => -1.
+  [[nodiscard]] std::vector<index_t> bfs_levels(index_t seed,
+                                                std::span<const index_t> mask = {},
+                                                index_t part = 0) const;
+
+  /// A vertex approximately maximizing eccentricity within its component
+  /// (two BFS sweeps from `seed`): the classic pseudo-peripheral heuristic
+  /// used to start level-set bisection.
+  [[nodiscard]] index_t pseudo_peripheral(index_t seed,
+                                          std::span<const index_t> mask = {},
+                                          index_t part = 0) const;
+
+  /// Number of connected components.
+  [[nodiscard]] index_t component_count() const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<offset_t> xadj_;
+  std::vector<index_t> adj_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,47 @@
+#include "graph/level_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+LevelSchedule level_schedule(const CsrMatrix& l) {
+  FSAIC_REQUIRE(l.rows() == l.cols(), "triangular factor must be square");
+  FSAIC_REQUIRE(l.pattern().is_lower_triangular(),
+                "level schedule expects a lower-triangular factor");
+  const index_t n = l.rows();
+  LevelSchedule s;
+  s.level_of.assign(static_cast<std::size_t>(n), 0);
+  index_t max_level = -1;
+  for (index_t i = 0; i < n; ++i) {
+    index_t level = 0;
+    for (index_t j : l.row_cols(i)) {
+      if (j < i) {
+        level = std::max(level, s.level_of[static_cast<std::size_t>(j)] + 1);
+      }
+    }
+    s.level_of[static_cast<std::size_t>(i)] = level;
+    max_level = std::max(max_level, level);
+  }
+  s.levels.resize(static_cast<std::size_t>(max_level) + 1);
+  for (index_t i = 0; i < n; ++i) {
+    s.levels[static_cast<std::size_t>(s.level_of[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+  return s;
+}
+
+double level_scheduled_speedup(const LevelSchedule& schedule, int threads) {
+  FSAIC_REQUIRE(threads >= 1, "threads must be positive");
+  if (schedule.level_of.empty()) return 1.0;
+  double parallel_quanta = 0.0;
+  for (const auto& level : schedule.levels) {
+    parallel_quanta += std::ceil(static_cast<double>(level.size()) /
+                                 static_cast<double>(threads));
+  }
+  return static_cast<double>(schedule.level_of.size()) / parallel_quanta;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,46 @@
+// Level scheduling of sparse triangular solves.
+//
+// The forward solve L y = b can only compute row i after every row j < i
+// with l_ij != 0; the dependency DAG's level sets are the batches that can
+// run in parallel. The number of levels is the critical path — for the
+// IC(0) factors of mesh matrices it grows like the mesh diameter, which is
+// precisely why implicit preconditioners scale poorly and why the paper's
+// SAI family applies as SpMVs instead. This module computes the schedule
+// and its parallelism profile, used by the motivation bench to put a number
+// on "triangular solves are sequential".
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+struct LevelSchedule {
+  /// level_of[i] = dependency depth of row i (0 = no prerequisites).
+  std::vector<index_t> level_of;
+  /// Rows grouped by level, ascending.
+  std::vector<std::vector<index_t>> levels;
+
+  [[nodiscard]] index_t depth() const {
+    return static_cast<index_t>(levels.size());
+  }
+
+  /// Average rows runnable in parallel per level.
+  [[nodiscard]] double average_parallelism() const {
+    return levels.empty() ? 0.0
+                          : static_cast<double>(level_of.size()) /
+                                static_cast<double>(levels.size());
+  }
+};
+
+/// Schedule the forward solve of lower-triangular `l` (diagonal present).
+[[nodiscard]] LevelSchedule level_schedule(const CsrMatrix& l);
+
+/// Modeled parallel speedup of a level-scheduled solve on `threads` cores:
+/// sum over levels of ceil(rows / threads) work quanta versus the serial
+/// row count. (Ignores per-level synchronization, so it is an upper bound.)
+[[nodiscard]] double level_scheduled_speedup(const LevelSchedule& schedule,
+                                             int threads);
+
+}  // namespace fsaic

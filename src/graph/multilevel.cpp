@@ -1,0 +1,362 @@
+#include "graph/multilevel.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fsaic {
+
+namespace {
+
+/// Weighted graph used on the coarse levels: vertex weights count collapsed
+/// fine vertices, edge weights count collapsed fine edges.
+struct WGraph {
+  index_t n = 0;
+  std::vector<offset_t> xadj;
+  std::vector<index_t> adj;
+  std::vector<index_t> ewgt;
+  std::vector<index_t> vwgt;
+
+  [[nodiscard]] index_t total_weight() const {
+    return std::accumulate(vwgt.begin(), vwgt.end(), index_t{0});
+  }
+};
+
+/// Induced weighted graph of `verts` within `g` (unit weights);
+/// local_of maps global vertex ids to [0, |verts|).
+WGraph induced_graph(const Graph& g, std::span<const index_t> verts,
+                     std::vector<index_t>& local_of) {
+  WGraph w;
+  w.n = static_cast<index_t>(verts.size());
+  for (std::size_t k = 0; k < verts.size(); ++k) {
+    local_of[static_cast<std::size_t>(verts[k])] = static_cast<index_t>(k);
+  }
+  w.xadj.assign(static_cast<std::size_t>(w.n) + 1, 0);
+  for (std::size_t k = 0; k < verts.size(); ++k) {
+    index_t deg = 0;
+    for (index_t u : g.neighbors(verts[k])) {
+      if (local_of[static_cast<std::size_t>(u)] >= 0) ++deg;
+    }
+    w.xadj[k + 1] = w.xadj[k] + deg;
+  }
+  w.adj.resize(static_cast<std::size_t>(w.xadj.back()));
+  w.ewgt.assign(w.adj.size(), 1);
+  w.vwgt.assign(static_cast<std::size_t>(w.n), 1);
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < verts.size(); ++k) {
+    for (index_t u : g.neighbors(verts[k])) {
+      const index_t lu = local_of[static_cast<std::size_t>(u)];
+      if (lu >= 0) w.adj[pos++] = lu;
+    }
+  }
+  return w;
+}
+
+/// Heavy-edge matching coarsening. Returns the coarse graph and fills
+/// coarse_of[v] for every fine vertex.
+WGraph coarsen(const WGraph& fine, Rng& rng, std::vector<index_t>& coarse_of) {
+  const index_t n = fine.n;
+  coarse_of.assign(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.next_index(i + 1))]);
+  }
+
+  index_t coarse_n = 0;
+  for (index_t v : order) {
+    if (coarse_of[static_cast<std::size_t>(v)] >= 0) continue;
+    // Match with the unmatched neighbor of largest edge weight.
+    index_t best = -1;
+    index_t best_w = 0;
+    for (offset_t e = fine.xadj[static_cast<std::size_t>(v)];
+         e < fine.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const index_t u = fine.adj[static_cast<std::size_t>(e)];
+      if (u != v && coarse_of[static_cast<std::size_t>(u)] < 0 &&
+          fine.ewgt[static_cast<std::size_t>(e)] > best_w) {
+        best_w = fine.ewgt[static_cast<std::size_t>(e)];
+        best = u;
+      }
+    }
+    coarse_of[static_cast<std::size_t>(v)] = coarse_n;
+    if (best >= 0) {
+      coarse_of[static_cast<std::size_t>(best)] = coarse_n;
+    }
+    ++coarse_n;
+  }
+
+  // Aggregate edges of the coarse graph with a marker accumulator.
+  WGraph coarse;
+  coarse.n = coarse_n;
+  coarse.vwgt.assign(static_cast<std::size_t>(coarse_n), 0);
+  for (index_t v = 0; v < n; ++v) {
+    coarse.vwgt[static_cast<std::size_t>(coarse_of[static_cast<std::size_t>(v)])] +=
+        fine.vwgt[static_cast<std::size_t>(v)];
+  }
+  std::vector<std::vector<std::pair<index_t, index_t>>> rows(
+      static_cast<std::size_t>(coarse_n));
+  std::vector<index_t> marker(static_cast<std::size_t>(coarse_n), -1);
+  std::vector<index_t> slot(static_cast<std::size_t>(coarse_n), 0);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t cv = coarse_of[static_cast<std::size_t>(v)];
+    auto& row = rows[static_cast<std::size_t>(cv)];
+    for (offset_t e = fine.xadj[static_cast<std::size_t>(v)];
+         e < fine.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      const index_t cu =
+          coarse_of[static_cast<std::size_t>(fine.adj[static_cast<std::size_t>(e)])];
+      if (cu == cv) continue;
+      if (marker[static_cast<std::size_t>(cu)] != cv) {
+        marker[static_cast<std::size_t>(cu)] = cv;
+        slot[static_cast<std::size_t>(cu)] = static_cast<index_t>(row.size());
+        row.emplace_back(cu, 0);
+      }
+      row[static_cast<std::size_t>(slot[static_cast<std::size_t>(cu)])].second +=
+          fine.ewgt[static_cast<std::size_t>(e)];
+    }
+  }
+  coarse.xadj.assign(static_cast<std::size_t>(coarse_n) + 1, 0);
+  for (index_t c = 0; c < coarse_n; ++c) {
+    coarse.xadj[static_cast<std::size_t>(c) + 1] =
+        coarse.xadj[static_cast<std::size_t>(c)] +
+        static_cast<offset_t>(rows[static_cast<std::size_t>(c)].size());
+  }
+  coarse.adj.resize(static_cast<std::size_t>(coarse.xadj.back()));
+  coarse.ewgt.resize(coarse.adj.size());
+  std::size_t pos = 0;
+  for (index_t c = 0; c < coarse_n; ++c) {
+    for (const auto& [u, wgt] : rows[static_cast<std::size_t>(c)]) {
+      coarse.adj[pos] = u;
+      coarse.ewgt[pos] = wgt;
+      ++pos;
+    }
+  }
+  return coarse;
+}
+
+/// Weighted gain of moving v across the bisection.
+index_t move_gain(const WGraph& g, std::span<const index_t> side, index_t v) {
+  const index_t mine = side[static_cast<std::size_t>(v)];
+  index_t gain = 0;
+  for (offset_t e = g.xadj[static_cast<std::size_t>(v)];
+       e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+    const index_t u = g.adj[static_cast<std::size_t>(e)];
+    const index_t w = g.ewgt[static_cast<std::size_t>(e)];
+    gain += (side[static_cast<std::size_t>(u)] != mine) ? w : -w;
+  }
+  return gain;
+}
+
+/// Boundary FM sweep with vertex weights. Mutates side/weights in place.
+bool refine(const WGraph& g, std::vector<index_t>& side, index_t& w0, index_t& w1,
+            index_t target0, double tol) {
+  const auto lo0 = static_cast<index_t>(target0 * (1.0 - tol));
+  const auto total = w0 + w1;
+  const auto hi0 = static_cast<index_t>(target0 * (1.0 + tol)) + 1;
+  const index_t target1 = total - target0;
+  const auto lo1 = static_cast<index_t>(target1 * (1.0 - tol));
+  const auto hi1 = static_cast<index_t>(target1 * (1.0 + tol)) + 1;
+
+  std::vector<bool> moved(static_cast<std::size_t>(g.n), false);
+  std::vector<bool> queued(static_cast<std::size_t>(g.n), false);
+  std::vector<index_t> candidates;
+  for (index_t v = 0; v < g.n; ++v) {
+    for (offset_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      if (side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])] !=
+          side[static_cast<std::size_t>(v)]) {
+        candidates.push_back(v);
+        queued[static_cast<std::size_t>(v)] = true;
+        break;
+      }
+    }
+  }
+
+  bool improved = false;
+  while (true) {
+    index_t best = -1;
+    index_t best_gain = 0;
+    for (index_t v : candidates) {
+      if (moved[static_cast<std::size_t>(v)]) continue;
+      const index_t wv = g.vwgt[static_cast<std::size_t>(v)];
+      if (side[static_cast<std::size_t>(v)] == 0) {
+        if (w0 - wv < lo0 || w1 + wv > hi1) continue;
+      } else {
+        if (w1 - wv < lo1 || w0 + wv > hi0) continue;
+      }
+      const index_t gain = move_gain(g, side, v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    const index_t wv = g.vwgt[static_cast<std::size_t>(best)];
+    if (side[static_cast<std::size_t>(best)] == 0) {
+      side[static_cast<std::size_t>(best)] = 1;
+      w0 -= wv;
+      w1 += wv;
+    } else {
+      side[static_cast<std::size_t>(best)] = 0;
+      w1 -= wv;
+      w0 += wv;
+    }
+    moved[static_cast<std::size_t>(best)] = true;
+    improved = true;
+    for (offset_t e = g.xadj[static_cast<std::size_t>(best)];
+         e < g.xadj[static_cast<std::size_t>(best) + 1]; ++e) {
+      const index_t u = g.adj[static_cast<std::size_t>(e)];
+      if (!queued[static_cast<std::size_t>(u)]) {
+        queued[static_cast<std::size_t>(u)] = true;
+        candidates.push_back(u);
+      }
+    }
+  }
+  return improved;
+}
+
+/// Weighted BFS-growing bisection of a (small) graph.
+void grow_bisection(const WGraph& g, index_t target0, Rng& rng,
+                    std::vector<index_t>& side, index_t& w0, index_t& w1) {
+  side.assign(static_cast<std::size_t>(g.n), 1);
+  w0 = 0;
+  w1 = g.total_weight();
+  std::vector<bool> visited(static_cast<std::size_t>(g.n), false);
+  while (w0 < target0) {
+    index_t seed = -1;
+    for (int t = 0; t < 4 && seed < 0; ++t) {
+      const index_t cand = rng.next_index(g.n);
+      if (!visited[static_cast<std::size_t>(cand)]) seed = cand;
+    }
+    for (index_t v = 0; seed < 0 && v < g.n; ++v) {
+      if (!visited[static_cast<std::size_t>(v)]) seed = v;
+    }
+    FSAIC_CHECK(seed >= 0, "bisection ran out of seeds");
+    std::deque<index_t> queue{seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty() && w0 < target0) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      if (side[static_cast<std::size_t>(v)] == 1) {
+        side[static_cast<std::size_t>(v)] = 0;
+        w0 += g.vwgt[static_cast<std::size_t>(v)];
+        w1 -= g.vwgt[static_cast<std::size_t>(v)];
+      }
+      for (offset_t e = g.xadj[static_cast<std::size_t>(v)];
+           e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        const index_t u = g.adj[static_cast<std::size_t>(e)];
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+}
+
+/// Multilevel bisection of a weighted graph: coarsen, split, project+refine.
+std::vector<index_t> multilevel_bisect(WGraph graph, index_t target0, Rng& rng,
+                                       const MultilevelOptions& opts) {
+  // V-cycle bookkeeping: levels[k] is the graph at depth k, maps[k] sends
+  // level-k vertices to level-(k+1) coarse vertices.
+  std::vector<WGraph> levels;
+  std::vector<std::vector<index_t>> maps;
+  levels.push_back(std::move(graph));
+  while (levels.back().n > opts.coarsest_vertices) {
+    std::vector<index_t> coarse_of;
+    WGraph coarse = coarsen(levels.back(), rng, coarse_of);
+    if (static_cast<double>(coarse.n) >
+        opts.min_shrink_factor * static_cast<double>(levels.back().n)) {
+      break;  // matching stalled (e.g. star graphs); stop coarsening
+    }
+    maps.push_back(std::move(coarse_of));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial split at the coarsest level.
+  std::vector<index_t> side;
+  index_t w0 = 0;
+  index_t w1 = 0;
+  grow_bisection(levels.back(), target0, rng, side, w0, w1);
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    if (!refine(levels.back(), side, w0, w1, target0, opts.balance_tolerance)) {
+      break;
+    }
+  }
+
+  // Uncoarsen: project and refine at every finer level.
+  for (std::size_t k = maps.size(); k-- > 0;) {
+    const auto& map = maps[k];
+    std::vector<index_t> fine_side(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      fine_side[v] = side[static_cast<std::size_t>(map[v])];
+    }
+    side = std::move(fine_side);
+    w0 = 0;
+    for (index_t v = 0; v < levels[k].n; ++v) {
+      if (side[static_cast<std::size_t>(v)] == 0) {
+        w0 += levels[k].vwgt[static_cast<std::size_t>(v)];
+      }
+    }
+    w1 = levels[k].total_weight() - w0;
+    for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+      if (!refine(levels[k], side, w0, w1, target0, opts.balance_tolerance)) {
+        break;
+      }
+    }
+  }
+  return side;
+}
+
+void bisect_recursive(const Graph& g, std::vector<index_t>& verts,
+                      index_t first_part, index_t nparts,
+                      const MultilevelOptions& opts, Rng& rng,
+                      std::vector<index_t>& local_of,
+                      std::vector<index_t>& part_out) {
+  if (nparts == 1) {
+    for (index_t v : verts) {
+      part_out[static_cast<std::size_t>(v)] = first_part;
+    }
+    return;
+  }
+  const index_t nparts0 = nparts / 2;
+  const auto target0 = static_cast<index_t>(
+      static_cast<std::int64_t>(verts.size()) * nparts0 / nparts);
+
+  WGraph w = induced_graph(g, verts, local_of);
+  const auto side = multilevel_bisect(std::move(w), target0, rng, opts);
+
+  std::vector<index_t> verts0;
+  std::vector<index_t> verts1;
+  for (std::size_t k = 0; k < verts.size(); ++k) {
+    (side[k] == 0 ? verts0 : verts1).push_back(verts[k]);
+    local_of[static_cast<std::size_t>(verts[k])] = -1;  // reset for reuse
+  }
+  verts.clear();
+  verts.shrink_to_fit();
+  bisect_recursive(g, verts0, first_part, nparts0, opts, rng, local_of, part_out);
+  bisect_recursive(g, verts1, first_part + nparts0, nparts - nparts0, opts, rng,
+                   local_of, part_out);
+}
+
+}  // namespace
+
+std::vector<index_t> partition_graph_multilevel(const Graph& g, index_t nparts,
+                                                const MultilevelOptions& options) {
+  FSAIC_REQUIRE(nparts >= 1, "nparts must be positive");
+  FSAIC_REQUIRE(nparts <= g.num_vertices() || g.num_vertices() == 0,
+                "more parts than vertices");
+  std::vector<index_t> part(static_cast<std::size_t>(g.num_vertices()), 0);
+  if (nparts == 1 || g.num_vertices() == 0) return part;
+  std::vector<index_t> verts(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(verts.begin(), verts.end(), 0);
+  std::vector<index_t> local_of(static_cast<std::size_t>(g.num_vertices()), -1);
+  Rng rng(options.seed);
+  bisect_recursive(g, verts, 0, nparts, options, rng, local_of, part);
+  return part;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,276 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fsaic {
+
+namespace {
+
+/// State for one bisection of the vertex subset `verts` (side 0 / side 1).
+/// `side` is indexed by global vertex id; vertices outside the subset hold -1.
+struct Bisection {
+  std::vector<index_t> side;
+  index_t size0 = 0;
+  index_t size1 = 0;
+};
+
+/// Grow side 0 from a pseudo-peripheral seed by BFS until it reaches
+/// `target0` vertices; everything else in the subset becomes side 1.
+Bisection grow_bisection(const Graph& g, std::span<const index_t> verts,
+                         index_t target0, Rng& rng) {
+  Bisection b;
+  b.side.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (index_t v : verts) {
+    b.side[static_cast<std::size_t>(v)] = 1;
+  }
+  b.size1 = static_cast<index_t>(verts.size());
+
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_vertices()), false);
+  auto in_subset = [&](index_t v) { return b.side[static_cast<std::size_t>(v)] >= 0; };
+
+  while (b.size0 < target0) {
+    // Pick an unvisited vertex in the subset as a component seed; improve it
+    // with the pseudo-peripheral sweep so the level sets cut cleanly.
+    index_t seed = -1;
+    // Randomized probe first (cheap, avoids always starting at low ids),
+    // then deterministic scan.
+    for (int t = 0; t < 4 && seed < 0; ++t) {
+      const index_t cand = verts[static_cast<std::size_t>(
+          rng.next_index(static_cast<index_t>(verts.size())))];
+      if (!visited[static_cast<std::size_t>(cand)] &&
+          b.side[static_cast<std::size_t>(cand)] == 1) {
+        seed = cand;
+      }
+    }
+    if (seed < 0) {
+      for (index_t v : verts) {
+        if (!visited[static_cast<std::size_t>(v)] &&
+            b.side[static_cast<std::size_t>(v)] == 1) {
+          seed = v;
+          break;
+        }
+      }
+    }
+    FSAIC_CHECK(seed >= 0, "ran out of seeds before reaching target size");
+    seed = g.pseudo_peripheral(seed, b.side, 1);
+
+    std::deque<index_t> queue{seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty() && b.size0 < target0) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      if (b.side[static_cast<std::size_t>(v)] == 1) {
+        b.side[static_cast<std::size_t>(v)] = 0;
+        ++b.size0;
+        --b.size1;
+      }
+      for (index_t u : g.neighbors(v)) {
+        if (in_subset(u) && !visited[static_cast<std::size_t>(u)] &&
+            b.side[static_cast<std::size_t>(u)] == 1) {
+          visited[static_cast<std::size_t>(u)] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    // If the BFS exhausted a connected component, the outer loop reseeds.
+  }
+  return b;
+}
+
+/// Gain of moving v to the other side: (cut edges removed) - (cut edges added).
+index_t move_gain(const Graph& g, const Bisection& b, index_t v) {
+  const index_t mine = b.side[static_cast<std::size_t>(v)];
+  index_t external = 0;
+  index_t internal = 0;
+  for (index_t u : g.neighbors(v)) {
+    const index_t s = b.side[static_cast<std::size_t>(u)];
+    if (s < 0) continue;  // outside the current subset
+    if (s == mine) {
+      ++internal;
+    } else {
+      ++external;
+    }
+  }
+  return external - internal;
+}
+
+/// One FM-style sweep: repeatedly move the best boundary vertex while the
+/// move keeps both sides within tolerance; each vertex moves at most once per
+/// sweep. Returns true if the cut improved.
+bool refine_pass(const Graph& g, std::span<const index_t> verts, Bisection& b,
+                 index_t target0, double tol) {
+  const auto n_sub = static_cast<index_t>(verts.size());
+  const index_t target1 = n_sub - target0;
+  const auto lo0 = static_cast<index_t>(target0 * (1.0 - tol));
+  const auto hi0 = static_cast<index_t>(target0 * (1.0 + tol)) + 1;
+  const auto lo1 = static_cast<index_t>(target1 * (1.0 - tol));
+  const auto hi1 = static_cast<index_t>(target1 * (1.0 + tol)) + 1;
+
+  std::vector<bool> moved(static_cast<std::size_t>(g.num_vertices()), false);
+  std::vector<bool> queued(static_cast<std::size_t>(g.num_vertices()), false);
+
+  // Only boundary vertices (those with a neighbor on the other side) can
+  // have positive gain, so the candidate list starts as the boundary and
+  // grows with the neighborhoods of moved vertices. This keeps a pass at
+  // O(moves * boundary * degree) instead of O(moves * |V|).
+  std::vector<index_t> candidates;
+  for (index_t v : verts) {
+    const index_t mine = b.side[static_cast<std::size_t>(v)];
+    for (index_t u : g.neighbors(v)) {
+      const index_t s = b.side[static_cast<std::size_t>(u)];
+      if (s >= 0 && s != mine) {
+        candidates.push_back(v);
+        queued[static_cast<std::size_t>(v)] = true;
+        break;
+      }
+    }
+  }
+
+  bool improved = false;
+  while (true) {
+    index_t best = -1;
+    index_t best_gain = 0;
+    for (index_t v : candidates) {
+      if (moved[static_cast<std::size_t>(v)]) continue;
+      const index_t mine = b.side[static_cast<std::size_t>(v)];
+      // Balance feasibility of moving v away from `mine`.
+      if (mine == 0) {
+        if (b.size0 - 1 < lo0 || b.size1 + 1 > hi1) continue;
+      } else {
+        if (b.size1 - 1 < lo1 || b.size0 + 1 > hi0) continue;
+      }
+      const index_t gain = move_gain(g, b, v);
+      if (gain > best_gain || (gain == best_gain && gain > 0 && best < 0)) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0 || best_gain <= 0) break;
+    const index_t mine = b.side[static_cast<std::size_t>(best)];
+    b.side[static_cast<std::size_t>(best)] = 1 - mine;
+    if (mine == 0) {
+      --b.size0;
+      ++b.size1;
+    } else {
+      ++b.size0;
+      --b.size1;
+    }
+    moved[static_cast<std::size_t>(best)] = true;
+    improved = true;
+    for (index_t u : g.neighbors(best)) {
+      if (b.side[static_cast<std::size_t>(u)] >= 0 &&
+          !queued[static_cast<std::size_t>(u)]) {
+        candidates.push_back(u);
+        queued[static_cast<std::size_t>(u)] = true;
+      }
+    }
+  }
+  return improved;
+}
+
+void bisect_recursive(const Graph& g, std::vector<index_t>& verts,
+                      index_t first_part, index_t nparts,
+                      const PartitionOptions& opts, Rng& rng,
+                      std::vector<index_t>& part_out) {
+  if (nparts == 1) {
+    for (index_t v : verts) {
+      part_out[static_cast<std::size_t>(v)] = first_part;
+    }
+    return;
+  }
+  const index_t nparts0 = nparts / 2;
+  const index_t nparts1 = nparts - nparts0;
+  const auto n_sub = static_cast<index_t>(verts.size());
+  const auto target0 = static_cast<index_t>(
+      static_cast<std::int64_t>(n_sub) * nparts0 / nparts);
+
+  Bisection b = grow_bisection(g, verts, target0, rng);
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    if (!refine_pass(g, verts, b, target0, opts.balance_tolerance)) break;
+  }
+
+  std::vector<index_t> verts0;
+  std::vector<index_t> verts1;
+  verts0.reserve(static_cast<std::size_t>(b.size0));
+  verts1.reserve(static_cast<std::size_t>(b.size1));
+  for (index_t v : verts) {
+    (b.side[static_cast<std::size_t>(v)] == 0 ? verts0 : verts1).push_back(v);
+  }
+  verts.clear();
+  verts.shrink_to_fit();
+  bisect_recursive(g, verts0, first_part, nparts0, opts, rng, part_out);
+  bisect_recursive(g, verts1, first_part + nparts0, nparts1, opts, rng, part_out);
+}
+
+}  // namespace
+
+std::vector<index_t> partition_graph(const Graph& g, index_t nparts,
+                                     const PartitionOptions& opts) {
+  FSAIC_REQUIRE(nparts >= 1, "nparts must be positive");
+  FSAIC_REQUIRE(nparts <= g.num_vertices() || g.num_vertices() == 0,
+                "more parts than vertices");
+  std::vector<index_t> part(static_cast<std::size_t>(g.num_vertices()), 0);
+  if (nparts == 1 || g.num_vertices() == 0) return part;
+  std::vector<index_t> verts(static_cast<std::size_t>(g.num_vertices()));
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    verts[static_cast<std::size_t>(v)] = v;
+  }
+  Rng rng(opts.seed);
+  bisect_recursive(g, verts, 0, nparts, opts, rng, part);
+  return part;
+}
+
+PartitionMetrics evaluate_partition(const Graph& g, std::span<const index_t> part,
+                                    index_t nparts) {
+  FSAIC_REQUIRE(part.size() == static_cast<std::size_t>(g.num_vertices()),
+                "partition size mismatch");
+  PartitionMetrics m;
+  m.part_sizes = partition_sizes(part, nparts);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    for (index_t u : g.neighbors(v)) {
+      if (u > v && part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)]) {
+        ++m.edge_cut;
+      }
+    }
+  }
+  const double avg =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(nparts);
+  index_t maxsize = 0;
+  for (index_t s : m.part_sizes) {
+    maxsize = std::max(maxsize, s);
+  }
+  m.imbalance = avg > 0 ? static_cast<double>(maxsize) / avg : 1.0;
+  return m;
+}
+
+std::vector<index_t> partition_permutation(std::span<const index_t> part,
+                                           index_t nparts) {
+  const auto sizes = partition_sizes(part, nparts);
+  std::vector<index_t> start(static_cast<std::size_t>(nparts) + 1, 0);
+  for (index_t p = 0; p < nparts; ++p) {
+    start[static_cast<std::size_t>(p) + 1] =
+        start[static_cast<std::size_t>(p)] + sizes[static_cast<std::size_t>(p)];
+  }
+  std::vector<index_t> perm(part.size());
+  std::vector<index_t> cursor(start.begin(), start.end() - 1);
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    perm[v] = cursor[static_cast<std::size_t>(part[v])]++;
+  }
+  return perm;
+}
+
+std::vector<index_t> partition_sizes(std::span<const index_t> part, index_t nparts) {
+  std::vector<index_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (index_t p : part) {
+    FSAIC_REQUIRE(p >= 0 && p < nparts, "part id out of range");
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,52 @@
+// Graph partitioner: recursive bisection with BFS (level-set) growing and
+// Fiduccia–Mattheyses-style boundary refinement. Stands in for METIS in the
+// paper's pipeline: rows of the system matrix are assigned to ranks so that
+// edge-cut — and hence halo-exchange volume — is small and parts are
+// balanced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace fsaic {
+
+struct PartitionOptions {
+  /// Boundary-refinement sweeps per bisection level.
+  int refinement_passes = 8;
+  /// Allowed deviation of a side from its target size during refinement.
+  double balance_tolerance = 0.02;
+  /// Seed for tie-breaking.
+  std::uint64_t seed = 12345;
+};
+
+/// Assign each vertex a part in [0, nparts). nparts must be >= 1; it does
+/// not need to be a power of two.
+[[nodiscard]] std::vector<index_t> partition_graph(
+    const Graph& g, index_t nparts, const PartitionOptions& opts = {});
+
+struct PartitionMetrics {
+  /// Undirected edges with endpoints in different parts.
+  offset_t edge_cut = 0;
+  /// max part size / average part size (>= 1; 1 is perfectly balanced).
+  double imbalance = 1.0;
+  std::vector<index_t> part_sizes;
+};
+
+[[nodiscard]] PartitionMetrics evaluate_partition(const Graph& g,
+                                                  std::span<const index_t> part,
+                                                  index_t nparts);
+
+/// Permutation perm[old] = new renumbering vertices so parts occupy
+/// ascending contiguous index ranges (part 0 first), preserving the original
+/// relative order inside each part.
+[[nodiscard]] std::vector<index_t> partition_permutation(
+    std::span<const index_t> part, index_t nparts);
+
+/// Sizes of each part under `part`.
+[[nodiscard]] std::vector<index_t> partition_sizes(std::span<const index_t> part,
+                                                   index_t nparts);
+
+}  // namespace fsaic

@@ -1,0 +1,79 @@
+#include "graph/rcm.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+std::vector<index_t> rcm_permutation(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> order;  // order[k] = k-th visited vertex
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> neighbors_by_degree;
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    // Start each component at a pseudo-peripheral vertex so level sets are
+    // long and thin (small bandwidth).
+    const index_t start = g.pseudo_peripheral(seed);
+    std::deque<index_t> queue{start};
+    visited[static_cast<std::size_t>(start)] = true;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      neighbors_by_degree.clear();
+      for (index_t u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          neighbors_by_degree.push_back(u);
+        }
+      }
+      std::sort(neighbors_by_degree.begin(), neighbors_by_degree.end(),
+                [&](index_t a, index_t b) {
+                  const index_t da = g.degree(a);
+                  const index_t db = g.degree(b);
+                  return da != db ? da < db : a < b;
+                });
+      for (index_t u : neighbors_by_degree) {
+        queue.push_back(u);
+      }
+    }
+  }
+  FSAIC_CHECK(order.size() == static_cast<std::size_t>(n),
+              "RCM must visit every vertex");
+
+  // Reverse, then invert into perm[old] = new.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) {
+    perm[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
+        n - 1 - k;
+  }
+  return perm;
+}
+
+index_t pattern_bandwidth(const SparsityPattern& p) {
+  index_t bw = 0;
+  for (index_t i = 0; i < p.rows(); ++i) {
+    for (index_t j : p.row(i)) {
+      bw = std::max(bw, std::abs(i - j));
+    }
+  }
+  return bw;
+}
+
+offset_t pattern_profile(const SparsityPattern& p) {
+  offset_t profile = 0;
+  for (index_t i = 0; i < p.rows(); ++i) {
+    const auto row = p.row(i);
+    if (!row.empty() && row.front() < i) {
+      profile += i - row.front();
+    }
+  }
+  return profile;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,188 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+
+std::string MethodConfig::label() const {
+  std::string s = to_string(extension);
+  if (extension != ExtensionMode::None && filter > 0.0) {
+    s += strformat("/%s-%.3g", to_string(strategy), static_cast<double>(filter));
+  }
+  return s;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)) {}
+
+const PreparedSystem& ExperimentRunner::prepare(const SuiteEntry& entry) {
+  const auto it = systems_.find(entry.name);
+  if (it != systems_.end()) return *it->second;
+
+  auto sys = std::make_unique<PreparedSystem>();
+  sys->name = entry.name;
+  const CsrMatrix a = entry.generate();
+  FSAIC_CHECK(a.is_symmetric(1e-12 * a.max_abs()),
+              "suite generator produced a non-symmetric matrix: " + entry.name);
+
+  const auto nranks = static_cast<rank_t>(std::clamp<offset_t>(
+      a.nnz() / config_.nnz_per_rank, config_.min_ranks, config_.max_ranks));
+  sys->nranks = nranks;
+
+  PartitionedSystem part = partition_system(a, nranks, config_.seed);
+  sys->matrix = std::move(part.matrix);
+  sys->layout = std::move(part.layout);
+  sys->a_dist = DistCsr::distribute(sys->matrix, sys->layout);
+
+  // Random right-hand side normalized to the matrix max norm, zero initial
+  // guess (Section 5.1). The RHS is seeded per matrix for reproducibility
+  // and generated in the *original* ordering, then permuted, so it does not
+  // depend on the rank count. FNV-1a rather than std::hash keeps the stream
+  // identical across standard libraries.
+  std::uint64_t name_hash = 0xcbf29ce484222325ull;
+  for (const char c : entry.name) {
+    name_hash = (name_hash ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  Rng rng(config_.seed ^ name_hash);
+  std::vector<value_t> b_orig(static_cast<std::size_t>(a.rows()));
+  for (auto& v : b_orig) {
+    v = rng.next_uniform(-1.0, 1.0);
+  }
+  const value_t bmax = norm_inf(b_orig);
+  if (bmax > 0.0) scale(a.max_abs() / bmax, b_orig);
+  std::vector<value_t> b_perm(b_orig.size());
+  for (std::size_t i = 0; i < b_orig.size(); ++i) {
+    b_perm[static_cast<std::size_t>(part.perm[i])] = b_orig[i];
+  }
+  sys->b = DistVector(sys->layout, b_perm);
+
+  return *systems_.emplace(entry.name, std::move(sys)).first->second;
+}
+
+const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
+                                       const MethodConfig& method) {
+  const std::string key = entry.name + "|" + method.label();
+  const auto it = runs_.find(key);
+  if (it != runs_.end()) return *it->second;
+
+  const PreparedSystem& sys = prepare(entry);
+
+  FsaiOptions fopts;
+  fopts.extension = method.extension;
+  fopts.cache_line_bytes = config_.machine.l1.line_bytes;
+  fopts.filter = method.filter;
+  fopts.filter_strategy = method.strategy;
+  FsaiBuildResult build = build_fsai_preconditioner(sys.matrix, sys.layout, fopts);
+
+  const auto precond = make_factorized_preconditioner(build, method.label());
+  DistVector x(sys.layout);
+  const SolveResult solve = pcg_solve(sys.a_dist, sys.b, x, *precond, config_.solve);
+
+  const CostModel cost_model(config_.machine,
+                             CostModelOptions{config_.threads_per_rank});
+  const PcgIterationCost iter_cost =
+      cost_model.pcg_iteration_cost(sys.a_dist, build.g_dist, build.gt_dist);
+
+  auto rec = std::make_unique<RunRecord>();
+  rec->matrix = entry.name;
+  rec->method = method.label();
+  rec->nranks = sys.nranks;
+  rec->rows = sys.matrix.rows();
+  rec->matrix_nnz = sys.matrix.nnz();
+  rec->converged = solve.converged;
+  rec->iterations = solve.iterations;
+  rec->iter_cost = iter_cost.total();
+  rec->precond_cost = iter_cost.precond_total();
+  rec->modeled_time = static_cast<double>(solve.iterations) * rec->iter_cost;
+  rec->nnz_increase_pct = build.nnz_increase_pct;
+  rec->imbalance_g = build.imbalance_g;
+  rec->imbalance_gt = build.imbalance_gt;
+  rec->precond_gflops =
+      cost_model.precond_gflops_per_process(build.g_dist, build.gt_dist);
+  const std::int64_t misses = cost_model.spmv_x_misses(build.g_dist) +
+                              cost_model.spmv_x_misses(build.gt_dist);
+  rec->x_misses_per_gnnz = build.g.nnz() > 0
+                               ? static_cast<double>(misses) /
+                                     static_cast<double>(2 * build.g.nnz())
+                               : 0.0;
+  rec->halo_bytes_g = build.g_dist.halo_update_bytes();
+  rec->halo_msgs_g = build.g_dist.halo_update_messages();
+  rec->g_nnz = build.g.nnz();
+
+  return *runs_.emplace(key, std::move(rec)).first->second;
+}
+
+Improvement improvement_over(const RunRecord& base, const RunRecord& run) {
+  Improvement imp;
+  if (base.iterations > 0) {
+    imp.iterations_pct = 100.0 *
+                         (static_cast<double>(base.iterations) -
+                          static_cast<double>(run.iterations)) /
+                         static_cast<double>(base.iterations);
+  }
+  if (base.modeled_time > 0.0) {
+    imp.time_pct =
+        100.0 * (base.modeled_time - run.modeled_time) / base.modeled_time;
+  }
+  return imp;
+}
+
+SummaryRow summarize(const std::vector<Improvement>& improvements) {
+  SummaryRow row;
+  if (improvements.empty()) return row;
+  row.highest_improvement_pct = improvements.front().time_pct;
+  row.highest_degradation_pct = improvements.front().time_pct;
+  for (const auto& imp : improvements) {
+    row.avg_iterations_pct += imp.iterations_pct;
+    row.avg_time_pct += imp.time_pct;
+    row.highest_improvement_pct =
+        std::max(row.highest_improvement_pct, imp.time_pct);
+    row.highest_degradation_pct =
+        std::min(row.highest_degradation_pct, imp.time_pct);
+  }
+  const auto n = static_cast<double>(improvements.size());
+  row.avg_iterations_pct /= n;
+  row.avg_time_pct /= n;
+  return row;
+}
+
+std::vector<Improvement> best_filter_improvements(
+    ExperimentRunner& runner, const std::vector<SuiteEntry>& suite,
+    ExtensionMode extension, FilterStrategy strategy,
+    const std::vector<value_t>& filters) {
+  std::vector<Improvement> out;
+  out.reserve(suite.size());
+  for (const auto& entry : suite) {
+    const RunRecord& base = runner.baseline(entry);
+    const RunRecord* best = nullptr;
+    for (value_t f : filters) {
+      const RunRecord& rec = runner.run(entry, {extension, strategy, f});
+      if (best == nullptr || rec.modeled_time < best->modeled_time) {
+        best = &rec;
+      }
+    }
+    out.push_back(improvement_over(base, *best));
+  }
+  return out;
+}
+
+std::vector<Improvement> fixed_filter_improvements(
+    ExperimentRunner& runner, const std::vector<SuiteEntry>& suite,
+    ExtensionMode extension, FilterStrategy strategy, value_t filter) {
+  std::vector<Improvement> out;
+  out.reserve(suite.size());
+  for (const auto& entry : suite) {
+    const RunRecord& base = runner.baseline(entry);
+    const RunRecord& rec = runner.run(entry, {extension, strategy, filter});
+    out.push_back(improvement_over(base, rec));
+  }
+  return out;
+}
+
+}  // namespace fsaic

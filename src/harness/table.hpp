@@ -1,0 +1,29 @@
+// Minimal fixed-width ASCII table printer for the bench binaries, so every
+// table/figure harness emits aligned, diffable output plus a CSV block for
+// downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fsaic {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Aligned ASCII rendering with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,446 @@
+#include "matgen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace fsaic {
+
+namespace {
+
+index_t grid_id2(index_t nx, index_t x, index_t y) { return y * nx + x; }
+
+index_t grid_id3(index_t nx, index_t ny, index_t x, index_t y, index_t z) {
+  return (z * ny + y) * nx + x;
+}
+
+}  // namespace
+
+CsrMatrix poisson2d(index_t nx, index_t ny) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  CooBuilder b(nx * ny, nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 5);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t id = grid_id2(nx, x, y);
+      b.add(id, id, 4.0);
+      if (x > 0) b.add(id, grid_id2(nx, x - 1, y), -1.0);
+      if (x < nx - 1) b.add(id, grid_id2(nx, x + 1, y), -1.0);
+      if (y > 0) b.add(id, grid_id2(nx, x, y - 1), -1.0);
+      if (y < ny - 1) b.add(id, grid_id2(nx, x, y + 1), -1.0);
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix poisson2d_9pt(index_t nx, index_t ny) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  CooBuilder b(nx * ny, nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 9);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t id = grid_id2(nx, x, y);
+      b.add(id, id, 10.0 / 3.0);
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const index_t x2 = x + dx;
+          const index_t y2 = y + dy;
+          if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny) continue;
+          // Mehrstellen weights: -2/3 orthogonal, -1/6 diagonal.
+          const value_t w = (dx == 0 || dy == 0) ? -2.0 / 3.0 : -1.0 / 6.0;
+          b.add(id, grid_id2(nx, x2, y2), w);
+        }
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix poisson3d(index_t nx, index_t ny, index_t nz) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+  const index_t n = nx * ny * nz;
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) * 7);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t id = grid_id3(nx, ny, x, y, z);
+        b.add(id, id, 6.0);
+        if (x > 0) b.add(id, grid_id3(nx, ny, x - 1, y, z), -1.0);
+        if (x < nx - 1) b.add(id, grid_id3(nx, ny, x + 1, y, z), -1.0);
+        if (y > 0) b.add(id, grid_id3(nx, ny, x, y - 1, z), -1.0);
+        if (y < ny - 1) b.add(id, grid_id3(nx, ny, x, y + 1, z), -1.0);
+        if (z > 0) b.add(id, grid_id3(nx, ny, x, y, z - 1), -1.0);
+        if (z < nz - 1) b.add(id, grid_id3(nx, ny, x, y, z + 1), -1.0);
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix stencil27(index_t nx, index_t ny, index_t nz, value_t shift) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(shift > 0.0, "shift must be positive for definiteness");
+  const index_t n = nx * ny * nz;
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) * 27);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t id = grid_id3(nx, ny, x, y, z);
+        value_t diag = 0.0;
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const index_t x2 = x + dx;
+              const index_t y2 = y + dy;
+              const index_t z2 = z + dz;
+              if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 || z2 >= nz) {
+                diag += 1.0;  // Dirichlet contribution keeps dominance
+                continue;
+              }
+              b.add(id, grid_id3(nx, ny, x2, y2, z2), -1.0);
+              diag += 1.0;
+            }
+          }
+        }
+        b.add(id, id, diag + shift);
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix stencil27_weighted(index_t nx, index_t ny, index_t nz,
+                             value_t decades, value_t shift,
+                             std::uint64_t seed) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(decades >= 0.0, "decades must be non-negative");
+  FSAIC_REQUIRE(shift > 0.0, "shift must be positive for definiteness");
+  Rng rng(seed);
+  const index_t n = nx * ny * nz;
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) * 27);
+  std::vector<value_t> diag(static_cast<std::size_t>(n), shift);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t id = grid_id3(nx, ny, x, y, z);
+        for (index_t dz = -1; dz <= 1; ++dz) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const index_t x2 = x + dx;
+              const index_t y2 = y + dy;
+              const index_t z2 = z + dz;
+              if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 ||
+                  z2 >= nz) {
+                continue;
+              }
+              const index_t id2 = grid_id3(nx, ny, x2, y2, z2);
+              if (id2 < id) continue;  // each undirected edge once
+              const value_t w =
+                  std::pow(10.0, -decades * rng.next_uniform());
+              b.add_symmetric(id, id2, -w);
+              diag[static_cast<std::size_t>(id)] += w;
+              diag[static_cast<std::size_t>(id2)] += w;
+            }
+          }
+        }
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, diag[static_cast<std::size_t>(i)]);
+  }
+  return b.to_csr();
+}
+
+CsrMatrix anisotropic2d(index_t nx, index_t ny, value_t eps) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(eps > 0.0, "anisotropy must be positive");
+  CooBuilder b(nx * ny, nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 5);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t id = grid_id2(nx, x, y);
+      b.add(id, id, 2.0 * eps + 2.0);
+      if (x > 0) b.add(id, grid_id2(nx, x - 1, y), -eps);
+      if (x < nx - 1) b.add(id, grid_id2(nx, x + 1, y), -eps);
+      if (y > 0) b.add(id, grid_id2(nx, x, y - 1), -1.0);
+      if (y < ny - 1) b.add(id, grid_id2(nx, x, y + 1), -1.0);
+    }
+  }
+  return b.to_csr();
+}
+
+namespace {
+
+/// Smoothly graded coefficient in [1, contrast] along x (plus a mild y ripple
+/// so the field is genuinely 2D/3D).
+value_t graded_coeff(value_t xfrac, value_t yfrac, value_t contrast) {
+  const value_t base = std::pow(contrast, xfrac);
+  return base * (1.0 + 0.25 * std::sin(6.28318530717958647 * yfrac));
+}
+
+value_t harmonic(value_t a, value_t b) { return 2.0 * a * b / (a + b); }
+
+}  // namespace
+
+CsrMatrix graded2d(index_t nx, index_t ny, value_t contrast) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(contrast >= 1.0, "contrast must be >= 1");
+  CooBuilder b(nx * ny, nx * ny);
+  b.reserve(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) * 5);
+  const auto k = [&](index_t x, index_t y) {
+    return graded_coeff(static_cast<value_t>(x) / static_cast<value_t>(nx),
+                        static_cast<value_t>(y) / static_cast<value_t>(ny),
+                        contrast);
+  };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t id = grid_id2(nx, x, y);
+      value_t diag = 0.0;
+      const value_t kc = k(x, y);
+      const auto flux = [&](index_t x2, index_t y2) {
+        const value_t w = harmonic(kc, k(x2, y2));
+        b.add(id, grid_id2(nx, x2, y2), -w);
+        diag += w;
+      };
+      if (x > 0) flux(x - 1, y);
+      if (x < nx - 1) flux(x + 1, y);
+      if (y > 0) flux(x, y - 1);
+      if (y < ny - 1) flux(x, y + 1);
+      // Dirichlet boundary flux keeps the operator definite.
+      if (x == 0 || x == nx - 1) diag += kc;
+      if (y == 0 || y == ny - 1) diag += kc;
+      b.add(id, id, diag);
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix graded3d(index_t nx, index_t ny, index_t nz, value_t contrast) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(contrast >= 1.0, "contrast must be >= 1");
+  const index_t n = nx * ny * nz;
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) * 7);
+  const auto k = [&](index_t x, index_t y, index_t z) {
+    return graded_coeff(static_cast<value_t>(x) / static_cast<value_t>(nx),
+                        static_cast<value_t>(y + z) /
+                            static_cast<value_t>(ny + nz),
+                        contrast);
+  };
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t id = grid_id3(nx, ny, x, y, z);
+        value_t diag = 0.0;
+        const value_t kc = k(x, y, z);
+        const auto flux = [&](index_t x2, index_t y2, index_t z2) {
+          const value_t w = harmonic(kc, k(x2, y2, z2));
+          b.add(id, grid_id3(nx, ny, x2, y2, z2), -w);
+          diag += w;
+        };
+        if (x > 0) flux(x - 1, y, z);
+        if (x < nx - 1) flux(x + 1, y, z);
+        if (y > 0) flux(x, y - 1, z);
+        if (y < ny - 1) flux(x, y + 1, z);
+        if (z > 0) flux(x, y, z - 1);
+        if (z < nz - 1) flux(x, y, z + 1);
+        if (x == 0 || x == nx - 1) diag += kc;
+        if (y == 0 || y == ny - 1) diag += kc;
+        if (z == 0 || z == nz - 1) diag += kc;
+        b.add(id, id, diag);
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+CsrMatrix shifted(const CsrMatrix& a, value_t shift) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "shift requires a square matrix");
+  CooBuilder b(a.rows(), a.cols());
+  b.reserve(static_cast<std::size_t>(a.nnz()) + static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      b.add(i, cols[k], vals[k]);
+    }
+    b.add(i, i, shift);
+  }
+  return b.to_csr();
+}
+
+CsrMatrix block_expand(const CsrMatrix& scalar, const DenseMatrix& block) {
+  FSAIC_REQUIRE(scalar.rows() == scalar.cols(), "scalar factor must be square");
+  FSAIC_REQUIRE(block.rows() == block.cols(), "block factor must be square");
+  const index_t d = block.rows();
+  const index_t n = scalar.rows() * d;
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(scalar.nnz()) * static_cast<std::size_t>(d) *
+            static_cast<std::size_t>(d));
+  for (index_t i = 0; i < scalar.rows(); ++i) {
+    const auto cols = scalar.row_cols(i);
+    const auto vals = scalar.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      const value_t s = vals[k];
+      for (index_t r = 0; r < d; ++r) {
+        for (index_t c = 0; c < d; ++c) {
+          const value_t v = s * block(r, c);
+          if (v != 0.0) b.add(i * d + r, j * d + c, v);
+        }
+      }
+    }
+  }
+  return b.to_csr();
+}
+
+DenseMatrix spd_block(index_t dim, value_t coupling) {
+  FSAIC_REQUIRE(dim >= 1, "block dimension must be positive");
+  FSAIC_REQUIRE(coupling > 0.0 && coupling < 0.5,
+                "coupling must be in (0, 0.5) for diagonal dominance");
+  DenseMatrix b(dim, dim);
+  for (index_t i = 0; i < dim; ++i) {
+    b(i, i) = 1.0 + 0.1 * static_cast<value_t>(i % 3);
+    if (i > 0) {
+      b(i, i - 1) = coupling;
+      b(i - 1, i) = coupling;
+    }
+  }
+  return b;
+}
+
+CsrMatrix random_laplacian(index_t n, index_t avg_degree, value_t shift,
+                           std::uint64_t seed) {
+  FSAIC_REQUIRE(n >= 3, "graph needs at least 3 nodes");
+  FSAIC_REQUIRE(avg_degree >= 0, "degree must be non-negative");
+  FSAIC_REQUIRE(shift > 0.0, "shift must be positive for definiteness");
+  Rng rng(seed);
+  CooBuilder b(n, n);
+  std::vector<value_t> degree(static_cast<std::size_t>(n), 0.0);
+  const auto add_edge = [&](index_t u, index_t v, value_t w) {
+    if (u == v) return;
+    b.add_symmetric(u, v, -w);
+    degree[static_cast<std::size_t>(u)] += w;
+    degree[static_cast<std::size_t>(v)] += w;
+  };
+  // Ring backbone keeps the graph connected.
+  for (index_t i = 0; i < n; ++i) {
+    add_edge(i, (i + 1) % n, 1.0);
+  }
+  // Random chords: skewed endpoint choice produces the irregular degree
+  // distribution typical of circuit netlists.
+  const std::int64_t chords =
+      static_cast<std::int64_t>(n) * avg_degree / 2;
+  for (std::int64_t e = 0; e < chords; ++e) {
+    const index_t u = rng.next_index(n);
+    const index_t v = static_cast<index_t>(
+        static_cast<std::int64_t>(u + 1 + rng.next_index(std::max<index_t>(1, n / 8))) % n);
+    add_edge(u, v, 0.5 + rng.next_uniform());
+  }
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, degree[static_cast<std::size_t>(i)] + shift);
+  }
+  return b.to_csr();
+}
+
+CsrMatrix random_spd(index_t n, index_t extra_per_row, std::uint64_t seed) {
+  FSAIC_REQUIRE(n >= 2, "matrix must have at least 2 rows");
+  Rng rng(seed);
+  CooBuilder b(n, n);
+  std::vector<value_t> rowsum(static_cast<std::size_t>(n), 0.0);
+  const std::int64_t pairs = static_cast<std::int64_t>(n) * extra_per_row / 2;
+  for (std::int64_t e = 0; e < pairs; ++e) {
+    const index_t i = rng.next_index(n);
+    const index_t j = rng.next_index(n);
+    if (i == j) continue;
+    const value_t v = rng.next_uniform(-1.0, 1.0);
+    b.add_symmetric(i, j, v);
+    rowsum[static_cast<std::size_t>(i)] += std::abs(v);
+    rowsum[static_cast<std::size_t>(j)] += std::abs(v);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, rowsum[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return b.to_csr();
+}
+
+std::vector<index_t> tile_permutation_2d(index_t nx, index_t ny, index_t tx,
+                                         index_t ty) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(tx >= 1 && ty >= 1, "tiles must be non-empty");
+  std::vector<index_t> perm(static_cast<std::size_t>(nx) *
+                            static_cast<std::size_t>(ny));
+  index_t next = 0;
+  for (index_t ty0 = 0; ty0 < ny; ty0 += ty) {
+    for (index_t tx0 = 0; tx0 < nx; tx0 += tx) {
+      for (index_t y = ty0; y < std::min(ty0 + ty, ny); ++y) {
+        for (index_t x = tx0; x < std::min(tx0 + tx, nx); ++x) {
+          perm[static_cast<std::size_t>(grid_id2(nx, x, y))] = next++;
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+std::vector<index_t> tile_permutation_3d(index_t nx, index_t ny, index_t nz,
+                                         index_t tx, index_t ty, index_t tz) {
+  FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "grid must be non-empty");
+  FSAIC_REQUIRE(tx >= 1 && ty >= 1 && tz >= 1, "tiles must be non-empty");
+  std::vector<index_t> perm(static_cast<std::size_t>(nx) *
+                            static_cast<std::size_t>(ny) *
+                            static_cast<std::size_t>(nz));
+  index_t next = 0;
+  for (index_t tz0 = 0; tz0 < nz; tz0 += tz) {
+    for (index_t ty0 = 0; ty0 < ny; ty0 += ty) {
+      for (index_t tx0 = 0; tx0 < nx; tx0 += tx) {
+        for (index_t z = tz0; z < std::min(tz0 + tz, nz); ++z) {
+          for (index_t y = ty0; y < std::min(ty0 + ty, ny); ++y) {
+            for (index_t x = tx0; x < std::min(tx0 + tx, nx); ++x) {
+              perm[static_cast<std::size_t>(grid_id3(nx, ny, x, y, z))] = next++;
+            }
+          }
+        }
+      }
+    }
+  }
+  return perm;
+}
+
+CsrMatrix band_spd(index_t n, index_t half_bandwidth, value_t decay,
+                   value_t shift) {
+  FSAIC_REQUIRE(n >= 1, "matrix must be non-empty");
+  FSAIC_REQUIRE(half_bandwidth >= 0, "bandwidth must be non-negative");
+  FSAIC_REQUIRE(decay > 0.0 && decay < 1.0, "decay must be in (0, 1)");
+  FSAIC_REQUIRE(shift > 0.0, "shift must be positive for definiteness");
+  CooBuilder b(n, n);
+  b.reserve(static_cast<std::size_t>(n) *
+            (2 * static_cast<std::size_t>(half_bandwidth) + 1));
+  for (index_t i = 0; i < n; ++i) {
+    value_t offsum = 0.0;
+    for (index_t d = 1; d <= half_bandwidth; ++d) {
+      const value_t v = -std::pow(decay, static_cast<value_t>(d));
+      if (i >= d) {
+        b.add(i, i - d, v);
+        offsum += std::abs(v);
+      }
+      if (i + d < n) {
+        b.add(i, i + d, v);
+        offsum += std::abs(v);
+      }
+    }
+    b.add(i, i, offsum + shift);
+  }
+  return b.to_csr();
+}
+
+}  // namespace fsaic

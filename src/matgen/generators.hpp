@@ -1,0 +1,107 @@
+// Synthetic SPD matrix generators standing in for the SuiteSparse test set.
+//
+// Each generator produces a class of matrix matching a "Type" column of the
+// paper's Tables 1-2: finite-difference stencils for the 2D/3D problems,
+// Kronecker block expansions for the structural/shell problems (several
+// degrees of freedom per node, dense small blocks — the signature of FE
+// elasticity), graded-coefficient stencils for thermal/CFD, random graph
+// Laplacians for circuit simulation, exponentially decaying bands for model
+// reduction, and shifted operators for the quickly converging acoustics
+// cases. All outputs are symmetric positive definite by construction
+// (M-matrices, Kronecker products of SPD factors, or strictly diagonally
+// dominant symmetric matrices).
+#pragma once
+
+#include <cstdint>
+
+#include "dense/dense_matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+/// 5-point Laplacian on an nx x ny grid (Dirichlet).
+[[nodiscard]] CsrMatrix poisson2d(index_t nx, index_t ny);
+
+/// 9-point Laplacian on an nx x ny grid.
+[[nodiscard]] CsrMatrix poisson2d_9pt(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx x ny x nz grid.
+[[nodiscard]] CsrMatrix poisson3d(index_t nx, index_t ny, index_t nz);
+
+/// 27-point Laplacian on an nx x ny x nz grid (dense 3D stencil, the
+/// "nd"-series look). `shift` is the diagonal surplus over the neighbor
+/// weights: small shifts produce the slowly converging nd-type systems.
+[[nodiscard]] CsrMatrix stencil27(index_t nx, index_t ny, index_t nz,
+                                  value_t shift = 0.5);
+
+/// Randomly weighted 27-point graph Laplacian: edge weights are log-uniform
+/// over `decades` orders of magnitude (like heterogeneous FE element
+/// stiffnesses), diagonal = weighted degree + shift. Irregular weights give
+/// the slowly converging, extension-responsive behaviour of the real
+/// nd-series matrices that a constant-coefficient stencil lacks.
+[[nodiscard]] CsrMatrix stencil27_weighted(index_t nx, index_t ny, index_t nz,
+                                           value_t decades, value_t shift,
+                                           std::uint64_t seed);
+
+/// Anisotropic operator -eps u_xx - u_yy (5-point); small eps stretches the
+/// spectrum like boundary-layer CFD meshes.
+[[nodiscard]] CsrMatrix anisotropic2d(index_t nx, index_t ny, value_t eps);
+
+/// Heterogeneous diffusion -div(k grad u) with coefficient k graded smoothly
+/// from 1 to `contrast` across the domain (flux-harmonic 5-point scheme);
+/// models thermal problems with material jumps.
+[[nodiscard]] CsrMatrix graded2d(index_t nx, index_t ny, value_t contrast);
+
+/// Same in 3D (7-point).
+[[nodiscard]] CsrMatrix graded3d(index_t nx, index_t ny, index_t nz,
+                                 value_t contrast);
+
+/// A + shift * I.
+[[nodiscard]] CsrMatrix shifted(const CsrMatrix& a, value_t shift);
+
+/// Kronecker expansion A = S (x) B: every scalar entry becomes a d x d
+/// block. SPD when S and B are SPD; produces the block-row structure of
+/// multi-dof structural problems.
+[[nodiscard]] CsrMatrix block_expand(const CsrMatrix& scalar, const DenseMatrix& block);
+
+/// A small SPD coupling block: tridiagonal, diagonally dominant, with
+/// off-diagonal strength `coupling` in (0, 0.5).
+[[nodiscard]] DenseMatrix spd_block(index_t dim, value_t coupling);
+
+/// Graph Laplacian of a random ring-plus-chords graph with ~avg_degree
+/// chords per node, shifted by `shift` to make it SPD; irregular degrees
+/// mimic circuit matrices.
+[[nodiscard]] CsrMatrix random_laplacian(index_t n, index_t avg_degree,
+                                         value_t shift, std::uint64_t seed);
+
+/// Random symmetric strictly diagonally dominant matrix with ~extra_per_row
+/// off-diagonals per row.
+[[nodiscard]] CsrMatrix random_spd(index_t n, index_t extra_per_row,
+                                   std::uint64_t seed);
+
+/// Tile-major renumbering permutation of an nx x ny grid: tiles of tx x ty
+/// nodes scanned row-major, nodes row-major inside each tile. Real FE/FV
+/// meshes are numbered with spatial locality (element order, RCM, nested
+/// dissection), so consecutive indices — and hence the x coefficients
+/// sharing one cache line — form a spatial patch. Plain row-major grids are
+/// the worst case for cache-line pattern extensions (index neighbours are
+/// far apart in all but one direction); applying this permutation to the
+/// synthetic grids restores the locality the SuiteSparse matrices have.
+/// Returns perm with perm[old] = new, for use with permute_symmetric().
+[[nodiscard]] std::vector<index_t> tile_permutation_2d(index_t nx, index_t ny,
+                                                       index_t tx, index_t ty);
+
+/// Same for an nx x ny x nz grid with tx x ty x tz tiles.
+[[nodiscard]] std::vector<index_t> tile_permutation_3d(index_t nx, index_t ny,
+                                                       index_t nz, index_t tx,
+                                                       index_t ty, index_t tz);
+
+/// Symmetric banded matrix with exponentially decaying off-diagonals
+/// (|i-j| <= half_bandwidth), strictly diagonally dominant; the dense-band
+/// look of model-reduction problems. `shift` is the diagonal surplus over
+/// the off-diagonal row sum: small shifts give ill-conditioned systems (the
+/// gyro-like cases), large shifts converge in a handful of iterations.
+[[nodiscard]] CsrMatrix band_spd(index_t n, index_t half_bandwidth, value_t decay,
+                                 value_t shift = 0.1);
+
+}  // namespace fsaic

@@ -1,0 +1,212 @@
+#include "matgen/suite.hpp"
+
+#include "common/error.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+
+namespace {
+
+// Grid matrices are renumbered tile-major (see tile_permutation_2d): real
+// FE/FV matrices carry mesh-locality in their ordering, so the x
+// coefficients sharing a cache line form a spatial patch. Without this the
+// synthetic row-major grids would be a pathological worst case for
+// cache-line pattern extensions (index neighbours spatially far apart).
+CsrMatrix tiled2(const CsrMatrix& m, index_t nx, index_t ny) {
+  return permute_symmetric(m, tile_permutation_2d(nx, ny, 4, 2));
+}
+
+CsrMatrix tiled3(const CsrMatrix& m, index_t nx, index_t ny, index_t nz) {
+  return permute_symmetric(m, tile_permutation_3d(nx, ny, nz, 2, 2, 2));
+}
+
+std::vector<SuiteEntry> build_small_suite() {
+  std::vector<SuiteEntry> s;
+  const auto add = [&](std::string paper, std::string type, int it_fsai,
+                       int it_comm, double nnz_pct,
+                       std::function<CsrMatrix()> gen) {
+    s.push_back({paper + "-sim", std::move(paper), std::move(type), it_fsai,
+                 it_comm, nnz_pct, std::move(gen)});
+  };
+
+  // 2D/3D problems: graded/plain stencils in three dimensions; the nd-series
+  // are dense 27-point stencils with a small diagonal surplus.
+  add("PFlow_742", "2D/3D Problem", 2775, 1340, 19.3,
+      [] { return tiled3(graded3d(26, 26, 26, 1e4), 26, 26, 26); });
+  add("nd24k", "2D/3D Problem", 553, 435, 14.26,
+      [] { return tiled3(stencil27_weighted(16, 16, 16, 4.0, 1e-3, 24), 16, 16, 16); });
+  add("Fault_639", "Structural Problem", 1923, 856, 27.69, [] {
+    return block_expand(tiled2(graded2d(42, 42, 100.0), 42, 42),
+                        spd_block(3, 0.3));
+  });
+  add("msdoor", "Structural Problem", 3599, 2748, 43.63, [] {
+    return block_expand(tiled2(anisotropic2d(48, 48, 0.05), 48, 48),
+                        spd_block(3, 0.3));
+  });
+  add("af_shell7", "Subsequent Structural Problem", 1800, 1528, 50.2, [] {
+    return block_expand(tiled2(poisson2d(60, 40), 60, 40), spd_block(3, 0.25));
+  });
+  add("af_shell8", "Subsequent Structural Problem", 1800, 1528, 50.2, [] {
+    return shifted(
+        block_expand(tiled2(poisson2d(60, 40), 60, 40), spd_block(3, 0.25)),
+        1e-3);
+  });
+  add("af_shell4", "Subsequent Structural Problem", 1800, 1530, 50.26, [] {
+    return block_expand(tiled2(poisson2d(58, 42), 58, 42), spd_block(3, 0.25));
+  });
+  add("af_shell3", "Subsequent Structural Problem", 1800, 1530, 50.26, [] {
+    return shifted(
+        block_expand(tiled2(poisson2d(58, 42), 58, 42), spd_block(3, 0.25)),
+        1e-3);
+  });
+  add("nd12k", "2D/3D Problem", 516, 403, 14.59,
+      [] { return tiled3(stencil27_weighted(14, 14, 14, 4.0, 1e-3, 12), 14, 14, 14); });
+  add("crankseg_2", "Structural Problem", 215, 160, 22.04, [] {
+    return block_expand(tiled3(stencil27_weighted(7, 7, 7, 3.0, 3e-3, 72), 7, 7, 7),
+                        spd_block(3, 0.3));
+  });
+  add("bmwcra_1", "Structural Problem", 2325, 1800, 40.16, [] {
+    return block_expand(tiled2(graded2d(40, 40, 300.0), 40, 40),
+                        spd_block(2, 0.35));
+  });
+  add("crankseg_1", "Structural Problem", 216, 161, 20.05, [] {
+    return block_expand(tiled3(stencil27_weighted(6, 6, 6, 3.0, 3e-3, 71), 6, 6, 6),
+                        spd_block(3, 0.3));
+  });
+  add("hood", "Structural Problem", 397, 315, 44.76, [] {
+    return block_expand(tiled2(poisson2d(36, 36), 36, 36), spd_block(3, 0.25));
+  });
+  add("thermal2", "Thermal Problem", 2799, 2113, 166.53,
+      [] { return tiled2(graded2d(150, 150, 1e5), 150, 150); });
+  add("G3_circuit", "Circuit Simulation Problem", 1715, 1283, 219.14,
+      [] { return random_laplacian(12000, 3, 0.05, 15); });
+  add("nd6k", "2D/3D Problem", 476, 364, 17.58,
+      [] { return tiled3(stencil27_weighted(12, 12, 12, 4.0, 1e-3, 6), 12, 12, 12); });
+  add("consph", "2D/3D Problem", 634, 562, 46.19, [] {
+    return block_expand(tiled3(poisson3d(9, 9, 9), 9, 9, 9), spd_block(3, 0.3));
+  });
+  add("boneS01", "Model Reduction Problem", 847, 779, 51.92,
+      [] { return band_spd(4000, 12, 0.55, 0.01); });
+  add("tmt_sym", "Electromagnetics Problem", 2319, 1883, 195.69,
+      [] { return tiled2(anisotropic2d(120, 120, 0.25), 120, 120); });
+  add("ecology2", "2D/3D Problem", 3428, 2502, 278.05,
+      [] { return tiled2(graded2d(130, 130, 1e6), 130, 130); });
+  add("shipsec5", "Structural Problem", 1618, 1424, 29.05, [] {
+    return block_expand(tiled2(poisson2d_9pt(24, 24), 24, 24),
+                        spd_block(3, 0.25));
+  });
+  add("offshore", "Electromagnetics Problem", 794, 635, 56.89,
+      [] { return tiled3(graded3d(12, 12, 12, 1e3), 12, 12, 12); });
+  add("smt", "Structural Problem", 882, 485, 31.15, [] {
+    return block_expand(tiled3(stencil27_weighted(6, 6, 6, 3.0, 1e-3, 23), 6, 6, 6),
+                        spd_block(2, 0.3));
+  });
+  add("parabolic_fem", "Computational Fluid Dynamics Problem", 1481, 1076,
+      116.87, [] { return tiled2(anisotropic2d(100, 100, 0.3), 100, 100); });
+  add("Dubcova3", "2D/3D Problem", 152, 117, 99.67,
+      [] { return tiled2(poisson2d_9pt(45, 45), 45, 45); });
+  add("shipsec1", "Structural Problem", 1987, 1878, 30.99, [] {
+    return block_expand(tiled2(poisson2d_9pt(22, 22), 22, 22),
+                        spd_block(3, 0.25));
+  });
+  add("nd3k", "2D/3D Problem", 406, 316, 17.55,
+      [] { return tiled3(stencil27_weighted(10, 10, 10, 4.0, 1e-3, 3), 10, 10, 10); });
+  add("cfd2", "Computational Fluid Dynamics Problem", 2590, 1853, 115.1,
+      [] { return tiled2(anisotropic2d(90, 90, 0.2), 90, 90); });
+  add("nasasrb", "Structural Problem", 2765, 2629, 17.6, [] {
+    return block_expand(tiled2(anisotropic2d(32, 32, 0.1), 32, 32),
+                        spd_block(3, 0.3));
+  });
+  add("oilpan", "Structural Problem", 1554, 1285, 22.28, [] {
+    return block_expand(tiled2(graded2d(28, 28, 50.0), 28, 28),
+                        spd_block(3, 0.25));
+  });
+  add("cfd1", "Computational Fluid Dynamics Problem", 933, 750, 104.75,
+      [] { return tiled2(anisotropic2d(70, 70, 0.3), 70, 70); });
+  add("qa8fm", "Acoustics Problem", 13, 11, 29.27,
+      [] { return shifted(tiled3(poisson3d(12, 12, 12), 12, 12, 12), 10.0); });
+  add("2cubes_sphere", "Electromagnetics Problem", 12, 11, 13.37, [] {
+    return shifted(tiled3(graded3d(10, 10, 10, 10.0), 10, 10, 10), 8.0);
+  });
+  add("thermomech_dM", "Thermal Problem", 9, 9, 6.21,
+      [] { return shifted(tiled2(graded2d(45, 45, 10.0), 45, 45), 6.0); });
+  add("msc10848", "Structural Problem", 711, 482, 28.72, [] {
+    return block_expand(tiled3(stencil27_weighted(7, 7, 7, 3.0, 1e-3, 35), 7, 7, 7),
+                        spd_block(3, 0.28));
+  });
+  add("Dubcova2", "2D/3D Problem", 155, 112, 160.15,
+      [] { return tiled2(poisson2d_9pt(32, 32), 32, 32); });
+  add("gyro_k", "Duplicate Model Reduction Problem", 4363, 3116, 39.28,
+      [] { return band_spd(6000, 10, 0.5, 0.0008); });
+  add("gyro", "Model Reduction Problem", 4382, 3071, 39.28,
+      [] { return band_spd(6100, 10, 0.5, 0.0009); });
+  add("olafu", "Structural Problem", 1768, 1324, 21.45, [] {
+    return block_expand(tiled2(anisotropic2d(24, 24, 0.1), 24, 24),
+                        spd_block(3, 0.3));
+  });
+  FSAIC_CHECK(s.size() == 39, "small suite must have 39 entries");
+  return s;
+}
+
+std::vector<SuiteEntry> build_large_suite() {
+  std::vector<SuiteEntry> s;
+  const auto add = [&](std::string paper, std::string type, int it_fsai,
+                       int it_comm, double nnz_pct,
+                       std::function<CsrMatrix()> gen) {
+    s.push_back({paper + "-sim", std::move(paper), std::move(type), it_fsai,
+                 it_comm, nnz_pct, std::move(gen)});
+  };
+  add("Queen_4147", "2D/3D Problem", 5735, 4755, 13.54,
+      [] { return tiled3(stencil27_weighted(24, 24, 24, 4.0, 1e-3, 41), 24, 24, 24); });
+  add("Bump_2911", "2D/3D Problem", 2297, 2206, 9.14,
+      [] { return tiled3(graded3d(40, 40, 40, 1e4), 40, 40, 40); });
+  add("Flan_1565", "Structural Problem", 5299, 4578, 17.9, [] {
+    return block_expand(tiled2(poisson2d_9pt(60, 60), 60, 60),
+                        spd_block(3, 0.25));
+  });
+  add("audikw_1", "Structural Problem", 1453, 1114, 62.56, [] {
+    return block_expand(tiled3(stencil27_weighted(12, 12, 12, 3.0, 3e-3, 1), 12, 12, 12),
+                        spd_block(3, 0.3));
+  });
+  add("Geo_1438", "Structural Problem", 715, 654, 25.07, [] {
+    return block_expand(tiled3(poisson3d(16, 16, 16), 16, 16, 16),
+                        spd_block(3, 0.3));
+  });
+  add("Hook_1498", "Structural Problem", 2186, 1877, 58.64, [] {
+    return block_expand(tiled2(graded2d(70, 70, 100.0), 70, 70),
+                        spd_block(3, 0.28));
+  });
+  add("bone010", "Model Reduction Problem", 7980, 6688, 46.9,
+      [] { return band_spd(12000, 14, 0.6, 0.0012); });
+  add("ldoor", "Structural Problem", 1064, 860, 37.9, [] {
+    return block_expand(tiled2(poisson2d(64, 64), 64, 64), spd_block(3, 0.25));
+  });
+  FSAIC_CHECK(s.size() == 8, "large suite must have 8 entries");
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& small_suite() {
+  static const std::vector<SuiteEntry> suite = build_small_suite();
+  return suite;
+}
+
+const std::vector<SuiteEntry>& large_suite() {
+  static const std::vector<SuiteEntry> suite = build_large_suite();
+  return suite;
+}
+
+const SuiteEntry& suite_entry(const std::string& name) {
+  for (const auto* suite : {&small_suite(), &large_suite()}) {
+    for (const auto& entry : *suite) {
+      if (entry.name == name || entry.paper_name == name) return entry;
+    }
+  }
+  FSAIC_REQUIRE(false, "unknown suite entry: " + name);
+  static SuiteEntry unreachable;
+  return unreachable;
+}
+
+}  // namespace fsaic

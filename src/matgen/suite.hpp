@@ -1,0 +1,39 @@
+// The named test suites mirroring Tables 1 and 2 of the paper.
+//
+// Each entry carries the SuiteSparse matrix it stands in for, the problem
+// type the paper lists, the paper's reference iteration counts (FSAI and
+// FSAIE-Comm with dynamic Filter 0.01 on Skylake for the small set, Zen 2
+// for the large set) and a generator producing a synthetic SPD matrix of the
+// same class at roughly 1/30–1/100 of the original nonzeros, sized so the
+// whole evaluation campaign runs on one core. EXPERIMENTS.md compares the
+// paper's shape against the measured one per entry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+struct SuiteEntry {
+  std::string name;        ///< synthetic matrix name, "<paper>-sim"
+  std::string paper_name;  ///< SuiteSparse matrix it mirrors
+  std::string type;        ///< paper's "Type" column
+  int paper_fsai_iters = 0;        ///< Table 1/2 FSAI iteration count
+  int paper_fsaie_comm_iters = 0;  ///< Table 1/2 FSAIE-Comm iteration count
+  double paper_nnz_pct = 0.0;      ///< Table 1/2 FSAIE-Comm "% NNZ"
+  std::function<CsrMatrix()> generate;
+};
+
+/// The 39-matrix small suite (Table 1).
+[[nodiscard]] const std::vector<SuiteEntry>& small_suite();
+
+/// The 8-matrix large suite (Table 2).
+[[nodiscard]] const std::vector<SuiteEntry>& large_suite();
+
+/// Lookup by synthetic or paper name across both suites; throws if absent.
+[[nodiscard]] const SuiteEntry& suite_entry(const std::string& name);
+
+}  // namespace fsaic

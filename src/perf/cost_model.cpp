@@ -1,0 +1,97 @@
+#include "perf/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsaic {
+
+CostModel::CostModel(Machine machine, CostModelOptions options)
+    : machine_(std::move(machine)), options_(options) {
+  FSAIC_REQUIRE(options_.threads_per_rank >= 1,
+                "threads_per_rank must be positive");
+}
+
+CacheConfig CostModel::rank_cache() const {
+  CacheConfig c = machine_.l1;
+  c.size_bytes *= options_.threads_per_rank;
+  return c;
+}
+
+OpCost CostModel::spmv_cost(const DistCsr& a) const {
+  const double t = options_.threads_per_rank;
+  const double per_nnz = std::max(machine_.nnz_stream_cost(), machine_.nnz_flop_cost());
+  const CacheConfig cache = rank_cache();
+
+  OpCost cost;
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    const RankBlock& blk = a.block(p);
+    const auto report = replay_spmv_x_accesses(blk.matrix, cache);
+    const double compute =
+        (static_cast<double>(blk.matrix.nnz()) * per_nnz +
+         static_cast<double>(report.misses) * machine_.miss_cost()) /
+        t;
+    double comm = 0.0;
+    for (const auto& nb : blk.recv) {
+      comm += machine_.net_alpha +
+              machine_.net_beta * static_cast<double>(nb.gids.size() * sizeof(value_t));
+    }
+    for (const auto& nb : blk.send) {
+      comm += machine_.net_alpha +
+              machine_.net_beta * static_cast<double>(nb.gids.size() * sizeof(value_t));
+    }
+    cost.compute = std::max(cost.compute, compute);
+    cost.comm = std::max(cost.comm, comm);
+  }
+  return cost;
+}
+
+std::int64_t CostModel::spmv_x_misses(const DistCsr& a) const {
+  const CacheConfig cache = rank_cache();
+  std::int64_t misses = 0;
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    misses += replay_spmv_x_accesses(a.block(p).matrix, cache).misses;
+  }
+  return misses;
+}
+
+double CostModel::blas1_cost(const Layout& layout, int n_updates) const {
+  index_t max_local = 0;
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    max_local = std::max(max_local, layout.local_size(p));
+  }
+  // Each AXPY-like update streams ~3 vector accesses (2 loads + 1 store).
+  const double bytes = static_cast<double>(max_local) * 3.0 * sizeof(value_t);
+  return static_cast<double>(n_updates) * bytes /
+         (machine_.mem_bw_per_core * options_.threads_per_rank);
+}
+
+double CostModel::allreduce_cost(rank_t nranks) const {
+  if (nranks <= 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(nranks)));
+  // Reduce + broadcast along a binomial tree: 2 latency-bound stages each.
+  return 2.0 * stages *
+         (machine_.net_alpha + machine_.net_beta * sizeof(value_t));
+}
+
+PcgIterationCost CostModel::pcg_iteration_cost(const DistCsr& a, const DistCsr& g,
+                                               const DistCsr& gt) const {
+  PcgIterationCost cost;
+  cost.spmv_a = spmv_cost(a);
+  cost.precond_g = spmv_cost(g);
+  cost.precond_gt = spmv_cost(gt);
+  // Per PCG iteration: x-update, r-update, d-update (3 AXPY-like sweeps).
+  cost.blas1 = blas1_cost(a.row_layout(), 3);
+  // Two inner products (r^T z, d^T A d) plus the convergence-check norm.
+  cost.allreduce = 3.0 * allreduce_cost(a.nranks());
+  return cost;
+}
+
+double CostModel::precond_gflops_per_process(const DistCsr& g,
+                                             const DistCsr& gt) const {
+  const double flops = precond_flops(g, gt) / static_cast<double>(g.nranks());
+  const double time =
+      spmv_cost(g).total() + spmv_cost(gt).total();
+  return time > 0.0 ? flops / time * 1e-9 : 0.0;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,51 @@
+#include "perf/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+Machine machine_skylake() {
+  Machine m;
+  m.name = "skylake";
+  m.l1 = CacheConfig{.line_bytes = 64, .size_bytes = 32 * 1024, .associativity = 8};
+  m.mem_bw_per_core = 4.0e9;   // ~190 GB/s node / 48 cores
+  m.flops_per_core = 8.0e9;    // sustained on indexed SpMV code, not peak AVX
+  m.net_alpha = 1.5e-6;        // Omni-Path
+  m.net_beta = 5.0e-10;
+  m.cores_per_node = 48;
+  return m;
+}
+
+Machine machine_a64fx() {
+  Machine m;
+  m.name = "a64fx";
+  m.l1 = CacheConfig{.line_bytes = 256, .size_bytes = 64 * 1024, .associativity = 4};
+  m.mem_bw_per_core = 1.6e10;  // HBM2: ~1 TB/s node / 48 cores, derated
+  m.flops_per_core = 1.0e10;
+  m.net_alpha = 1.2e-6;        // Tofu-D
+  m.net_beta = 3.0e-10;
+  m.cores_per_node = 48;
+  return m;
+}
+
+Machine machine_zen2() {
+  Machine m;
+  m.name = "zen2";
+  m.l1 = CacheConfig{.line_bytes = 64, .size_bytes = 32 * 1024, .associativity = 8};
+  m.mem_bw_per_core = 3.0e9;   // ~380 GB/s node / 128 cores
+  m.flops_per_core = 1.6e10;   // the paper notes much higher FLOP/s on Zen 2
+  m.net_alpha = 1.8e-6;        // InfiniBand HDR200
+  m.net_beta = 4.0e-10;
+  m.cores_per_node = 128;
+  return m;
+}
+
+Machine machine_by_name(const std::string& name) {
+  if (name == "skylake") return machine_skylake();
+  if (name == "a64fx") return machine_a64fx();
+  if (name == "zen2") return machine_zen2();
+  FSAIC_REQUIRE(false, "unknown machine preset: " + name);
+  return {};
+}
+
+}  // namespace fsaic

@@ -1,0 +1,62 @@
+#include "perf/setup_cost.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace fsaic {
+
+SetupCost estimate_factor_setup(const SparsityPattern& pattern,
+                                const Layout& layout, const Machine& machine,
+                                int threads_per_rank) {
+  FSAIC_REQUIRE(pattern.rows() == layout.global_size(), "layout mismatch");
+  FSAIC_REQUIRE(threads_per_rank >= 1, "threads must be positive");
+  SetupCost cost;
+  double worst_rank_flops = 0.0;
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    double rank_flops = 0.0;
+    for (index_t i = layout.begin(p); i < layout.end(p); ++i) {
+      const double m = static_cast<double>(pattern.row_nnz(i));
+      const double solve = m * m * m / 3.0 + 2.0 * m * m;
+      // Gathering A(S,S): m^2 binary-searched lookups, ~log2(row) compares
+      // each; charge 8 "flops" apiece as a proxy.
+      const double gather = 8.0 * m * m;
+      cost.row_solve_flops += solve;
+      cost.gather_flops += gather;
+      rank_flops += solve + gather;
+    }
+    worst_rank_flops = std::max(worst_rank_flops, rank_flops);
+  }
+  cost.time = worst_rank_flops /
+              (machine.flops_per_core * static_cast<double>(threads_per_rank));
+  return cost;
+}
+
+SetupCost estimate_build_setup(const FsaiBuildResult& build, const Layout& layout,
+                               const Machine& machine, int threads_per_rank) {
+  // Plain FSAI computes values once on the final pattern. With an active
+  // extension + filter, Algorithm 2 computes a provisional factor on the
+  // full extended pattern first, then the final factor on the survivors.
+  const bool two_pass = build.extended_pattern.nnz() > build.final_pattern.nnz();
+  SetupCost total = estimate_factor_setup(build.final_pattern, layout, machine,
+                                          threads_per_rank);
+  if (two_pass) {
+    const SetupCost provisional = estimate_factor_setup(
+        build.extended_pattern, layout, machine, threads_per_rank);
+    total.row_solve_flops += provisional.row_solve_flops;
+    total.gather_flops += provisional.gather_flops;
+    total.time += provisional.time;
+  }
+  return total;
+}
+
+double solves_to_amortize(double setup_base, double solve_base,
+                          double setup_candidate, double solve_candidate) {
+  const double extra_setup = setup_candidate - setup_base;
+  const double per_solve_gain = solve_base - solve_candidate;
+  if (per_solve_gain <= 0.0) {
+    return extra_setup <= 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::max(0.0, extra_setup / per_solve_gain);
+}
+
+}  // namespace fsaic

@@ -1,0 +1,49 @@
+// Setup-phase cost model for the FSAI family.
+//
+// The paper's tables report solver time only; the preconditioner setup —
+// dominated by the per-row dense solves A(S_i,S_i) g = e_i — is paid once
+// per matrix. Since FSAIE/FSAIE-Comm compute the factor twice (provisional
+// values for filtering, then final values on the surviving pattern), their
+// setup is 2-3x FSAI's, and the amortization bench answers the practical
+// question "after how many solves does the extension pay for itself?".
+#pragma once
+
+#include "core/fsai_driver.hpp"
+#include "perf/machine.hpp"
+
+namespace fsaic {
+
+struct SetupCost {
+  /// Floating-point work of the dense row solves (Cholesky m^3/3 + two
+  /// triangular solves m^2 per row).
+  double row_solve_flops = 0.0;
+  /// Gather work: filling the m x m local system from CSR lookups.
+  double gather_flops = 0.0;
+  /// Modeled wall time on the machine (max over ranks, threads_per_rank
+  /// cores each; rows are embarrassingly parallel).
+  double time = 0.0;
+};
+
+/// Setup cost of computing FSAI values on `pattern` once.
+[[nodiscard]] SetupCost estimate_factor_setup(const SparsityPattern& pattern,
+                                              const Layout& layout,
+                                              const Machine& machine,
+                                              int threads_per_rank);
+
+/// Full pipeline setup for a build result: one factor computation for plain
+/// FSAI; extension + provisional factor + final factor when an extension
+/// and filtering were active.
+[[nodiscard]] SetupCost estimate_build_setup(const FsaiBuildResult& build,
+                                             const Layout& layout,
+                                             const Machine& machine,
+                                             int threads_per_rank);
+
+/// Number of solves after which a candidate configuration with
+/// (setup_candidate, time_per_solve_candidate) overtakes a baseline with
+/// (setup_base, time_per_solve_base). Returns infinity if the candidate
+/// never wins, 0 if it wins immediately.
+[[nodiscard]] double solves_to_amortize(double setup_base, double solve_base,
+                                        double setup_candidate,
+                                        double solve_candidate);
+
+}  // namespace fsaic

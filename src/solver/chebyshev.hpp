@@ -1,0 +1,46 @@
+// Chebyshev polynomial preconditioner.
+//
+// Applies z = p_k(A) r where p_k is the degree-k Chebyshev polynomial
+// minimizing the residual over a target spectrum interval [lmin, lmax].
+// Like the SAI family — and unlike IC/Schwarz — its application is nothing
+// but SpMVs and AXPYs, so it inherits the SpMV's communication pattern
+// (k halo updates of A per application, no new neighbor pairs, no
+// allreduces). It is the other established "communication-regular"
+// preconditioner, which makes it the natural extra baseline next to
+// FSAI/FSAIE-Comm: both trade setup intelligence for perfectly parallel
+// application, with opposite knobs (polynomial degree vs pattern size).
+#pragma once
+
+#include "solver/preconditioner.hpp"
+
+namespace fsaic {
+
+class ChebyshevPreconditioner final : public Preconditioner {
+ public:
+  /// `lmin`/`lmax` bound the spectrum of A (use sparse/stats.hpp Lanczos
+  /// estimates, padded a little); `degree` >= 1 is the polynomial degree.
+  ChebyshevPreconditioner(const DistCsr& a, value_t lmin, value_t lmax,
+                          int degree);
+
+  /// Convenience: estimate the spectrum bounds with a short Lanczos run on
+  /// the (gathered) matrix and pad them by 5%.
+  static ChebyshevPreconditioner with_estimated_spectrum(const CsrMatrix& global,
+                                                         const DistCsr& a,
+                                                         int degree);
+
+  void apply(const DistVector& r, DistVector& z,
+             CommStats* stats = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "chebyshev"; }
+
+  [[nodiscard]] int degree() const { return degree_; }
+  [[nodiscard]] value_t lambda_min() const { return lmin_; }
+  [[nodiscard]] value_t lambda_max() const { return lmax_; }
+
+ private:
+  const DistCsr* a_;
+  value_t lmin_;
+  value_t lmax_;
+  int degree_;
+};
+
+}  // namespace fsaic

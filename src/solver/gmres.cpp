@@ -1,0 +1,185 @@
+#include "solver/gmres.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+namespace {
+
+/// Apply a Givens rotation (c, s) to the pair (h1, h2).
+void apply_rotation(value_t c, value_t s, value_t& h1, value_t& h2) {
+  const value_t t = c * h1 + s * h2;
+  h2 = -s * h1 + c * h2;
+  h1 = t;
+}
+
+}  // namespace
+
+SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
+                        const Preconditioner& m, const GmresOptions& options) {
+  FSAIC_REQUIRE(options.rel_tol > 0.0, "tolerance must be positive");
+  FSAIC_REQUIRE(options.restart >= 1, "restart length must be >= 1");
+  const Layout& layout = a.row_layout();
+  FSAIC_REQUIRE(b.layout() == layout && x.layout() == layout,
+                "vector layouts must match the matrix");
+  const int mk = options.restart;
+
+  SolveResult result;
+  DistVector r(layout);
+  DistVector w(layout);
+  DistVector z(layout);
+  // Krylov basis; mk+1 distributed vectors.
+  std::vector<DistVector> basis;
+  basis.reserve(static_cast<std::size_t>(mk) + 1);
+  for (int i = 0; i <= mk; ++i) {
+    basis.emplace_back(layout);
+  }
+  // Hessenberg matrix in column-major (mk+1) x mk, plus Givens data.
+  std::vector<value_t> hess(static_cast<std::size_t>(mk + 1) *
+                            static_cast<std::size_t>(mk));
+  const auto h = [&](int row, int col) -> value_t& {
+    return hess[static_cast<std::size_t>(col) * static_cast<std::size_t>(mk + 1) +
+                static_cast<std::size_t>(row)];
+  };
+  std::vector<value_t> cs(static_cast<std::size_t>(mk));
+  std::vector<value_t> sn(static_cast<std::size_t>(mk));
+  std::vector<value_t> g(static_cast<std::size_t>(mk) + 1);
+
+  // r = b - A x.
+  a.spmv(x, r, &result.comm);
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    const auto bb = b.block(p);
+    auto rb = r.block(p);
+    for (std::size_t i = 0; i < rb.size(); ++i) {
+      rb[i] = bb[i] - rb[i];
+    }
+  }
+  result.initial_residual = dist_norm2(r, &result.comm);
+  result.final_residual = result.initial_residual;
+  if (options.track_residual_history) {
+    result.residual_history.push_back(result.initial_residual);
+  }
+  if (result.initial_residual == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const value_t target = options.rel_tol * result.initial_residual;
+
+  while (result.iterations < options.max_iterations) {
+    // Start (or restart) the Arnoldi process from the current residual.
+    value_t beta = dist_norm2(r, &result.comm);
+    if (beta <= target) {
+      result.converged = true;
+      result.final_residual = beta;
+      return result;
+    }
+    for (rank_t p = 0; p < layout.nranks(); ++p) {
+      const auto rb = r.block(p);
+      auto vb = basis[0].block(p);
+      for (std::size_t i = 0; i < rb.size(); ++i) {
+        vb[i] = rb[i] / beta;
+      }
+    }
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;  // columns completed in this cycle
+    for (; k < mk && result.iterations < options.max_iterations; ++k) {
+      // w = A M v_k  (right preconditioning).
+      m.apply(basis[static_cast<std::size_t>(k)], z, &result.comm);
+      a.spmv(z, w, &result.comm);
+      ++result.iterations;
+
+      // Modified Gram-Schmidt against the basis.
+      for (int j = 0; j <= k; ++j) {
+        const value_t hjk =
+            dist_dot(w, basis[static_cast<std::size_t>(j)], &result.comm);
+        h(j, k) = hjk;
+        dist_axpy(-hjk, basis[static_cast<std::size_t>(j)], w);
+      }
+      const value_t hkk = dist_norm2(w, &result.comm);
+      h(k + 1, k) = hkk;
+      FSAIC_CHECK(std::isfinite(hkk), "GMRES breakdown: basis norm not finite");
+      if (hkk > 0.0) {
+        for (rank_t p = 0; p < layout.nranks(); ++p) {
+          const auto wb = w.block(p);
+          auto vb = basis[static_cast<std::size_t>(k) + 1].block(p);
+          for (std::size_t i = 0; i < wb.size(); ++i) {
+            vb[i] = wb[i] / hkk;
+          }
+        }
+      }
+
+      // Apply previous Givens rotations to the new column, then create the
+      // one that annihilates h(k+1, k).
+      for (int j = 0; j < k; ++j) {
+        apply_rotation(cs[static_cast<std::size_t>(j)],
+                       sn[static_cast<std::size_t>(j)], h(j, k), h(j + 1, k));
+      }
+      const value_t denom = std::hypot(h(k, k), h(k + 1, k));
+      if (denom == 0.0) {
+        // Exact breakdown: the solution lies in the current space.
+        ++k;
+        break;
+      }
+      cs[static_cast<std::size_t>(k)] = h(k, k) / denom;
+      sn[static_cast<std::size_t>(k)] = h(k + 1, k) / denom;
+      apply_rotation(cs[static_cast<std::size_t>(k)],
+                     sn[static_cast<std::size_t>(k)], h(k, k), h(k + 1, k));
+      apply_rotation(cs[static_cast<std::size_t>(k)],
+                     sn[static_cast<std::size_t>(k)],
+                     g[static_cast<std::size_t>(k)],
+                     g[static_cast<std::size_t>(k) + 1]);
+
+      const value_t res = std::abs(g[static_cast<std::size_t>(k) + 1]);
+      result.final_residual = res;
+      if (options.track_residual_history) {
+        result.residual_history.push_back(res);
+      }
+      if (res <= target) {
+        ++k;
+        break;
+      }
+    }
+
+    // Solve the small triangular system H y = g and update x += M V y.
+    std::vector<value_t> y(static_cast<std::size_t>(k));
+    for (int i = k - 1; i >= 0; --i) {
+      value_t s = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        s -= h(i, j) * y[static_cast<std::size_t>(j)];
+      }
+      FSAIC_CHECK(h(i, i) != 0.0, "GMRES: singular Hessenberg diagonal");
+      y[static_cast<std::size_t>(i)] = s / h(i, i);
+    }
+    // z = V y (accumulate in w), then x += M z.
+    w.fill(0.0);
+    for (int j = 0; j < k; ++j) {
+      dist_axpy(y[static_cast<std::size_t>(j)], basis[static_cast<std::size_t>(j)],
+                w);
+    }
+    m.apply(w, z, &result.comm);
+    dist_axpy(1.0, z, x);
+
+    // True restart residual.
+    a.spmv(x, r, &result.comm);
+    for (rank_t p = 0; p < layout.nranks(); ++p) {
+      const auto bb = b.block(p);
+      auto rb = r.block(p);
+      for (std::size_t i = 0; i < rb.size(); ++i) {
+        rb[i] = bb[i] - rb[i];
+      }
+    }
+    const value_t true_res = dist_norm2(r, &result.comm);
+    result.final_residual = true_res;
+    if (true_res <= target) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace fsaic

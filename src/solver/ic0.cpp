@@ -1,0 +1,126 @@
+#include "solver/ic0.hpp"
+
+#include <cmath>
+
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+
+CsrMatrix ic0_factor(const CsrMatrix& a) {
+  FSAIC_REQUIRE(a.rows() == a.cols(), "IC(0) requires a square matrix");
+  CsrMatrix l = lower_triangle(a);
+  FSAIC_REQUIRE(l.pattern().has_full_diagonal(),
+                "IC(0) requires a structurally nonzero diagonal");
+  const index_t n = l.rows();
+
+  // Row-oriented up-looking IC(0): for each row i and each pattern entry
+  // (i, k), subtract the sparse dot product of rows i and k (columns < k),
+  // divide by l_kk; close the row with the diagonal square root.
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = l.row_cols(i);
+    auto vals = l.row_vals(i);
+    for (std::size_t ki = 0; ki < cols.size(); ++ki) {
+      const index_t k = cols[ki];
+      value_t sum = vals[ki];
+      // Sparse dot of row i (current, columns < k) with row k (columns < k).
+      const auto kcols = l.row_cols(k);
+      const auto kvals = l.row_vals(k);
+      std::size_t pi = 0;
+      std::size_t pk = 0;
+      while (pi < ki && pk + 1 < kcols.size()) {  // row k's last entry is its diag
+        if (cols[pi] == kcols[pk]) {
+          sum -= vals[pi] * kvals[pk];
+          ++pi;
+          ++pk;
+        } else if (cols[pi] < kcols[pk]) {
+          ++pi;
+        } else {
+          ++pk;
+        }
+      }
+      if (k == i) {
+        FSAIC_REQUIRE(sum > 0.0 && std::isfinite(sum),
+                      "IC(0) breakdown: non-positive pivot");
+        vals[ki] = std::sqrt(sum);
+      } else {
+        const value_t lkk = l.at(k, k);
+        vals[ki] = sum / lkk;
+      }
+    }
+  }
+  return l;
+}
+
+void ic_solve_in_place(const CsrMatrix& l, std::span<value_t> x) {
+  const index_t n = l.rows();
+  FSAIC_REQUIRE(x.size() == static_cast<std::size_t>(n), "rhs size mismatch");
+  // Forward: L y = x. The diagonal is each row's last pattern entry.
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = l.row_cols(i);
+    const auto vals = l.row_vals(i);
+    value_t s = x[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k + 1 < cols.size(); ++k) {
+      s -= vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    x[static_cast<std::size_t>(i)] = s / vals[cols.size() - 1];
+  }
+  // Backward: L^T z = y, column-sweep form.
+  for (index_t i = n - 1; i >= 0; --i) {
+    const auto cols = l.row_cols(i);
+    const auto vals = l.row_vals(i);
+    const value_t zi = x[static_cast<std::size_t>(i)] / vals[cols.size() - 1];
+    x[static_cast<std::size_t>(i)] = zi;
+    for (std::size_t k = 0; k + 1 < cols.size(); ++k) {
+      x[static_cast<std::size_t>(cols[k])] -= vals[k] * zi;
+    }
+  }
+}
+
+BlockIc0Preconditioner::BlockIc0Preconditioner(const DistCsr& a)
+    : layout_(a.row_layout()) {
+  factors_.reserve(static_cast<std::size_t>(a.nranks()));
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    const RankBlock& blk = a.block(p);
+    // Restrict to the local diagonal block (columns < local rows).
+    const index_t nloc = blk.matrix.rows();
+    std::vector<offset_t> row_ptr(static_cast<std::size_t>(nloc) + 1, 0);
+    std::vector<index_t> col_idx;
+    std::vector<value_t> values;
+    for (index_t i = 0; i < nloc; ++i) {
+      const auto cols = blk.matrix.row_cols(i);
+      const auto vals = blk.matrix.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] < nloc) {
+          col_idx.push_back(cols[k]);
+          values.push_back(vals[k]);
+        }
+      }
+      row_ptr[static_cast<std::size_t>(i) + 1] =
+          static_cast<offset_t>(col_idx.size());
+    }
+    const CsrMatrix local(nloc, nloc, std::move(row_ptr), std::move(col_idx),
+                          std::move(values));
+    factors_.push_back(ic0_factor(local));
+  }
+}
+
+void BlockIc0Preconditioner::apply(const DistVector& r, DistVector& z,
+                                   CommStats* /*stats*/) const {
+  FSAIC_REQUIRE(r.layout() == layout_, "layout mismatch");
+  for (rank_t p = 0; p < layout_.nranks(); ++p) {
+    const auto rb = r.block(p);
+    auto zb = z.block(p);
+    std::copy(rb.begin(), rb.end(), zb.begin());
+    ic_solve_in_place(factors_[static_cast<std::size_t>(p)], zb);
+  }
+}
+
+index_t BlockIc0Preconditioner::max_block_rows() const {
+  index_t m = 0;
+  for (const auto& f : factors_) {
+    m = std::max(m, f.rows());
+  }
+  return m;
+}
+
+}  // namespace fsaic

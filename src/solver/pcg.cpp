@@ -1,0 +1,89 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
+                      const Preconditioner& m, const SolveOptions& options) {
+  FSAIC_REQUIRE(options.rel_tol > 0.0, "tolerance must be positive");
+  FSAIC_REQUIRE(options.max_iterations >= 0, "max_iterations must be >= 0");
+  const Layout& layout = a.row_layout();
+  FSAIC_REQUIRE(b.layout() == layout && x.layout() == layout,
+                "vector layouts must match the matrix");
+
+  SolveResult result;
+  DistVector r(layout);
+  DistVector z(layout);
+  DistVector d(layout);
+  DistVector q(layout);
+
+  // r = b - A x.
+  a.spmv(x, r, &result.comm);
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    const auto bb = b.block(p);
+    auto rb = r.block(p);
+    for (std::size_t i = 0; i < rb.size(); ++i) {
+      rb[i] = bb[i] - rb[i];
+    }
+  }
+
+  result.initial_residual = dist_norm2(r, &result.comm);
+  result.final_residual = result.initial_residual;
+  if (options.track_residual_history) {
+    result.residual_history.push_back(result.initial_residual);
+  }
+  if (result.initial_residual == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const value_t target = options.rel_tol * result.initial_residual;
+
+  m.apply(r, z, &result.comm);
+  dist_copy(z, d);
+  value_t rho = dist_dot(r, z, &result.comm);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.spmv(d, q, &result.comm);
+    const value_t dq = dist_dot(d, q, &result.comm);
+    FSAIC_CHECK(std::isfinite(dq), "CG breakdown: d^T A d is not finite");
+    if (dq <= 0.0) {
+      // A (or the preconditioned operator) is not positive definite along d;
+      // report non-convergence rather than diverging silently.
+      result.iterations = it;
+      return result;
+    }
+    const value_t alpha = rho / dq;
+    dist_axpy(alpha, d, x);
+    dist_axpy(-alpha, q, r);
+
+    const value_t rnorm = dist_norm2(r, &result.comm);
+    result.final_residual = rnorm;
+    result.iterations = it + 1;
+    if (options.track_residual_history) {
+      result.residual_history.push_back(rnorm);
+    }
+    if (rnorm <= target) {
+      result.converged = true;
+      return result;
+    }
+
+    m.apply(r, z, &result.comm);
+    const value_t rho_next = dist_dot(r, z, &result.comm);
+    FSAIC_CHECK(std::isfinite(rho_next), "CG breakdown: r^T z is not finite");
+    const value_t beta = rho_next / rho;
+    rho = rho_next;
+    dist_xpby(z, beta, d);
+  }
+  return result;
+}
+
+SolveResult cg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
+                     const SolveOptions& options) {
+  const IdentityPreconditioner identity;
+  return pcg_solve(a, b, x, identity, options);
+}
+
+}  // namespace fsaic

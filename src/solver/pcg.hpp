@@ -1,0 +1,42 @@
+// Distributed (preconditioned) Conjugate Gradient, Section 2.1 of the paper.
+#pragma once
+
+#include <vector>
+
+#include "dist/comm_stats.hpp"
+#include "dist/dist_csr.hpp"
+#include "dist/dist_vector.hpp"
+#include "solver/preconditioner.hpp"
+
+namespace fsaic {
+
+struct SolveOptions {
+  /// Converged when ||r_k||_2 <= rel_tol * ||r_0||_2 (the paper reduces the
+  /// initial residual by eight orders of magnitude).
+  value_t rel_tol = 1e-8;
+  int max_iterations = 20000;
+  /// Record ||r_k|| for every iteration (diagnostics; costs one vector).
+  bool track_residual_history = false;
+};
+
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  value_t initial_residual = 0.0;
+  value_t final_residual = 0.0;
+  std::vector<value_t> residual_history;
+  /// Fabric traffic of the whole solve (halo updates + allreduces).
+  CommStats comm;
+};
+
+/// Preconditioned CG: solves A x = b with preconditioner z = M r. `x` holds
+/// the initial guess on entry and the solution on exit.
+[[nodiscard]] SolveResult pcg_solve(const DistCsr& a, const DistVector& b,
+                                    DistVector& x, const Preconditioner& m,
+                                    const SolveOptions& options = {});
+
+/// Unpreconditioned CG (identity preconditioner fast path: no z vector).
+[[nodiscard]] SolveResult cg_solve(const DistCsr& a, const DistVector& b,
+                                   DistVector& x, const SolveOptions& options = {});
+
+}  // namespace fsaic

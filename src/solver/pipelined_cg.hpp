@@ -1,0 +1,21 @@
+// Chronopoulos–Gear preconditioned CG: algebraically equivalent to classic
+// PCG but restructured so each iteration needs a single fused allreduce
+// (three scalars at once) instead of three separate ones. At the paper's
+// scale (32,768 cores) the allreduce latency term α·log2(P) is a visible
+// slice of the iteration, so this communication-avoiding variant is the
+// natural companion to FSAIE-Comm's communication-neutral preconditioning —
+// see bench/ablation_pipelined_cg.
+#pragma once
+
+#include "solver/pcg.hpp"
+
+namespace fsaic {
+
+/// Chronopoulos–Gear PCG. Same contract as pcg_solve; `result.comm`
+/// reflects the fused single-allreduce-per-iteration structure.
+[[nodiscard]] SolveResult pcg_solve_pipelined(const DistCsr& a,
+                                              const DistVector& b, DistVector& x,
+                                              const Preconditioner& m,
+                                              const SolveOptions& options = {});
+
+}  // namespace fsaic

@@ -1,0 +1,125 @@
+#include "solver/preconditioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dense/dense_matrix.hpp"
+#include "dense/factorizations.hpp"
+
+namespace fsaic {
+
+void IdentityPreconditioner::apply(const DistVector& r, DistVector& z,
+                                   CommStats* /*stats*/) const {
+  dist_copy(r, z);
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const DistCsr& a)
+    : inv_diag_(a.row_layout()) {
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    const RankBlock& blk = a.block(p);
+    auto d = inv_diag_.block(p);
+    for (index_t li = 0; li < blk.matrix.rows(); ++li) {
+      const value_t aii = blk.matrix.at(li, li);
+      FSAIC_REQUIRE(aii != 0.0, "Jacobi requires a nonzero diagonal");
+      d[static_cast<std::size_t>(li)] = 1.0 / aii;
+    }
+  }
+}
+
+void JacobiPreconditioner::apply(const DistVector& r, DistVector& z,
+                                 CommStats* /*stats*/) const {
+  FSAIC_REQUIRE(r.layout() == inv_diag_.layout(), "layout mismatch");
+  for (rank_t p = 0; p < r.nranks(); ++p) {
+    const auto rb = r.block(p);
+    const auto db = inv_diag_.block(p);
+    auto zb = z.block(p);
+    for (std::size_t i = 0; i < rb.size(); ++i) {
+      zb[i] = rb[i] * db[i];
+    }
+  }
+}
+
+BlockJacobiPreconditioner::BlockJacobiPreconditioner(const DistCsr& a,
+                                                     index_t block_size)
+    : layout_(a.row_layout()) {
+  FSAIC_REQUIRE(block_size >= 1, "block size must be positive");
+  rank_blocks_.resize(static_cast<std::size_t>(a.nranks()));
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    const RankBlock& rb = a.block(p);
+    const index_t nloc = rb.matrix.rows();
+    for (index_t first = 0; first < nloc; first += block_size) {
+      Block blk;
+      blk.first = first;
+      blk.size = std::min(block_size, nloc - first);
+      DenseMatrix dense(blk.size, blk.size);
+      for (index_t i = 0; i < blk.size; ++i) {
+        const auto cols = rb.matrix.row_cols(first + i);
+        const auto vals = rb.matrix.row_vals(first + i);
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          const index_t j = cols[k] - first;
+          if (j >= 0 && j < blk.size) dense(i, j) = vals[k];
+        }
+      }
+      // Diagonal blocks of an SPD matrix are SPD, so Cholesky must succeed;
+      // guard anyway so a bad input surfaces as an exception, not UB.
+      FSAIC_REQUIRE(cholesky_factor(dense),
+                    "block-Jacobi diagonal block is not positive definite");
+      blk.chol.resize(static_cast<std::size_t>(blk.size) *
+                      static_cast<std::size_t>(blk.size));
+      for (index_t i = 0; i < blk.size; ++i) {
+        for (index_t j = 0; j <= i; ++j) {
+          blk.chol[static_cast<std::size_t>(i) * static_cast<std::size_t>(blk.size) +
+                   static_cast<std::size_t>(j)] = dense(i, j);
+        }
+      }
+      rank_blocks_[static_cast<std::size_t>(p)].push_back(std::move(blk));
+    }
+  }
+}
+
+void BlockJacobiPreconditioner::apply(const DistVector& r, DistVector& z,
+                                      CommStats* /*stats*/) const {
+  FSAIC_REQUIRE(r.layout() == layout_, "layout mismatch");
+  for (rank_t p = 0; p < layout_.nranks(); ++p) {
+    const auto rb = r.block(p);
+    auto zb = z.block(p);
+    for (const Block& blk : rank_blocks_[static_cast<std::size_t>(p)]) {
+      const auto n = static_cast<std::size_t>(blk.size);
+      const auto l = [&](index_t i, index_t j) {
+        return blk.chol[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      };
+      // Forward then backward substitution into zb.
+      for (index_t i = 0; i < blk.size; ++i) {
+        value_t s = rb[static_cast<std::size_t>(blk.first + i)];
+        for (index_t j = 0; j < i; ++j) {
+          s -= l(i, j) * zb[static_cast<std::size_t>(blk.first + j)];
+        }
+        zb[static_cast<std::size_t>(blk.first + i)] = s / l(i, i);
+      }
+      for (index_t i = blk.size - 1; i >= 0; --i) {
+        value_t s = zb[static_cast<std::size_t>(blk.first + i)];
+        for (index_t j = i + 1; j < blk.size; ++j) {
+          s -= l(j, i) * zb[static_cast<std::size_t>(blk.first + j)];
+        }
+        zb[static_cast<std::size_t>(blk.first + i)] = s / l(i, i);
+      }
+    }
+  }
+}
+
+FactorizedPreconditioner::FactorizedPreconditioner(DistCsr g, DistCsr gt,
+                                                   std::string label)
+    : g_(std::move(g)), gt_(std::move(gt)), label_(std::move(label)) {
+  FSAIC_REQUIRE(g_.row_layout() == gt_.row_layout(),
+                "G and G^T must share a layout");
+}
+
+void FactorizedPreconditioner::apply(const DistVector& r, DistVector& z,
+                                     CommStats* stats) const {
+  DistVector w(r.layout());
+  g_.spmv(r, w, stats);
+  gt_.spmv(w, z, stats);
+}
+
+}  // namespace fsaic

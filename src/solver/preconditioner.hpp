@@ -1,0 +1,88 @@
+// Preconditioner interface and simple baselines (Identity, Jacobi,
+// Block-Jacobi). The FSAI family lives in core/ and implements the same
+// interface through FactorizedPreconditioner.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/comm_stats.hpp"
+#include "dist/dist_csr.hpp"
+#include "dist/dist_vector.hpp"
+
+namespace fsaic {
+
+/// Application-side interface: z = M r.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  virtual void apply(const DistVector& r, DistVector& z,
+                     CommStats* stats = nullptr) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// z = r (plain CG).
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(const DistVector& r, DistVector& z,
+             CommStats* stats = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+/// z = D^{-1} r with D = diag(A).
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const DistCsr& a);
+
+  void apply(const DistVector& r, DistVector& z,
+             CommStats* stats = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "jacobi"; }
+
+ private:
+  DistVector inv_diag_;
+};
+
+/// Dense-Cholesky block-diagonal preconditioner: the local unknowns of each
+/// rank are split into blocks of `block_size` consecutive rows and each block
+/// of A restricted to them is factorized. Communication-free by design.
+class BlockJacobiPreconditioner final : public Preconditioner {
+ public:
+  BlockJacobiPreconditioner(const DistCsr& a, index_t block_size);
+
+  void apply(const DistVector& r, DistVector& z,
+             CommStats* stats = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return "block-jacobi"; }
+
+ private:
+  struct Block {
+    index_t first = 0;    ///< first local row
+    index_t size = 0;
+    std::vector<value_t> chol;  ///< packed lower Cholesky factor, row-major
+  };
+  Layout layout_;
+  std::vector<std::vector<Block>> rank_blocks_;
+};
+
+/// z = G^T (G r): the factorized approximate inverse application the FSAI
+/// family uses. Owns the distributed factors.
+class FactorizedPreconditioner final : public Preconditioner {
+ public:
+  FactorizedPreconditioner(DistCsr g, DistCsr gt, std::string label);
+
+  void apply(const DistVector& r, DistVector& z,
+             CommStats* stats = nullptr) const override;
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] const DistCsr& g() const { return g_; }
+  [[nodiscard]] const DistCsr& gt() const { return gt_; }
+
+ private:
+  DistCsr g_;
+  DistCsr gt_;
+  std::string label_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,184 @@
+#include "solver/schwarz.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "solver/ic0.hpp"
+#include "sparse/coo.hpp"
+
+namespace fsaic {
+
+SchwarzPreconditioner::SchwarzPreconditioner(const CsrMatrix& a,
+                                             const Layout& layout, int overlap)
+    : layout_(layout) {
+  FSAIC_REQUIRE(a.rows() == layout.global_size(), "layout mismatch");
+  FSAIC_REQUIRE(overlap >= 0, "overlap must be non-negative");
+  domains_.resize(static_cast<std::size_t>(layout.nranks()));
+
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    RankDomain& dom = domains_[static_cast<std::size_t>(p)];
+    dom.owned = layout.local_size(p);
+
+    // BFS out to `overlap` hops from the owned rows.
+    std::vector<bool> in_region(static_cast<std::size_t>(a.rows()), false);
+    std::vector<index_t> frontier;
+    dom.region_gids.reserve(static_cast<std::size_t>(dom.owned));
+    for (index_t i = layout.begin(p); i < layout.end(p); ++i) {
+      in_region[static_cast<std::size_t>(i)] = true;
+      dom.region_gids.push_back(i);
+      frontier.push_back(i);
+    }
+    std::vector<index_t> overlap_rows;
+    for (int hop = 0; hop < overlap; ++hop) {
+      std::vector<index_t> next;
+      for (index_t i : frontier) {
+        for (index_t j : a.row_cols(i)) {
+          if (!in_region[static_cast<std::size_t>(j)]) {
+            in_region[static_cast<std::size_t>(j)] = true;
+            overlap_rows.push_back(j);
+            next.push_back(j);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    std::sort(overlap_rows.begin(), overlap_rows.end());
+    dom.region_gids.insert(dom.region_gids.end(), overlap_rows.begin(),
+                           overlap_rows.end());
+
+    // Fetch lists: overlap rows grouped by owner.
+    rank_t current = -1;
+    for (index_t gid : overlap_rows) {
+      const rank_t q = layout.owner(gid);
+      if (q != current) {
+        dom.fetch.emplace_back(q, std::vector<index_t>{});
+        current = q;
+      }
+      dom.fetch.back().second.push_back(gid);
+    }
+
+    // Local index map and the region-restricted matrix.
+    std::unordered_map<index_t, index_t> local_of;
+    local_of.reserve(dom.region_gids.size());
+    for (std::size_t k = 0; k < dom.region_gids.size(); ++k) {
+      local_of.emplace(dom.region_gids[k], static_cast<index_t>(k));
+    }
+    const auto m = static_cast<index_t>(dom.region_gids.size());
+    CooBuilder builder(m, m);
+    for (index_t li = 0; li < m; ++li) {
+      const index_t gi = dom.region_gids[static_cast<std::size_t>(li)];
+      const auto cols = a.row_cols(gi);
+      const auto vals = a.row_vals(gi);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const auto it = local_of.find(cols[k]);
+        if (it != local_of.end()) {
+          builder.add(li, it->second, vals[k]);
+        }
+      }
+    }
+    dom.factor = ic0_factor(builder.to_csr());
+  }
+
+  // Partition-of-unity weights: how many domains cover each unknown.
+  std::vector<int> cover(static_cast<std::size_t>(a.rows()), 0);
+  for (const auto& dom : domains_) {
+    for (index_t gid : dom.region_gids) {
+      ++cover[static_cast<std::size_t>(gid)];
+    }
+  }
+  inv_sqrt_cover_ = DistVector(layout);
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    auto w = inv_sqrt_cover_.block(p);
+    for (index_t i = 0; i < layout.local_size(p); ++i) {
+      w[static_cast<std::size_t>(i)] =
+          1.0 / std::sqrt(static_cast<value_t>(
+                    cover[static_cast<std::size_t>(layout.begin(p) + i)]));
+    }
+  }
+}
+
+void SchwarzPreconditioner::apply(const DistVector& r, DistVector& z,
+                                  CommStats* stats) const {
+  FSAIC_REQUIRE(r.layout() == layout_, "layout mismatch");
+  z.fill(0.0);
+  std::vector<value_t> local;
+  for (rank_t p = 0; p < layout_.nranks(); ++p) {
+    const RankDomain& dom = domains_[static_cast<std::size_t>(p)];
+    local.assign(dom.region_gids.size(), 0.0);
+    // Owned residual values, pre-scaled by the partition-of-unity weight.
+    const auto rb = r.block(p);
+    const auto wb = inv_sqrt_cover_.block(p);
+    for (index_t i = 0; i < dom.owned; ++i) {
+      local[static_cast<std::size_t>(i)] =
+          rb[static_cast<std::size_t>(i)] * wb[static_cast<std::size_t>(i)];
+    }
+    // Overlap residual values arrive from their owners — the communication
+    // that Block-Jacobi (overlap 0) and FSAI avoid.
+    std::size_t slot = static_cast<std::size_t>(dom.owned);
+    for (const auto& [q, gids] : dom.fetch) {
+      const auto src = r.block(q);
+      const auto wq = inv_sqrt_cover_.block(q);
+      const index_t q0 = layout_.begin(q);
+      for (index_t gid : gids) {
+        local[slot++] = src[static_cast<std::size_t>(gid - q0)] *
+                        wq[static_cast<std::size_t>(gid - q0)];
+      }
+      if (stats != nullptr) {
+        stats->record_halo_message(
+            q, p, static_cast<std::int64_t>(gids.size() * sizeof(value_t)));
+      }
+    }
+    ic_solve_in_place(dom.factor, local);
+    // Symmetric additive combination: the owned part accumulates into this
+    // rank's z, the overlap contributions travel back to their owners.
+    auto zb = z.block(p);
+    for (index_t i = 0; i < dom.owned; ++i) {
+      zb[static_cast<std::size_t>(i)] +=
+          local[static_cast<std::size_t>(i)] * wb[static_cast<std::size_t>(i)];
+    }
+    slot = static_cast<std::size_t>(dom.owned);
+    for (const auto& [q, gids] : dom.fetch) {
+      auto dst = z.block(q);
+      const auto wq = inv_sqrt_cover_.block(q);
+      const index_t q0 = layout_.begin(q);
+      for (index_t gid : gids) {
+        dst[static_cast<std::size_t>(gid - q0)] +=
+            local[slot++] * wq[static_cast<std::size_t>(gid - q0)];
+      }
+      if (stats != nullptr) {
+        stats->record_halo_message(
+            p, q, static_cast<std::int64_t>(gids.size() * sizeof(value_t)));
+      }
+    }
+  }
+}
+
+std::int64_t SchwarzPreconditioner::apply_halo_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& dom : domains_) {
+    for (const auto& [q, gids] : dom.fetch) {
+      // Fetch of residual values plus return of solved contributions.
+      bytes += 2 * static_cast<std::int64_t>(gids.size() * sizeof(value_t));
+    }
+  }
+  return bytes;
+}
+
+std::int64_t SchwarzPreconditioner::apply_halo_messages() const {
+  std::int64_t messages = 0;
+  for (const auto& dom : domains_) {
+    messages += 2 * static_cast<std::int64_t>(dom.fetch.size());
+  }
+  return messages;
+}
+
+index_t SchwarzPreconditioner::max_extended_rows() const {
+  index_t m = 0;
+  for (const auto& dom : domains_) {
+    m = std::max(m, static_cast<index_t>(dom.region_gids.size()));
+  }
+  return m;
+}
+
+}  // namespace fsaic

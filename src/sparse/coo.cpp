@@ -1,0 +1,60 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+namespace fsaic {
+
+CsrMatrix CooBuilder::to_csr(bool drop_zeros) const {
+  // Counting sort by row, then sort each row's slice by column. This is
+  // O(nnz log(row degree)) and avoids a full O(nnz log nnz) global sort.
+  std::vector<offset_t> row_count(static_cast<std::size_t>(rows_) + 1, 0);
+  for (const auto& t : entries_) {
+    ++row_count[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (index_t i = 0; i < rows_; ++i) {
+    row_count[static_cast<std::size_t>(i) + 1] += row_count[static_cast<std::size_t>(i)];
+  }
+  struct ColVal {
+    index_t col;
+    value_t val;
+  };
+  std::vector<ColVal> sorted(entries_.size());
+  {
+    std::vector<offset_t> cursor(row_count.begin(), row_count.end() - 1);
+    for (const auto& t : entries_) {
+      sorted[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t.row)]++)] =
+          {t.col, t.val};
+    }
+  }
+
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<value_t> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto b = static_cast<std::size_t>(row_count[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(row_count[static_cast<std::size_t>(i) + 1]);
+    std::sort(sorted.begin() + static_cast<std::ptrdiff_t>(b),
+              sorted.begin() + static_cast<std::ptrdiff_t>(e),
+              [](const ColVal& a, const ColVal& c) { return a.col < c.col; });
+    std::size_t k = b;
+    while (k < e) {
+      const index_t col = sorted[k].col;
+      value_t sum = 0.0;
+      while (k < e && sorted[k].col == col) {
+        sum += sorted[k].val;
+        ++k;
+      }
+      if (drop_zeros && sum == 0.0) continue;
+      col_idx.push_back(col);
+      values.push_back(sum);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(col_idx.size());
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace fsaic

@@ -1,0 +1,55 @@
+// Coordinate-format builder: accumulate (i, j, v) triplets, then convert to
+// CSR. Duplicate coordinates are summed, matching Matrix Market semantics and
+// finite-element assembly.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+class CooBuilder {
+ public:
+  CooBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    FSAIC_REQUIRE(rows >= 0 && cols >= 0, "shape must be non-negative");
+  }
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Add a triplet; duplicates are summed at conversion time.
+  void add(index_t i, index_t j, value_t v) {
+    FSAIC_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                  "triplet index out of range");
+    entries_.push_back({i, j, v});
+  }
+
+  /// Add v at (i, j) and (j, i); adds once when i == j.
+  void add_symmetric(index_t i, index_t j, value_t v) {
+    add(i, j, v);
+    if (i != j) add(j, i, v);
+  }
+
+  /// Convert to CSR, summing duplicates. Entries with |v| == 0 after
+  /// summation are kept (structural zeros matter for patterns) unless
+  /// drop_zeros is set.
+  [[nodiscard]] CsrMatrix to_csr(bool drop_zeros = false) const;
+
+ private:
+  struct Triplet {
+    index_t row;
+    index_t col;
+    value_t val;
+  };
+
+  index_t rows_;
+  index_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace fsaic

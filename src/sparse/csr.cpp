@@ -1,0 +1,59 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsaic {
+
+CsrMatrix::CsrMatrix(SparsityPattern pattern)
+    : pattern_(std::move(pattern)),
+      values_(static_cast<std::size_t>(pattern_.nnz()), 0.0) {}
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<value_t> values)
+    : pattern_(rows, cols, std::move(row_ptr), std::move(col_idx)),
+      values_(std::move(values)) {
+  FSAIC_REQUIRE(values_.size() == static_cast<std::size_t>(pattern_.nnz()),
+                "one value per pattern entry required");
+}
+
+value_t CsrMatrix::at(index_t i, index_t j) const {
+  const auto cols = pattern_.row(i);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+  if (it == cols.end() || *it != j) return 0.0;
+  const auto rp = pattern_.row_ptr();
+  const auto pos = static_cast<std::size_t>(rp[static_cast<std::size_t>(i)] +
+                                            (it - cols.begin()));
+  return values_[pos];
+}
+
+std::vector<value_t> CsrMatrix::diagonal() const {
+  FSAIC_REQUIRE(rows() == cols(), "diagonal requires a square matrix");
+  std::vector<value_t> d(static_cast<std::size_t>(rows()));
+  for (index_t i = 0; i < rows(); ++i) {
+    d[static_cast<std::size_t>(i)] = at(i, i);
+  }
+  return d;
+}
+
+bool CsrMatrix::is_symmetric(value_t tol) const {
+  if (rows() != cols()) return false;
+  for (index_t i = 0; i < rows(); ++i) {
+    const auto cols_i = row_cols(i);
+    const auto vals_i = row_vals(i);
+    for (std::size_t k = 0; k < cols_i.size(); ++k) {
+      if (std::abs(vals_i[k] - at(cols_i[k], i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+value_t CsrMatrix::max_abs() const {
+  value_t m = 0.0;
+  for (value_t v : values_) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,73 @@
+// Compressed Sparse Row matrix: the workhorse container of the library.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+
+/// CSR matrix with sorted, duplicate-free columns per row.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Zero matrix on a given pattern (values all 0).
+  explicit CsrMatrix(SparsityPattern pattern);
+
+  /// Adopt CSR arrays; structure is validated through SparsityPattern.
+  CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<value_t> values);
+
+  [[nodiscard]] index_t rows() const { return pattern_.rows(); }
+  [[nodiscard]] index_t cols() const { return pattern_.cols(); }
+  [[nodiscard]] offset_t nnz() const { return pattern_.nnz(); }
+
+  [[nodiscard]] const SparsityPattern& pattern() const { return pattern_; }
+  [[nodiscard]] std::span<const offset_t> row_ptr() const { return pattern_.row_ptr(); }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return pattern_.col_idx(); }
+  [[nodiscard]] std::span<const value_t> values() const { return values_; }
+  [[nodiscard]] std::span<value_t> values() { return values_; }
+
+  /// Column indices of row i.
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const {
+    return pattern_.row(i);
+  }
+
+  /// Values of row i.
+  [[nodiscard]] std::span<const value_t> row_vals(index_t i) const {
+    const auto rp = pattern_.row_ptr();
+    return {values_.data() + rp[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(rp[static_cast<std::size_t>(i) + 1] -
+                                     rp[static_cast<std::size_t>(i)])};
+  }
+
+  [[nodiscard]] std::span<value_t> row_vals(index_t i) {
+    const auto rp = pattern_.row_ptr();
+    return {values_.data() + rp[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(rp[static_cast<std::size_t>(i) + 1] -
+                                     rp[static_cast<std::size_t>(i)])};
+  }
+
+  /// Value at (i, j), or 0 if the entry is not in the pattern.
+  [[nodiscard]] value_t at(index_t i, index_t j) const;
+
+  /// Diagonal entries (0 for missing structural diagonal). Square only.
+  [[nodiscard]] std::vector<value_t> diagonal() const;
+
+  /// True iff values are numerically symmetric within tol (square only).
+  [[nodiscard]] bool is_symmetric(value_t tol = 0.0) const;
+
+  /// Largest absolute entry (the "matrix max norm" the paper normalizes
+  /// right-hand sides with).
+  [[nodiscard]] value_t max_abs() const;
+
+ private:
+  SparsityPattern pattern_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace fsaic

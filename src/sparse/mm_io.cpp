@@ -1,0 +1,95 @@
+#include "sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace fsaic {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  FSAIC_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  FSAIC_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  FSAIC_REQUIRE(lowercase(object) == "matrix", "only matrix objects supported");
+  FSAIC_REQUIRE(lowercase(format) == "coordinate",
+                "only coordinate format supported");
+  const std::string fld = lowercase(field);
+  FSAIC_REQUIRE(fld == "real" || fld == "integer" || fld == "pattern",
+                "only real/integer/pattern fields supported");
+  const std::string sym = lowercase(symmetry);
+  FSAIC_REQUIRE(sym == "general" || sym == "symmetric",
+                "only general/symmetric matrices supported");
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  FSAIC_REQUIRE(rows > 0 && cols > 0 && nnz >= 0, "bad size line");
+
+  CooBuilder builder(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  builder.reserve(static_cast<std::size_t>(sym == "symmetric" ? 2 * nnz : nnz));
+  for (long long k = 0; k < nnz; ++k) {
+    FSAIC_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                  "truncated entry list");
+    std::istringstream entry(line);
+    long long i = 0, j = 0;
+    value_t v = 1.0;
+    entry >> i >> j;
+    if (fld != "pattern") entry >> v;
+    FSAIC_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                  "entry index out of range");
+    const auto ii = static_cast<index_t>(i - 1);
+    const auto jj = static_cast<index_t>(j - 1);
+    if (sym == "symmetric") {
+      builder.add_symmetric(ii, jj, v);
+    } else {
+      builder.add(ii, jj, v);
+    }
+  }
+  return builder.to_csr();
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  FSAIC_REQUIRE(in.good(), "cannot open file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols_i = a.row_cols(i);
+    const auto vals_i = a.row_vals(i);
+    for (std::size_t k = 0; k < cols_i.size(); ++k) {
+      out << (i + 1) << ' ' << (cols_i[k] + 1) << ' ' << vals_i[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  FSAIC_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace fsaic

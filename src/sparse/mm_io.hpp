@@ -1,0 +1,23 @@
+// Matrix Market I/O. The paper's test set comes from the SuiteSparse
+// collection distributed in this format; the readers/writers here let users
+// run the solvers on real downloads while the bundled matgen/ suite provides
+// offline synthetic equivalents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+/// Read a MatrixMarket "coordinate real {general|symmetric}" matrix. For
+/// symmetric files the missing upper triangle is mirrored in.
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+[[nodiscard]] CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in "coordinate real general" format (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+}  // namespace fsaic

@@ -1,0 +1,178 @@
+#include "sparse/pattern.hpp"
+
+#include <algorithm>
+
+namespace fsaic {
+
+SparsityPattern::SparsityPattern(index_t rows, index_t cols,
+                                 std::vector<offset_t> row_ptr,
+                                 std::vector<index_t> col_idx)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)) {
+  FSAIC_REQUIRE(rows >= 0 && cols >= 0, "pattern shape must be non-negative");
+  FSAIC_REQUIRE(row_ptr_.size() == static_cast<std::size_t>(rows) + 1,
+                "row_ptr must have rows+1 entries");
+  FSAIC_REQUIRE(row_ptr_.front() == 0, "row_ptr must start at 0");
+  FSAIC_REQUIRE(row_ptr_.back() == static_cast<offset_t>(col_idx_.size()),
+                "row_ptr must end at nnz");
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]);
+    FSAIC_REQUIRE(b <= e, "row_ptr must be non-decreasing");
+    for (std::size_t k = b; k < e; ++k) {
+      FSAIC_REQUIRE(col_idx_[k] >= 0 && col_idx_[k] < cols_,
+                    "column index out of range");
+      if (k > b) {
+        FSAIC_REQUIRE(col_idx_[k - 1] < col_idx_[k],
+                      "columns must be sorted and unique per row");
+      }
+    }
+  }
+}
+
+bool SparsityPattern::contains(index_t i, index_t j) const {
+  const auto r = row(i);
+  return std::binary_search(r.begin(), r.end(), j);
+}
+
+bool SparsityPattern::has_full_diagonal() const {
+  if (rows_ != cols_) return false;
+  for (index_t i = 0; i < rows_; ++i) {
+    if (!contains(i, i)) return false;
+  }
+  return true;
+}
+
+bool SparsityPattern::is_lower_triangular() const {
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto r = row(i);
+    if (!r.empty() && r.back() > i) return false;
+  }
+  return true;
+}
+
+bool SparsityPattern::is_symmetric() const {
+  if (rows_ != cols_) return false;
+  return *this == transposed();
+}
+
+SparsityPattern SparsityPattern::from_rows(
+    index_t rows, index_t cols, std::vector<std::vector<index_t>> row_lists) {
+  FSAIC_REQUIRE(row_lists.size() == static_cast<std::size_t>(rows),
+                "one column list per row required");
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  for (index_t i = 0; i < rows; ++i) {
+    auto& list = row_lists[static_cast<std::size_t>(i)];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] + static_cast<offset_t>(list.size());
+  }
+  std::vector<index_t> col_idx;
+  col_idx.reserve(static_cast<std::size_t>(row_ptr.back()));
+  for (auto& list : row_lists) {
+    col_idx.insert(col_idx.end(), list.begin(), list.end());
+  }
+  return SparsityPattern(rows, cols, std::move(row_ptr), std::move(col_idx));
+}
+
+SparsityPattern SparsityPattern::lower_triangle() const {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  col_idx.reserve(static_cast<std::size_t>(nnz() / 2 + rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j : row(i)) {
+      if (j <= i) col_idx.push_back(j);
+    }
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(col_idx.size());
+  }
+  return SparsityPattern(rows_, cols_, std::move(row_ptr), std::move(col_idx));
+}
+
+SparsityPattern SparsityPattern::transposed() const {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (index_t j : col_idx_) {
+    ++row_ptr[static_cast<std::size_t>(j) + 1];
+  }
+  for (index_t j = 0; j < cols_; ++j) {
+    row_ptr[static_cast<std::size_t>(j) + 1] += row_ptr[static_cast<std::size_t>(j)];
+  }
+  std::vector<index_t> col_idx(col_idx_.size());
+  std::vector<offset_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j : row(i)) {
+      col_idx[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] = i;
+    }
+  }
+  // Rows of the transpose are filled in ascending source-row order, so the
+  // column lists are already sorted.
+  return SparsityPattern(cols_, rows_, std::move(row_ptr), std::move(col_idx));
+}
+
+SparsityPattern SparsityPattern::merged_with(const SparsityPattern& other) const {
+  FSAIC_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "pattern union requires equal shapes");
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  col_idx.reserve(col_idx_.size() + other.col_idx_.size());
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto a = row(i);
+    const auto b = other.row(i);
+    const auto before = col_idx.size();
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(col_idx));
+    row_ptr[static_cast<std::size_t>(i) + 1] =
+        row_ptr[static_cast<std::size_t>(i)] +
+        static_cast<offset_t>(col_idx.size() - before);
+  }
+  return SparsityPattern(rows_, cols_, std::move(row_ptr), std::move(col_idx));
+}
+
+SparsityPattern SparsityPattern::with_full_diagonal() const {
+  FSAIC_REQUIRE(rows_ == cols_, "diagonal insertion requires a square pattern");
+  std::vector<std::vector<index_t>> rows_out(static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto r = row(i);
+    auto& out = rows_out[static_cast<std::size_t>(i)];
+    out.assign(r.begin(), r.end());
+    out.push_back(i);
+  }
+  return from_rows(rows_, cols_, std::move(rows_out));
+}
+
+SparsityPattern SparsityPattern::symbolic_multiply(const SparsityPattern& rhs) const {
+  FSAIC_REQUIRE(cols_ == rhs.rows_, "inner dimensions must agree");
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  // Sparse accumulator (Gustavson): a marker array avoids per-row sorting of
+  // duplicates; the result row is sorted once at the end.
+  std::vector<index_t> marker(static_cast<std::size_t>(rhs.cols_), -1);
+  std::vector<index_t> row_cols;
+  for (index_t i = 0; i < rows_; ++i) {
+    row_cols.clear();
+    for (index_t k : row(i)) {
+      for (index_t j : rhs.row(k)) {
+        if (marker[static_cast<std::size_t>(j)] != i) {
+          marker[static_cast<std::size_t>(j)] = i;
+          row_cols.push_back(j);
+        }
+      }
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    col_idx.insert(col_idx.end(), row_cols.begin(), row_cols.end());
+    row_ptr[static_cast<std::size_t>(i) + 1] = static_cast<offset_t>(col_idx.size());
+  }
+  return SparsityPattern(rows_, rhs.cols_, std::move(row_ptr), std::move(col_idx));
+}
+
+SparsityPattern SparsityPattern::symbolic_power(int n) const {
+  FSAIC_REQUIRE(rows_ == cols_, "symbolic power requires a square pattern");
+  FSAIC_REQUIRE(n >= 1, "symbolic power requires n >= 1");
+  SparsityPattern result = *this;
+  for (int k = 1; k < n; ++k) {
+    result = result.symbolic_multiply(*this);
+  }
+  return result;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,101 @@
+// SparsityPattern: the structure of a sparse matrix without its values.
+//
+// FSAI-style preconditioners are defined by *where* nonzeros are allowed
+// before any value is computed, so the pattern is a first-class object here:
+// Algorithm 1 computes the pattern of Ã^N, Algorithm 3 extends a pattern with
+// cache-line neighbours, and the filtering steps shrink a pattern. Values are
+// attached later by the Frobenius-minimization row solves.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fsaic {
+
+/// CSR-structured sparsity pattern: per-row sorted, duplicate-free column
+/// index lists.
+class SparsityPattern {
+ public:
+  SparsityPattern() = default;
+
+  /// Empty pattern (no nonzeros) with the given shape.
+  SparsityPattern(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
+    FSAIC_REQUIRE(rows >= 0 && cols >= 0, "pattern shape must be non-negative");
+  }
+
+  /// Adopt raw CSR structure arrays. Columns must be sorted and unique per
+  /// row; this is validated.
+  SparsityPattern(index_t rows, index_t cols, std::vector<offset_t> row_ptr,
+                  std::vector<index_t> col_idx);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] offset_t nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  [[nodiscard]] std::span<const offset_t> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const index_t> col_idx() const { return col_idx_; }
+
+  /// Column indices of one row (sorted ascending).
+  [[nodiscard]] std::span<const index_t> row(index_t i) const {
+    FSAIC_REQUIRE(i >= 0 && i < rows_, "row index out of range");
+    return {col_idx_.data() + row_ptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                                     row_ptr_[static_cast<std::size_t>(i)])};
+  }
+
+  [[nodiscard]] index_t row_nnz(index_t i) const {
+    return static_cast<index_t>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                                row_ptr_[static_cast<std::size_t>(i)]);
+  }
+
+  /// True iff entry (i, j) is present (binary search).
+  [[nodiscard]] bool contains(index_t i, index_t j) const;
+
+  /// True iff every row's diagonal entry is present (square patterns only).
+  [[nodiscard]] bool has_full_diagonal() const;
+
+  /// True iff all entries satisfy col <= row.
+  [[nodiscard]] bool is_lower_triangular() const;
+
+  /// True iff the pattern is structurally symmetric.
+  [[nodiscard]] bool is_symmetric() const;
+
+  bool operator==(const SparsityPattern& other) const = default;
+
+  // ---- constructions --------------------------------------------------
+
+  /// Build from per-row column lists; each list is sorted and deduplicated.
+  static SparsityPattern from_rows(index_t rows, index_t cols,
+                                   std::vector<std::vector<index_t>> row_lists);
+
+  /// Lower-triangular part (col <= row) of this pattern.
+  [[nodiscard]] SparsityPattern lower_triangle() const;
+
+  /// Transposed pattern.
+  [[nodiscard]] SparsityPattern transposed() const;
+
+  /// Union of two same-shape patterns.
+  [[nodiscard]] SparsityPattern merged_with(const SparsityPattern& other) const;
+
+  /// Pattern with the diagonal entries of all rows inserted (square only).
+  [[nodiscard]] SparsityPattern with_full_diagonal() const;
+
+  /// Symbolic power: pattern of P^n (boolean matrix product, n >= 1).
+  /// n == 1 returns a copy. Used by Algorithm 1 to build the Ã^N pattern.
+  [[nodiscard]] SparsityPattern symbolic_power(int n) const;
+
+  /// Symbolic product pattern of (*this) * rhs.
+  [[nodiscard]] SparsityPattern symbolic_multiply(const SparsityPattern& rhs) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<offset_t> row_ptr_;
+  std::vector<index_t> col_idx_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,102 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+SellMatrix::SellMatrix(const CsrMatrix& a, index_t chunk, index_t sigma)
+    : rows_(a.rows()), cols_(a.cols()), chunk_(chunk), source_nnz_(a.nnz()) {
+  FSAIC_REQUIRE(chunk >= 1, "chunk must be positive");
+  FSAIC_REQUIRE(sigma >= chunk && sigma % chunk == 0,
+                "sigma must be a positive multiple of chunk");
+
+  // Sort rows by descending length inside each sigma window.
+  perm_.resize(static_cast<std::size_t>(rows_));
+  std::iota(perm_.begin(), perm_.end(), 0);
+  for (index_t w = 0; w < rows_; w += sigma) {
+    const auto begin = perm_.begin() + w;
+    const auto end = perm_.begin() + std::min<index_t>(w + sigma, rows_);
+    std::stable_sort(begin, end, [&](index_t r1, index_t r2) {
+      return a.pattern().row_nnz(r1) > a.pattern().row_nnz(r2);
+    });
+  }
+
+  const index_t num_chunks = (rows_ + chunk - 1) / chunk;
+  chunk_ptr_.assign(static_cast<std::size_t>(num_chunks) + 1, 0);
+  chunk_width_.assign(static_cast<std::size_t>(num_chunks), 0);
+  for (index_t c = 0; c < num_chunks; ++c) {
+    index_t width = 0;
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const index_t stored = c * chunk + lane;
+      if (stored < rows_) {
+        width = std::max(width,
+                         a.pattern().row_nnz(perm_[static_cast<std::size_t>(stored)]));
+      }
+    }
+    chunk_width_[static_cast<std::size_t>(c)] = width;
+    chunk_ptr_[static_cast<std::size_t>(c) + 1] =
+        chunk_ptr_[static_cast<std::size_t>(c)] +
+        static_cast<offset_t>(width) * static_cast<offset_t>(chunk);
+  }
+
+  // Fill column-major per chunk; padding repeats column 0 with value 0 so
+  // the gather stays in-bounds without branches.
+  col_idx_.assign(static_cast<std::size_t>(chunk_ptr_.back()), 0);
+  values_.assign(static_cast<std::size_t>(chunk_ptr_.back()), 0.0);
+  for (index_t c = 0; c < num_chunks; ++c) {
+    const offset_t base = chunk_ptr_[static_cast<std::size_t>(c)];
+    const index_t width = chunk_width_[static_cast<std::size_t>(c)];
+    for (index_t lane = 0; lane < chunk; ++lane) {
+      const index_t stored = c * chunk + lane;
+      if (stored >= rows_) continue;
+      const index_t row = perm_[static_cast<std::size_t>(stored)];
+      const auto cols = a.row_cols(row);
+      const auto vals = a.row_vals(row);
+      for (index_t j = 0; j < width; ++j) {
+        const auto slot = static_cast<std::size_t>(
+            base + static_cast<offset_t>(j) * chunk + lane);
+        if (j < static_cast<index_t>(cols.size())) {
+          col_idx_[slot] = cols[static_cast<std::size_t>(j)];
+          values_[slot] = vals[static_cast<std::size_t>(j)];
+        }
+      }
+    }
+  }
+}
+
+void SellMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+  FSAIC_REQUIRE(x.size() == static_cast<std::size_t>(cols_), "x size mismatch");
+  FSAIC_REQUIRE(y.size() == static_cast<std::size_t>(rows_), "y size mismatch");
+  const index_t num_chunks = static_cast<index_t>(chunk_width_.size());
+  // Per-chunk accumulators let the inner loop run lane-parallel the way a
+  // SIMD implementation would; scalar code here, but the data layout is the
+  // point.
+  std::vector<value_t> acc(static_cast<std::size_t>(chunk_));
+#pragma omp parallel for schedule(static) firstprivate(acc)
+  for (index_t c = 0; c < num_chunks; ++c) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    const offset_t base = chunk_ptr_[static_cast<std::size_t>(c)];
+    const index_t width = chunk_width_[static_cast<std::size_t>(c)];
+    for (index_t j = 0; j < width; ++j) {
+      const auto col_base = static_cast<std::size_t>(
+          base + static_cast<offset_t>(j) * chunk_);
+      for (index_t lane = 0; lane < chunk_; ++lane) {
+        acc[static_cast<std::size_t>(lane)] +=
+            values_[col_base + static_cast<std::size_t>(lane)] *
+            x[static_cast<std::size_t>(col_idx_[col_base + static_cast<std::size_t>(lane)])];
+      }
+    }
+    for (index_t lane = 0; lane < chunk_; ++lane) {
+      const index_t stored = c * chunk_ + lane;
+      if (stored < rows_) {
+        y[static_cast<std::size_t>(perm_[static_cast<std::size_t>(stored)])] =
+            acc[static_cast<std::size_t>(lane)];
+      }
+    }
+  }
+}
+
+}  // namespace fsaic

@@ -1,0 +1,62 @@
+// SELL-C-sigma: the SIMD-friendly sparse format (Kreutzer et al. 2014).
+//
+// Rows are sorted by length within windows of sigma rows, grouped into
+// chunks of C rows, and each chunk is stored column-major padded to its
+// longest row — so a SIMD lane processes one row and the value/index loads
+// are unit-stride. The paper's cache analysis targets CSR (what its code
+// uses); this format is provided for the SpMV-kernel benches and to document
+// that the FSAIE extension's benefit — fewer x-line fetches — is format-
+// independent: the x-gather locality is a property of the *pattern*, not of
+// the storage of the matrix entries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+class SellMatrix {
+ public:
+  /// Convert from CSR. `chunk` (C) is the SIMD width to pad for; `sigma` is
+  /// the sorting-window size in rows (a multiple of `chunk`; sigma == chunk
+  /// disables reordering beyond the chunk).
+  SellMatrix(const CsrMatrix& a, index_t chunk = 8, index_t sigma = 64);
+
+  [[nodiscard]] index_t rows() const { return rows_; }
+  [[nodiscard]] index_t cols() const { return cols_; }
+  [[nodiscard]] index_t chunk() const { return chunk_; }
+
+  /// Stored slots including padding (>= nnz of the source).
+  [[nodiscard]] offset_t padded_size() const {
+    return static_cast<offset_t>(values_.size());
+  }
+  /// Padding overhead: padded slots / source nnz.
+  [[nodiscard]] double padding_ratio() const {
+    return source_nnz_ > 0
+               ? static_cast<double>(padded_size()) / static_cast<double>(source_nnz_)
+               : 1.0;
+  }
+
+  /// y = A x (rows in ORIGINAL numbering: the row permutation applied during
+  /// construction is undone on output).
+  void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t chunk_ = 0;
+  offset_t source_nnz_ = 0;
+  /// perm_[stored_row] = original row id.
+  std::vector<index_t> perm_;
+  /// Chunk start offsets into values_/col_idx_ (num_chunks + 1).
+  std::vector<offset_t> chunk_ptr_;
+  /// Rows per chunk padded width.
+  std::vector<index_t> chunk_width_;
+  /// Column-major within chunk: slot = chunk_ptr_[c] + j * chunk + lane.
+  std::vector<index_t> col_idx_;
+  std::vector<value_t> values_;
+};
+
+}  // namespace fsaic

@@ -1,0 +1,39 @@
+// Matrix structure and conditioning diagnostics, used by the suite report,
+// examples and tests.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+struct MatrixStats {
+  index_t rows = 0;
+  offset_t nnz = 0;
+  index_t min_row_nnz = 0;
+  index_t max_row_nnz = 0;
+  double avg_row_nnz = 0.0;
+  index_t bandwidth = 0;
+  /// Fraction of rows that are strictly diagonally dominant.
+  double diagonally_dominant_fraction = 0.0;
+  /// min_i a_ii / max_i a_ii (diagonal spread; crude conditioning proxy).
+  double diagonal_ratio = 0.0;
+  bool symmetric = false;
+};
+
+[[nodiscard]] MatrixStats compute_matrix_stats(const CsrMatrix& a);
+
+/// Crude largest-eigenvalue estimate by `iterations` of the power method
+/// (deterministic start vector). For SPD matrices this approximates
+/// lambda_max; together with a smallest-eigenvalue estimate from inverse
+/// power/Lanczos it would bound the condition number — here it feeds tests
+/// and the suite report only.
+[[nodiscard]] value_t estimate_lambda_max(const CsrMatrix& a, int iterations = 50);
+
+/// Condition-number estimate for SPD matrices via a short Lanczos run:
+/// returns lambda_max / lambda_min of the tridiagonal Rayleigh quotient.
+/// Accurate to a few percent for the extreme eigenvalues after ~50 steps on
+/// the suite's matrices; used for diagnostics, never inside solvers.
+[[nodiscard]] value_t estimate_condition_number(const CsrMatrix& a,
+                                                int lanczos_steps = 60);
+
+}  // namespace fsaic

@@ -1,0 +1,67 @@
+// Dense vector kernels used by the Krylov solvers (the AXPY / dot-product /
+// norm trio the paper lists as the CG building blocks besides SpMV).
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fsaic {
+
+/// y = alpha * x + y.
+inline void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+  FSAIC_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+/// y = x + beta * y (the "xpby" update used for CG search directions).
+inline void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+  FSAIC_REQUIRE(x.size() == y.size(), "xpby size mismatch");
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = x[i] + beta * y[i];
+  }
+}
+
+/// Euclidean inner product.
+[[nodiscard]] inline value_t dot(std::span<const value_t> x,
+                                 std::span<const value_t> y) {
+  FSAIC_REQUIRE(x.size() == y.size(), "dot size mismatch");
+  value_t sum = 0.0;
+  const std::size_t n = x.size();
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += x[i] * y[i];
+  }
+  return sum;
+}
+
+/// Euclidean norm.
+[[nodiscard]] inline value_t norm2(std::span<const value_t> x) {
+  return std::sqrt(dot(x, x));
+}
+
+/// Largest absolute component.
+[[nodiscard]] inline value_t norm_inf(std::span<const value_t> x) {
+  value_t m = 0.0;
+  for (value_t v : x) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+/// x *= alpha.
+inline void scale(value_t alpha, std::span<value_t> x) {
+  for (auto& v : x) {
+    v *= alpha;
+  }
+}
+
+}  // namespace fsaic

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const value_t u = rng.next_uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const value_t v = rng.next_uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.next_uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextIndexCoversRange) {
+  Rng rng(3);
+  std::set<index_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const index_t k = rng.next_index(7);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 7);
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(ErrorTest, RequireThrowsWithContext) {
+  try {
+    FSAIC_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckThrowsInvariantKind) {
+  try {
+    FSAIC_CHECK(false, "broken");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(FormatTest, Strformat) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(sci2(1.4349), "1.43e+00");
+  EXPECT_EQ(pct2(17.984), "17.98");
+  EXPECT_EQ(strformat("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,91 @@
+#include "core/factor_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/fsai_driver.hpp"
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+class FactorIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("fsaic_factor_test_" + std::to_string(::getpid()) + ".fac"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FactorIoTest, RoundTripPreservesEverything) {
+  const auto a = poisson2d(10, 10);
+  const Layout layout = Layout::blocked(a.rows(), 4);
+  FsaiOptions opts;
+  opts.extension = ExtensionMode::CommAware;
+  opts.cache_line_bytes = 128;
+  const auto build = build_fsai_preconditioner(a, layout, opts);
+
+  save_factor(path_, build.g, layout);
+  const SavedFactor loaded = load_factor(path_);
+
+  EXPECT_EQ(loaded.layout, layout);
+  ASSERT_EQ(loaded.g.rows(), build.g.rows());
+  ASSERT_EQ(loaded.g.nnz(), build.g.nnz());
+  EXPECT_EQ(loaded.g.pattern(), build.g.pattern());
+  for (std::size_t k = 0; k < build.g.values().size(); ++k) {
+    EXPECT_EQ(loaded.g.values()[k], build.g.values()[k]) << "bit-exact values";
+  }
+}
+
+TEST_F(FactorIoTest, LoadedFactorSolvesIdentically) {
+  const auto a = poisson2d(12, 12);
+  const Layout layout = Layout::blocked(a.rows(), 3);
+  const auto build = build_fsai_preconditioner(a, layout, FsaiOptions{});
+  save_factor(path_, build.g, layout);
+  const SavedFactor loaded = load_factor(path_);
+
+  const DistCsr g1 = DistCsr::distribute(build.g, layout);
+  const DistCsr g2 = DistCsr::distribute(loaded.g, loaded.layout);
+  EXPECT_EQ(g1.halo_update_bytes(), g2.halo_update_bytes());
+}
+
+TEST_F(FactorIoTest, RejectsGarbageFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a factor file at all, not even close";
+  }
+  EXPECT_THROW((void)load_factor(path_), Error);
+}
+
+TEST_F(FactorIoTest, RejectsTruncatedFile) {
+  const auto a = poisson2d(6, 6);
+  const Layout layout = Layout::blocked(a.rows(), 2);
+  const auto build = build_fsai_preconditioner(a, layout, FsaiOptions{});
+  save_factor(path_, build.g, layout);
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  EXPECT_THROW((void)load_factor(path_), Error);
+}
+
+TEST_F(FactorIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_factor("/nonexistent/dir/factor.fac"), Error);
+}
+
+TEST_F(FactorIoTest, LayoutSizeMismatchRejectedOnSave) {
+  const auto a = poisson2d(4, 4);
+  const auto build = build_fsai_preconditioner(
+      a, Layout::blocked(a.rows(), 2), FsaiOptions{});
+  EXPECT_THROW(save_factor(path_, build.g, Layout::blocked(99, 2)), Error);
+}
+
+}  // namespace
+}  // namespace fsaic

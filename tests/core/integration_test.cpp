@@ -1,0 +1,167 @@
+// End-to-end integration tests across modules: suite matrices through the
+// full partition → build → solve → model pipeline, checking the paper's
+// qualitative claims as invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "harness/experiment.hpp"
+#include "sparse/ops.hpp"
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+ExperimentConfig quick_config(Machine machine) {
+  ExperimentConfig cfg;
+  cfg.machine = std::move(machine);
+  cfg.solve.max_iterations = 20000;
+  return cfg;
+}
+
+/// A fast, representative subset of the suite (one per problem class).
+std::vector<SuiteEntry> sample_suite() {
+  return {suite_entry("thermal2"), suite_entry("Fault_639"),
+          suite_entry("Dubcova2"), suite_entry("boneS01"),
+          suite_entry("offshore")};
+}
+
+TEST(IntegrationTest, AllMethodsConvergeOnSample) {
+  ExperimentRunner runner(quick_config(machine_skylake()));
+  for (const auto& entry : sample_suite()) {
+    for (const auto mode : {ExtensionMode::None, ExtensionMode::LocalOnly,
+                            ExtensionMode::CommAware}) {
+      const auto& rec =
+          runner.run(entry, {mode, FilterStrategy::Dynamic, 0.01});
+      EXPECT_TRUE(rec.converged) << entry.name << " " << to_string(mode);
+      EXPECT_GT(rec.iterations, 0);
+    }
+  }
+}
+
+TEST(IntegrationTest, ExtensionNeverIncreasesIterationsMuch) {
+  // Extensions occasionally lose an iteration or two to rounding, but a
+  // significant regression would indicate a broken build pipeline.
+  ExperimentRunner runner(quick_config(machine_skylake()));
+  for (const auto& entry : sample_suite()) {
+    const auto& base = runner.baseline(entry);
+    const auto& comm =
+        runner.run(entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, 0.01});
+    EXPECT_LE(comm.iterations, base.iterations * 1.05 + 2.0) << entry.name;
+  }
+}
+
+TEST(IntegrationTest, CommAwarePatternDominatesLocalOnly) {
+  ExperimentRunner runner(quick_config(machine_skylake()));
+  for (const auto& entry : sample_suite()) {
+    const auto& fsaie =
+        runner.run(entry, {ExtensionMode::LocalOnly, FilterStrategy::Static, 0.0});
+    const auto& comm =
+        runner.run(entry, {ExtensionMode::CommAware, FilterStrategy::Static, 0.0});
+    EXPECT_GE(comm.nnz_increase_pct, fsaie.nnz_increase_pct) << entry.name;
+    EXPECT_GE(comm.g_nnz, fsaie.g_nnz) << entry.name;
+  }
+}
+
+TEST(IntegrationTest, HaloTrafficInvariantUnderCommAwareExtension) {
+  ExperimentRunner runner(quick_config(machine_skylake()));
+  for (const auto& entry : sample_suite()) {
+    const auto& base = runner.baseline(entry);
+    const auto& comm =
+        runner.run(entry, {ExtensionMode::CommAware, FilterStrategy::Static, 0.0});
+    EXPECT_EQ(comm.halo_bytes_g, base.halo_bytes_g) << entry.name;
+    EXPECT_EQ(comm.halo_msgs_g, base.halo_msgs_g) << entry.name;
+  }
+}
+
+TEST(IntegrationTest, A64fxExtendsMoreThanSkylake) {
+  // 256 B lines admit 4x more candidates than 64 B lines.
+  ExperimentRunner sky(quick_config(machine_skylake()));
+  ExperimentRunner arm(quick_config(machine_a64fx()));
+  for (const auto& entry : sample_suite()) {
+    const auto& s =
+        sky.run(entry, {ExtensionMode::CommAware, FilterStrategy::Static, 0.0});
+    const auto& a =
+        arm.run(entry, {ExtensionMode::CommAware, FilterStrategy::Static, 0.0});
+    EXPECT_GT(a.nnz_increase_pct, s.nnz_increase_pct) << entry.name;
+  }
+}
+
+TEST(IntegrationTest, FilterMonotonicityInPatternSize) {
+  ExperimentRunner runner(quick_config(machine_skylake()));
+  const auto& entry = suite_entry("thermal2");
+  offset_t prev_nnz = std::numeric_limits<offset_t>::max();
+  for (value_t f : {0.01, 0.05, 0.1, 0.2}) {
+    const auto& rec =
+        runner.run(entry, {ExtensionMode::CommAware, FilterStrategy::Static, f});
+    EXPECT_LE(rec.g_nnz, prev_nnz) << "filter " << f;
+    prev_nnz = rec.g_nnz;
+  }
+}
+
+TEST(IntegrationTest, ModeledTimeScalesWithIterations) {
+  ExperimentRunner runner(quick_config(machine_zen2()));
+  const auto& entry = suite_entry("ecology2");
+  const auto& base = runner.baseline(entry);
+  EXPECT_NEAR(base.modeled_time, base.iterations * base.iter_cost,
+              1e-12 * base.modeled_time);
+  EXPECT_GT(base.iter_cost, 0.0);
+  EXPECT_GT(base.precond_cost, 0.0);
+  EXPECT_LT(base.precond_cost, base.iter_cost);
+}
+
+TEST(IntegrationTest, Level2SparsityReducesIterationsFurther) {
+  // Sparsity level is the paper's "power of Ã" knob; level 2 must beat
+  // level 1 in iterations (at higher setup/apply cost).
+  const auto& entry = suite_entry("Dubcova2");
+  const auto a = entry.generate();
+  const auto sys = partition_system(a, 4);
+  const auto a_dist = DistCsr::distribute(sys.matrix, sys.layout);
+  Rng rng(8);
+  std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector b(sys.layout, bg);
+
+  int iters[2];
+  for (int level = 1; level <= 2; ++level) {
+    FsaiOptions opts;
+    opts.sparsity_level = level;
+    const auto build = build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+    const auto precond = make_factorized_preconditioner(build, "lvl");
+    DistVector x(sys.layout);
+    const auto r = pcg_solve(a_dist, b, x, *precond,
+                             {.rel_tol = 1e-8, .max_iterations = 20000});
+    ASSERT_TRUE(r.converged);
+    iters[level - 1] = r.iterations;
+  }
+  EXPECT_LT(iters[1], iters[0]);
+}
+
+TEST(IntegrationTest, TilePermutationImprovesExtensionQuality) {
+  // The suite's tile-major numbering is what gives cache-line extensions
+  // their spatial meaning; on the raw row-major grid the same extension is
+  // much less effective numerically.
+  const index_t n = 40;
+  const auto raw = poisson2d_9pt(n, n);
+  const auto tiled = permute_symmetric(raw, tile_permutation_2d(n, n, 4, 2));
+
+  const auto iters_with = [&](const CsrMatrix& m) {
+    const Layout l = Layout::blocked(m.rows(), 2);
+    const auto d = DistCsr::distribute(m, l);
+    FsaiOptions opts;
+    opts.extension = ExtensionMode::CommAware;
+    opts.cache_line_bytes = 64;
+    const auto build = build_fsai_preconditioner(m, l, opts);
+    const auto precond = make_factorized_preconditioner(build, "t");
+    Rng rng(9);
+    std::vector<value_t> bg(static_cast<std::size_t>(m.rows()));
+    for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+    const DistVector b(l, bg);
+    DistVector x(l);
+    return pcg_solve(d, b, x, *precond, {.rel_tol = 1e-8, .max_iterations = 20000})
+        .iterations;
+  };
+  EXPECT_LT(iters_with(tiled), iters_with(raw));
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,213 @@
+#include "core/pattern_extend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/comm_scheme.hpp"
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+/// Lower-triangular test pattern from explicit rows.
+SparsityPattern lower(index_t n, std::vector<std::vector<index_t>> rows) {
+  return SparsityPattern::from_rows(n, n, std::move(rows));
+}
+
+TEST(ExtendTest, NoneModeReturnsInputUnchanged) {
+  const auto s = lower(4, {{0}, {1}, {0, 2}, {3}});
+  const auto r = extend_pattern(s, Layout::blocked(4, 2), 64, ExtensionMode::None);
+  EXPECT_EQ(r.extended, s);
+  EXPECT_EQ(r.total_added(), 0);
+}
+
+TEST(ExtendTest, LocalExtensionFillsCacheLineBelowDiagonal) {
+  // One rank, 16 values per line (128 B): all 12 columns share line 0, so
+  // every row i fills in columns 0..i — the pattern becomes full lower
+  // triangular.
+  const auto s = lower(12, {{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8},
+                            {2, 9}, {10}, {11}});
+  const auto r =
+      extend_pattern(s, Layout::blocked(12, 1), 128, ExtensionMode::LocalOnly);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t k = 0; k <= i; ++k) {
+      EXPECT_TRUE(r.extended.contains(i, k)) << "(" << i << "," << k << ")";
+    }
+  }
+  EXPECT_EQ(r.halo_added, 0);
+  // Full lower triangle has 78 entries; the input had 13.
+  EXPECT_EQ(r.local_added, 78 - 13);
+}
+
+TEST(ExtendTest, ExtensionRespectsLineBoundaries) {
+  // 64 B lines = 8 values: entry at column 10 of row 20 extends only within
+  // [8, 16), not to columns below 8 or at/above 16.
+  std::vector<std::vector<index_t>> rows(21);
+  for (index_t i = 0; i < 21; ++i) rows[static_cast<std::size_t>(i)] = {i};
+  rows[20] = {10, 20};
+  const auto s = lower(21, rows);
+  const auto r =
+      extend_pattern(s, Layout::blocked(21, 1), 64, ExtensionMode::LocalOnly);
+  for (index_t k = 8; k < 16; ++k) {
+    EXPECT_TRUE(r.extended.contains(20, k));
+  }
+  EXPECT_FALSE(r.extended.contains(20, 7));
+  // Column 16..19 belong to the line of the diagonal entry 20 (line [16,24)),
+  // which also gets extended.
+  EXPECT_TRUE(r.extended.contains(20, 16));
+}
+
+TEST(ExtendTest, ExtensionStaysLowerTriangular) {
+  const auto a = poisson2d(8, 8);
+  const auto s = a.pattern().lower_triangle();
+  for (const auto mode : {ExtensionMode::LocalOnly, ExtensionMode::CommAware,
+                          ExtensionMode::FullHalo}) {
+    const auto r = extend_pattern(s, Layout::blocked(a.rows(), 4), 64, mode);
+    EXPECT_TRUE(r.extended.is_lower_triangular()) << to_string(mode);
+    EXPECT_GE(r.extended.nnz(), s.nnz());
+  }
+}
+
+TEST(ExtendTest, LocalOnlyAddsNoHaloEntries) {
+  const auto a = poisson2d(10, 10);
+  const auto s = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), 5);
+  const auto r = extend_pattern(s, l, 64, ExtensionMode::LocalOnly);
+  EXPECT_EQ(r.halo_added, 0);
+  EXPECT_GT(r.local_added, 0);
+  // Verify entry-by-entry: every added entry is rank-local.
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const rank_t p = l.owner(i);
+    for (index_t j : r.extended.row(i)) {
+      if (!s.contains(i, j)) {
+        EXPECT_TRUE(l.owns(p, j)) << "(" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ExtendTest, CommAwareKeepsBothSchemesInvariant) {
+  const auto a = poisson2d(12, 12);
+  const auto s = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), 6);
+  const auto r = extend_pattern(s, l, 128, ExtensionMode::CommAware);
+
+  const auto scheme_before = CommScheme::from_pattern(s, l);
+  const auto scheme_after = CommScheme::from_pattern(r.extended, l);
+  EXPECT_TRUE(scheme_after.subset_of(scheme_before));
+
+  const auto scheme_t_before = CommScheme::from_pattern(s.transposed(), l);
+  const auto scheme_t_after = CommScheme::from_pattern(r.extended.transposed(), l);
+  EXPECT_TRUE(scheme_t_after.subset_of(scheme_t_before));
+}
+
+TEST(ExtendTest, FullHaloGrowsCommunication) {
+  // Use a layout that splits cache lines across ranks so naive halo
+  // extension must add new exchanges.
+  const auto a = poisson2d(16, 8);
+  const auto s = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), 8);
+  const auto comm_aware = extend_pattern(s, l, 256, ExtensionMode::CommAware);
+  const auto full = extend_pattern(s, l, 256, ExtensionMode::FullHalo);
+  EXPECT_GT(full.halo_added, comm_aware.halo_added);
+
+  const auto scheme_before = CommScheme::from_pattern(s, l);
+  const auto scheme_full = CommScheme::from_pattern(full.extended, l);
+  EXPECT_FALSE(scheme_full.subset_of(scheme_before))
+      << "naive halo extension should need new exchanges on this layout";
+}
+
+TEST(ExtendTest, CommAwareAdmitsHaloEntriesWhenSchemeAllows) {
+  // Tridiagonal over 2 ranks with 2-value lines: row 4 (rank 1) has halo
+  // entry at column 3 (rank 0), whose line covers {2, 3}. Admitting (4, 2)
+  // requires x_2 already flowing 0→1 (it does not: only x_3 flows) — so the
+  // candidate is rejected. With 4-value lines the line of column 3 is
+  // {0,1,2,3} and still nothing new is admitted. Now make row 4 also couple
+  // to column 2 so x_2 flows: then (4, 3)'s line adds nothing new but
+  // candidates of column 2's line {2,3} are both admissible.
+  const auto s = lower(8, {{0}, {0, 1}, {1, 2}, {2, 3}, {2, 3, 4}, {4, 5},
+                           {5, 6}, {6, 7}});
+  const Layout l = Layout::blocked(8, 2);  // rank 0: 0-3, rank 1: 4-7
+
+  const auto scheme = CommScheme::from_pattern(s, l);
+  ASSERT_TRUE(scheme.receives(1, 2));
+  ASSERT_TRUE(scheme.receives(1, 3));
+
+  const auto scheme_t = CommScheme::from_pattern(s.transposed(), l);
+  ASSERT_TRUE(scheme_t.receives(0, 4));  // G^T x needs x_4 on rank 0
+
+  const auto r = extend_pattern(s, l, 16, ExtensionMode::CommAware);
+  // Line of 16 B = 2 values: row 4's entries 2,3 cover line {2,3}: both
+  // already present. Row 5 entry 4,5 covers {4,5}: local. So nothing added
+  // in the halo…
+  EXPECT_EQ(r.halo_added, 0);
+
+  // …but with 32 B lines (4 values) row 4's halo line is {0,1,2,3}: columns
+  // 0,1 are NOT received by rank 1, so they must be rejected; 2,3 present.
+  const auto r2 = extend_pattern(s, l, 32, ExtensionMode::CommAware);
+  EXPECT_FALSE(r2.extended.contains(4, 0));
+  EXPECT_FALSE(r2.extended.contains(4, 1));
+  // The same candidates ARE admitted by the naive strawman.
+  const auto r3 = extend_pattern(s, l, 32, ExtensionMode::FullHalo);
+  EXPECT_TRUE(r3.extended.contains(4, 0));
+  EXPECT_TRUE(r3.extended.contains(4, 1));
+}
+
+TEST(ExtendTest, LargerLinesAddMoreEntries) {
+  const auto a = poisson2d(12, 12);
+  const auto s = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto r64 = extend_pattern(s, l, 64, ExtensionMode::CommAware);
+  const auto r256 = extend_pattern(s, l, 256, ExtensionMode::CommAware);
+  EXPECT_GT(r256.total_added(), r64.total_added());
+}
+
+TEST(ExtendTest, RejectsNonLowerTriangularInput) {
+  const auto a = poisson2d(4, 4);
+  EXPECT_THROW((void)extend_pattern(a.pattern(), Layout::blocked(a.rows(), 2), 64,
+                                    ExtensionMode::LocalOnly),
+               Error);
+}
+
+TEST(ExtendTest, RejectsBadLineSize) {
+  const auto s = lower(2, {{0}, {1}});
+  EXPECT_THROW(
+      (void)extend_pattern(s, Layout::blocked(2, 1), 12, ExtensionMode::LocalOnly),
+      Error);
+}
+
+struct ExtendCase {
+  rank_t nranks;
+  int line_bytes;
+};
+
+class ExtendInvarianceProperty
+    : public ::testing::TestWithParam<std::tuple<rank_t, int>> {};
+
+TEST_P(ExtendInvarianceProperty, CommSchemeNeverGrowsUnderCommAware) {
+  const auto [nranks, line_bytes] = GetParam();
+  const auto a = poisson2d(13, 11);  // odd sizes: lines straddle rank edges
+  const auto s = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), nranks);
+  const auto r = extend_pattern(s, l, line_bytes, ExtensionMode::CommAware);
+
+  const auto g_before = CommScheme::from_pattern(s, l);
+  const auto g_after = CommScheme::from_pattern(r.extended, l);
+  EXPECT_TRUE(g_after.subset_of(g_before))
+      << "ranks=" << nranks << " line=" << line_bytes;
+  const auto t_before = CommScheme::from_pattern(s.transposed(), l);
+  const auto t_after = CommScheme::from_pattern(r.extended.transposed(), l);
+  EXPECT_TRUE(t_after.subset_of(t_before))
+      << "ranks=" << nranks << " line=" << line_bytes;
+  // CommAware must dominate LocalOnly in added entries.
+  const auto local = extend_pattern(s, l, line_bytes, ExtensionMode::LocalOnly);
+  EXPECT_GE(r.total_added(), local.total_added());
+  EXPECT_EQ(r.local_added, local.local_added);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExtendInvarianceProperty,
+    ::testing::Combine(::testing::Values<rank_t>(1, 2, 3, 5, 8),
+                       ::testing::Values(32, 64, 128, 256)));
+
+}  // namespace
+}  // namespace fsaic

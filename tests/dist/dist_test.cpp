@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/comm_scheme.hpp"
+#include "dist/dist_csr.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(LayoutTest, BlockedSplitsEvenlyWithRemainder) {
+  const Layout l = Layout::blocked(10, 3);
+  EXPECT_EQ(l.nranks(), 3);
+  EXPECT_EQ(l.global_size(), 10);
+  EXPECT_EQ(l.local_size(0), 4);
+  EXPECT_EQ(l.local_size(1), 3);
+  EXPECT_EQ(l.local_size(2), 3);
+  EXPECT_EQ(l.owner(0), 0);
+  EXPECT_EQ(l.owner(3), 0);
+  EXPECT_EQ(l.owner(4), 1);
+  EXPECT_EQ(l.owner(9), 2);
+}
+
+TEST(LayoutTest, ToLocalAndOwns) {
+  const Layout l = Layout::blocked(10, 2);
+  EXPECT_TRUE(l.owns(1, 7));
+  EXPECT_FALSE(l.owns(0, 7));
+  EXPECT_EQ(l.to_local(1, 7), 2);
+  EXPECT_THROW((void)l.to_local(0, 7), Error);
+}
+
+TEST(LayoutTest, FromPartSizes) {
+  const Layout l = Layout::from_part_sizes(std::vector<index_t>{2, 0, 3});
+  EXPECT_EQ(l.nranks(), 3);
+  EXPECT_EQ(l.local_size(1), 0);
+  EXPECT_EQ(l.owner(2), 2);
+}
+
+TEST(DistVectorTest, ScatterGatherRoundTrip) {
+  const Layout l = Layout::blocked(7, 3);
+  std::vector<value_t> global{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const DistVector v(l, global);
+  EXPECT_EQ(v.to_global(), global);
+  EXPECT_DOUBLE_EQ(v.block(1)[0], 3.0);
+}
+
+TEST(DistCsrTest, ToGlobalRoundTrip) {
+  const auto a = poisson2d(6, 6);
+  const auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 4));
+  const auto back = d.to_global();
+  ASSERT_EQ(back.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(back.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(DistCsrTest, LocalAndHaloEntryCountsAddUp) {
+  const auto a = poisson2d(6, 6);
+  const auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 3));
+  offset_t local = 0;
+  offset_t halo = 0;
+  for (rank_t p = 0; p < d.nranks(); ++p) {
+    local += d.block(p).local_entries;
+    halo += d.block(p).halo_entries;
+  }
+  EXPECT_EQ(local + halo, a.nnz());
+  EXPECT_GT(halo, 0);
+}
+
+TEST(DistCsrTest, SendRecvMapsAreMirrored) {
+  const auto a = poisson3d(4, 4, 4);
+  const auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 5));
+  for (rank_t p = 0; p < d.nranks(); ++p) {
+    for (const auto& nb : d.block(p).recv) {
+      // Find the matching send on the neighbor.
+      bool found = false;
+      for (const auto& snd : d.block(nb.rank).send) {
+        if (snd.rank == p) {
+          EXPECT_EQ(snd.gids, nb.gids);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "rank " << nb.rank << " missing send to " << p;
+      // Every received gid must be owned by the sender.
+      for (index_t gid : nb.gids) {
+        EXPECT_EQ(d.row_layout().owner(gid), nb.rank);
+      }
+    }
+  }
+}
+
+TEST(DistDotTest, MatchesSerialDot) {
+  const Layout l = Layout::blocked(100, 7);
+  Rng rng(5);
+  std::vector<value_t> xg(100);
+  std::vector<value_t> yg(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    xg[i] = rng.next_uniform(-1.0, 1.0);
+    yg[i] = rng.next_uniform(-1.0, 1.0);
+  }
+  const DistVector x(l, xg);
+  const DistVector y(l, yg);
+  CommStats stats;
+  EXPECT_NEAR(dist_dot(x, y, &stats), dot(xg, yg), 1e-12);
+  EXPECT_EQ(stats.allreduce_count, 1);
+}
+
+TEST(DistAxpyTest, MatchesSerial) {
+  const Layout l = Layout::blocked(50, 4);
+  std::vector<value_t> xg(50, 2.0);
+  std::vector<value_t> yg(50, 1.0);
+  const DistVector x(l, xg);
+  DistVector y(l, yg);
+  dist_axpy(3.0, x, y);
+  for (value_t v : y.to_global()) {
+    EXPECT_DOUBLE_EQ(v, 7.0);
+  }
+  dist_xpby(x, 0.5, y);
+  for (value_t v : y.to_global()) {
+    EXPECT_DOUBLE_EQ(v, 5.5);
+  }
+}
+
+TEST(CommSchemeTest, TracksHaloCoefficients) {
+  // Tridiagonal 6x6 over 2 ranks: rank 0 owns 0-2, rank 1 owns 3-5.
+  const auto a = poisson2d(6, 1);
+  const Layout l = Layout::blocked(6, 2);
+  const auto scheme = CommScheme::from_pattern(a.pattern(), l);
+  EXPECT_TRUE(scheme.receives(0, 3));   // row 2 needs column 3
+  EXPECT_TRUE(scheme.receives(1, 2));   // row 3 needs column 2
+  EXPECT_FALSE(scheme.receives(0, 4));
+  EXPECT_FALSE(scheme.receives(1, 0));
+  EXPECT_EQ(scheme.exchange_count(), 2u);
+  EXPECT_EQ(scheme.message_count(), 2u);
+}
+
+TEST(CommSchemeTest, SubsetRelation) {
+  const auto a = poisson2d(8, 1);
+  const Layout l = Layout::blocked(8, 2);
+  const auto dense_scheme = CommScheme::from_pattern(a.pattern().symbolic_power(2), l);
+  const auto sparse_scheme = CommScheme::from_pattern(a.pattern(), l);
+  EXPECT_TRUE(sparse_scheme.subset_of(dense_scheme));
+  EXPECT_FALSE(dense_scheme.subset_of(sparse_scheme));
+  EXPECT_TRUE(sparse_scheme.subset_of(sparse_scheme));
+}
+
+TEST(CommStatsTest, PairBytesAccumulate) {
+  CommStats s;
+  s.record_halo_message(0, 1, 64);
+  s.record_halo_message(0, 1, 64);
+  s.record_halo_message(1, 0, 32);
+  EXPECT_EQ(s.halo_messages, 3);
+  EXPECT_EQ(s.halo_bytes, 160);
+  EXPECT_EQ(s.neighbor_pair_count(), 2u);
+  EXPECT_EQ((s.pair_bytes.at({0, 1})), 128);
+  s.reset();
+  EXPECT_EQ(s.halo_messages, 0);
+}
+
+class DistSpmvProperty : public ::testing::TestWithParam<rank_t> {};
+
+TEST_P(DistSpmvProperty, MatchesSerialSpmvAndCountsTraffic) {
+  const rank_t nranks = GetParam();
+  const auto a = poisson2d(9, 8);
+  const Layout l = Layout::blocked(a.rows(), nranks);
+  const auto d = DistCsr::distribute(a, l);
+
+  Rng rng(17);
+  std::vector<value_t> xg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : xg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector x(l, xg);
+  DistVector y(l);
+  CommStats stats;
+  d.spmv(x, y, &stats);
+
+  std::vector<value_t> ref(static_cast<std::size_t>(a.rows()));
+  spmv(a, xg, ref);
+  const auto yg = y.to_global();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(yg[i], ref[i], 1e-12);
+  }
+  EXPECT_EQ(stats.halo_bytes, d.halo_update_bytes());
+  EXPECT_EQ(stats.halo_messages, d.halo_update_messages());
+  if (nranks > 1) {
+    EXPECT_GT(stats.halo_bytes, 0);
+  } else {
+    EXPECT_EQ(stats.halo_bytes, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistSpmvProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace fsaic

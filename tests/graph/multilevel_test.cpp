@@ -1,0 +1,89 @@
+#include "graph/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+namespace {
+
+Graph grid_graph(index_t nx, index_t ny) {
+  return Graph::from_pattern(poisson2d(nx, ny).pattern());
+}
+
+TEST(MultilevelTest, SinglePartTrivial) {
+  const Graph g = grid_graph(6, 6);
+  for (index_t p : partition_graph_multilevel(g, 1)) {
+    EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(MultilevelTest, GridBisectionBalancedAndTight) {
+  const Graph g = grid_graph(24, 24);
+  const auto part = partition_graph_multilevel(g, 2);
+  const auto m = evaluate_partition(g, part, 2);
+  EXPECT_LE(m.imbalance, 1.06);
+  // Optimal straight cut is 24 edges; multilevel should land close.
+  EXPECT_LE(m.edge_cut, 40);
+}
+
+TEST(MultilevelTest, MatchesOrBeatsFlatPartitionerOnLargerGrid) {
+  const Graph g = grid_graph(48, 48);
+  const auto flat = partition_graph(g, 8);
+  const auto ml = partition_graph_multilevel(g, 8);
+  const auto m_flat = evaluate_partition(g, flat, 8);
+  const auto m_ml = evaluate_partition(g, ml, 8);
+  EXPECT_LE(m_ml.imbalance, 1.10);
+  // Allow slack: both are heuristics, but multilevel should be in the same
+  // league or better, never dramatically worse.
+  EXPECT_LE(m_ml.edge_cut, static_cast<offset_t>(1.15 * m_flat.edge_cut) + 8);
+}
+
+TEST(MultilevelTest, IrregularGraphStaysBalanced) {
+  const auto a = random_laplacian(2000, 4, 0.1, 5);
+  const Graph g = Graph::from_pattern(a.pattern());
+  const auto part = partition_graph_multilevel(g, 8);
+  const auto m = evaluate_partition(g, part, 8);
+  EXPECT_LE(m.imbalance, 1.10);
+  EXPECT_GT(m.edge_cut, 0);
+}
+
+TEST(MultilevelTest, DeterministicForFixedSeed) {
+  const Graph g = grid_graph(20, 20);
+  MultilevelOptions opts;
+  opts.seed = 77;
+  EXPECT_EQ(partition_graph_multilevel(g, 4, opts),
+            partition_graph_multilevel(g, 4, opts));
+}
+
+TEST(MultilevelTest, RejectsMorePartsThanVertices) {
+  const Graph g = grid_graph(2, 2);
+  EXPECT_THROW((void)partition_graph_multilevel(g, 8), Error);
+}
+
+class MultilevelProperty : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(MultilevelProperty, CoversAllVerticesWithNonEmptyBalancedParts) {
+  const index_t nparts = GetParam();
+  const Graph g = grid_graph(30, 26);
+  const auto part = partition_graph_multilevel(g, nparts);
+  const auto sizes = partition_sizes(part, nparts);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), index_t{0}),
+            g.num_vertices());
+  for (index_t s : sizes) {
+    EXPECT_GT(s, 0) << "nparts=" << nparts;
+  }
+  const auto m = evaluate_partition(g, part, nparts);
+  EXPECT_LE(m.imbalance, 1.20) << "nparts=" << nparts;
+  EXPECT_LT(m.edge_cut, g.num_edges() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, MultilevelProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 16));
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,138 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph.hpp"
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+Graph grid_graph(index_t nx, index_t ny) {
+  return Graph::from_pattern(poisson2d(nx, ny).pattern());
+}
+
+TEST(GraphTest, FromPatternSymmetrizesAndDropsDiagonal) {
+  const auto p = SparsityPattern::from_rows(3, 3, {{0, 1}, {2}, {}});
+  const Graph g = Graph::from_pattern(p);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);  // {0,1} and {1,2}; diagonal (0,0) dropped
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(GraphTest, BfsLevelsOnPath) {
+  // Path 0-1-2-3 via tridiagonal pattern.
+  std::vector<std::vector<index_t>> rows{{1}, {0, 2}, {1, 3}, {2}};
+  const Graph g = Graph::from_pattern(SparsityPattern::from_rows(4, 4, rows));
+  const auto levels = g.bfs_levels(0);
+  EXPECT_EQ(levels, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(GraphTest, PseudoPeripheralFindsPathEnd) {
+  std::vector<std::vector<index_t>> rows{{1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  const Graph g = Graph::from_pattern(SparsityPattern::from_rows(5, 5, rows));
+  const index_t v = g.pseudo_peripheral(2);
+  EXPECT_TRUE(v == 0 || v == 4);
+}
+
+TEST(GraphTest, ComponentCount) {
+  // Two disjoint edges: {0,1}, {2,3}.
+  std::vector<std::vector<index_t>> rows{{1}, {0}, {3}, {2}};
+  const Graph g = Graph::from_pattern(SparsityPattern::from_rows(4, 4, rows));
+  EXPECT_EQ(g.component_count(), 2);
+  EXPECT_EQ(grid_graph(5, 5).component_count(), 1);
+}
+
+TEST(PartitionTest, SinglePartIsAllZero) {
+  const Graph g = grid_graph(4, 4);
+  const auto part = partition_graph(g, 1);
+  for (index_t p : part) {
+    EXPECT_EQ(p, 0);
+  }
+}
+
+TEST(PartitionTest, BisectionOfGridIsBalancedWithSmallCut) {
+  const Graph g = grid_graph(16, 16);
+  const auto part = partition_graph(g, 2);
+  const auto m = evaluate_partition(g, part, 2);
+  EXPECT_LE(m.imbalance, 1.05);
+  // A straight cut through a 16x16 grid costs 16 edges; allow 3x slack for
+  // the heuristic.
+  EXPECT_LE(m.edge_cut, 48);
+}
+
+TEST(PartitionTest, PermutationMakesPartsContiguous) {
+  const Graph g = grid_graph(8, 8);
+  const index_t nparts = 4;
+  const auto part = partition_graph(g, nparts);
+  const auto perm = partition_permutation(part, nparts);
+  const auto sizes = partition_sizes(part, nparts);
+  std::vector<index_t> start(static_cast<std::size_t>(nparts) + 1, 0);
+  for (index_t p = 0; p < nparts; ++p) {
+    start[static_cast<std::size_t>(p) + 1] =
+        start[static_cast<std::size_t>(p)] + sizes[static_cast<std::size_t>(p)];
+  }
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    const index_t p = part[v];
+    EXPECT_GE(perm[v], start[static_cast<std::size_t>(p)]);
+    EXPECT_LT(perm[v], start[static_cast<std::size_t>(p) + 1]);
+  }
+  // perm must be a bijection.
+  std::vector<index_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < static_cast<index_t>(sorted.size()); ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(PartitionTest, HandlesDisconnectedGraphs) {
+  // Two disjoint 4x4 grids glued as one pattern block-diagonally.
+  const auto a = poisson2d(4, 4);
+  std::vector<std::vector<index_t>> rows(32);
+  for (index_t i = 0; i < 16; ++i) {
+    const auto r = a.pattern().row(i);
+    rows[static_cast<std::size_t>(i)].assign(r.begin(), r.end());
+    for (index_t j : r) {
+      rows[static_cast<std::size_t>(i) + 16].push_back(j + 16);
+    }
+  }
+  const Graph g =
+      Graph::from_pattern(SparsityPattern::from_rows(32, 32, std::move(rows)));
+  ASSERT_EQ(g.component_count(), 2);
+  const auto part = partition_graph(g, 4);
+  const auto m = evaluate_partition(g, part, 4);
+  EXPECT_LE(m.imbalance, 1.3);
+}
+
+TEST(PartitionTest, RejectsMorePartsThanVertices) {
+  const Graph g = grid_graph(2, 2);
+  EXPECT_THROW(partition_graph(g, 10), Error);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(PartitionProperty, PartsCoverAllVerticesAndBalance) {
+  const index_t nparts = GetParam();
+  const Graph g = grid_graph(20, 20);
+  const auto part = partition_graph(g, nparts);
+  const auto sizes = partition_sizes(part, nparts);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), index_t{0}),
+            g.num_vertices());
+  for (index_t s : sizes) {
+    EXPECT_GT(s, 0) << "empty part with nparts=" << nparts;
+  }
+  const auto m = evaluate_partition(g, part, nparts);
+  EXPECT_LE(m.imbalance, 1.25) << "nparts=" << nparts;
+  // Any partition of a connected grid must cut something for nparts > 1.
+  EXPECT_GT(m.edge_cut, 0);
+  // ... but never more than a fixed fraction of all edges for a mesh.
+  EXPECT_LT(m.edge_cut, g.num_edges() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PartitionProperty,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 13, 16));
+
+}  // namespace
+}  // namespace fsaic

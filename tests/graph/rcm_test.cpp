@@ -1,0 +1,101 @@
+#include "graph/rcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+namespace {
+
+SparsityPattern permuted_pattern(const CsrMatrix& a,
+                                 std::span<const index_t> perm) {
+  return permute_symmetric(a, perm).pattern();
+}
+
+std::vector<index_t> random_permutation(index_t n, std::uint64_t seed) {
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  Rng rng(seed);
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(rng.next_index(i + 1))]);
+  }
+  return perm;
+}
+
+TEST(RcmTest, PermutationIsABijection) {
+  const auto a = poisson2d(12, 9);
+  const Graph g = Graph::from_pattern(a.pattern());
+  const auto perm = rcm_permutation(g);
+  std::vector<index_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RcmTest, ReducesBandwidthOfShuffledGrid) {
+  const auto a = poisson2d(16, 16);
+  const auto shuffled = permute_symmetric(a, random_permutation(a.rows(), 3));
+  const index_t bw_shuffled = pattern_bandwidth(shuffled.pattern());
+
+  const Graph g = Graph::from_pattern(shuffled.pattern());
+  const auto perm = rcm_permutation(g);
+  const index_t bw_rcm = pattern_bandwidth(permuted_pattern(shuffled, perm));
+  EXPECT_LT(bw_rcm, bw_shuffled / 4) << "RCM should strongly compress bandwidth";
+  // A 16x16 grid has optimal bandwidth ~16; RCM should be within ~2x.
+  EXPECT_LE(bw_rcm, 40);
+}
+
+TEST(RcmTest, ReducesProfileToo) {
+  const auto a = poisson2d(14, 14);
+  const auto shuffled = permute_symmetric(a, random_permutation(a.rows(), 5));
+  const Graph g = Graph::from_pattern(shuffled.pattern());
+  const auto perm = rcm_permutation(g);
+  EXPECT_LT(pattern_profile(permuted_pattern(shuffled, perm)),
+            pattern_profile(shuffled.pattern()));
+}
+
+TEST(RcmTest, HandlesDisconnectedComponents) {
+  // Two disjoint paths.
+  std::vector<std::vector<index_t>> rows{{1}, {0, 2}, {1}, {4}, {3, 5}, {4}};
+  const Graph g = Graph::from_pattern(SparsityPattern::from_rows(6, 6, rows));
+  const auto perm = rcm_permutation(g);
+  std::vector<index_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RcmTest, PathGraphGetsOptimalBandwidth) {
+  // A path numbered randomly must come back to bandwidth 1.
+  const index_t n = 30;
+  std::vector<std::vector<index_t>> rows(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) rows[static_cast<std::size_t>(i)].push_back(i - 1);
+    rows[static_cast<std::size_t>(i)].push_back(i);
+    if (i < n - 1) rows[static_cast<std::size_t>(i)].push_back(i + 1);
+  }
+  CsrMatrix path{SparsityPattern::from_rows(n, n, std::move(rows))};
+  const auto shuffled = permute_symmetric(path, random_permutation(n, 7));
+  const Graph g = Graph::from_pattern(shuffled.pattern());
+  const auto perm = rcm_permutation(g);
+  EXPECT_EQ(pattern_bandwidth(permuted_pattern(shuffled, perm)), 1);
+}
+
+TEST(BandwidthTest, KnownValues) {
+  const auto p = SparsityPattern::from_rows(3, 3, {{0, 2}, {1}, {0, 2}});
+  EXPECT_EQ(pattern_bandwidth(p), 2);
+  EXPECT_EQ(pattern_profile(p), 2);  // row 2 reaches back to column 0
+  const SparsityPattern empty(4, 4);
+  EXPECT_EQ(pattern_bandwidth(empty), 0);
+  EXPECT_EQ(pattern_profile(empty), 0);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,175 @@
+#include "matgen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dense/factorizations.hpp"
+#include "matgen/suite.hpp"
+
+namespace fsaic {
+namespace {
+
+/// SPD check by dense Cholesky (use only on small matrices).
+bool is_spd(const CsrMatrix& a) {
+  if (!a.is_symmetric(1e-12 * std::max(a.max_abs(), 1.0))) return false;
+  DenseMatrix d(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      d(i, cols[k]) = vals[k];
+    }
+  }
+  return cholesky_factor(d);
+}
+
+TEST(GeneratorsTest, Poisson2dShape) {
+  const auto a = poisson2d(4, 5);
+  EXPECT_EQ(a.rows(), 20);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 4), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 5), 0.0);  // no diagonal coupling in 5-point
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, Poisson3dShape) {
+  const auto a = poisson3d(3, 3, 3);
+  EXPECT_EQ(a.rows(), 27);
+  // Center node has 6 neighbors + diagonal.
+  EXPECT_EQ(a.row_cols(13).size(), 7u);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, Stencil27CenterRowHas27Entries) {
+  const auto a = stencil27(4, 4, 4);
+  bool found = false;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    if (a.row_cols(i).size() == 27u) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, AnisotropicWeights) {
+  const auto a = anisotropic2d(4, 4, 0.1);
+  EXPECT_NEAR(a.at(5, 4), -0.1, 1e-15);   // x-neighbor
+  EXPECT_NEAR(a.at(5, 1), -1.0, 1e-15);   // y-neighbor
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, GradedCoefficientsAreSymmetricSpd) {
+  EXPECT_TRUE(is_spd(graded2d(6, 6, 1000.0)));
+  EXPECT_TRUE(is_spd(graded3d(4, 4, 4, 100.0)));
+}
+
+TEST(GeneratorsTest, ShiftedAddsToDiagonalOnly) {
+  const auto a = poisson2d(3, 3);
+  const auto s = shifted(a, 2.5);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), a.at(0, 0) + 2.5);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), a.at(0, 1));
+  EXPECT_EQ(s.nnz(), a.nnz());
+}
+
+TEST(GeneratorsTest, BlockExpandIsKroneckerProduct) {
+  const auto s = poisson2d(2, 2);
+  const auto blk = spd_block(2, 0.3);
+  const auto a = block_expand(s, blk);
+  EXPECT_EQ(a.rows(), s.rows() * 2);
+  for (index_t i = 0; i < s.rows(); ++i) {
+    for (index_t j : s.pattern().row(i)) {
+      for (index_t r = 0; r < 2; ++r) {
+        for (index_t c = 0; c < 2; ++c) {
+          EXPECT_DOUBLE_EQ(a.at(i * 2 + r, j * 2 + c), s.at(i, j) * blk(r, c));
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, RandomLaplacianIsSpdAndIrregular) {
+  const auto a = random_laplacian(200, 3, 0.05, 7);
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  // Degrees vary (circuit-like): min and max row sizes differ.
+  std::size_t dmin = 1000;
+  std::size_t dmax = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    dmin = std::min(dmin, a.row_cols(i).size());
+    dmax = std::max(dmax, a.row_cols(i).size());
+  }
+  EXPECT_LT(dmin, dmax);
+}
+
+TEST(GeneratorsTest, SmallRandomLaplacianIsSpd) {
+  EXPECT_TRUE(is_spd(random_laplacian(40, 4, 0.1, 3)));
+}
+
+TEST(GeneratorsTest, RandomSpdIsSpd) {
+  EXPECT_TRUE(is_spd(random_spd(40, 5, 11)));
+}
+
+TEST(GeneratorsTest, BandSpdHasExpectedBandwidth) {
+  const auto a = band_spd(30, 4, 0.5);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_LE(std::abs(i - j), 4);
+    }
+  }
+  EXPECT_TRUE(is_spd(a));
+}
+
+TEST(GeneratorsTest, DeterministicAcrossCalls) {
+  const auto a = random_laplacian(100, 3, 0.1, 42);
+  const auto b = random_laplacian(100, 3, 0.1, 42);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t k = 0; k < a.values().size(); ++k) {
+    EXPECT_EQ(a.values()[k], b.values()[k]);
+  }
+  const auto c = random_laplacian(100, 3, 0.1, 43);
+  const bool identical =
+      a.nnz() == c.nnz() &&
+      std::equal(a.values().begin(), a.values().end(), c.values().begin()) &&
+      std::equal(a.col_idx().begin(), a.col_idx().end(), c.col_idx().begin());
+  EXPECT_FALSE(identical) << "different seeds must give different matrices";
+}
+
+TEST(SuiteTest, SmallSuiteHas39UniqueEntries) {
+  const auto& suite = small_suite();
+  ASSERT_EQ(suite.size(), 39u);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i].name, suite[j].name);
+    }
+    EXPECT_GT(suite[i].paper_fsai_iters, 0);
+    EXPECT_GE(suite[i].paper_fsai_iters, suite[i].paper_fsaie_comm_iters);
+  }
+}
+
+TEST(SuiteTest, LargeSuiteHas8Entries) {
+  EXPECT_EQ(large_suite().size(), 8u);
+}
+
+TEST(SuiteTest, LookupByEitherName) {
+  EXPECT_EQ(suite_entry("thermal2-sim").paper_name, "thermal2");
+  EXPECT_EQ(suite_entry("thermal2").name, "thermal2-sim");
+  EXPECT_EQ(suite_entry("Queen_4147").type, "2D/3D Problem");
+  EXPECT_THROW((void)suite_entry("nope"), Error);
+}
+
+class SuiteEntryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteEntryProperty, EveryMatrixIsSymmetricWithPositiveDiagonal) {
+  const auto& entry = small_suite()[static_cast<std::size_t>(GetParam())];
+  const auto a = entry.generate();
+  EXPECT_GT(a.rows(), 100) << entry.name;
+  EXPECT_GT(a.nnz(), 1000) << entry.name;
+  EXPECT_TRUE(a.is_symmetric(1e-12 * a.max_abs())) << entry.name;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    ASSERT_GT(a.at(i, i), 0.0) << entry.name << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All39, SuiteEntryProperty, ::testing::Range(0, 39));
+
+}  // namespace
+}  // namespace fsaic

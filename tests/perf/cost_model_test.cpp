@@ -1,0 +1,131 @@
+#include "perf/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fsai_driver.hpp"
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(MachineTest, PresetsMatchPaperCacheLines) {
+  EXPECT_EQ(machine_skylake().l1.line_bytes, 64);
+  EXPECT_EQ(machine_a64fx().l1.line_bytes, 256);
+  EXPECT_EQ(machine_zen2().l1.line_bytes, 64);
+  EXPECT_EQ(machine_by_name("a64fx").name, "a64fx");
+  EXPECT_THROW((void)machine_by_name("m1"), Error);
+}
+
+TEST(MachineTest, DerivedCostsArePositive) {
+  for (const auto& m : {machine_skylake(), machine_a64fx(), machine_zen2()}) {
+    EXPECT_GT(m.nnz_stream_cost(), 0.0) << m.name;
+    EXPECT_GT(m.miss_cost(), m.nnz_stream_cost()) << m.name;
+    EXPECT_GT(m.nnz_flop_cost(), 0.0) << m.name;
+  }
+}
+
+TEST(CostModelTest, MoreThreadsShrinkCompute) {
+  const auto a = poisson2d(24, 24);
+  const auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 4));
+  const CostModel one(machine_skylake(), {.threads_per_rank = 1});
+  const CostModel eight(machine_skylake(), {.threads_per_rank = 8});
+  EXPECT_GT(one.spmv_cost(d).compute, eight.spmv_cost(d).compute);
+  // Communication is unaffected by the thread count.
+  EXPECT_DOUBLE_EQ(one.spmv_cost(d).comm, eight.spmv_cost(d).comm);
+}
+
+TEST(CostModelTest, MoreRanksMeanMoreCommLessCompute) {
+  const auto a = poisson2d(32, 32);
+  const auto d2 = DistCsr::distribute(a, Layout::blocked(a.rows(), 2));
+  const auto d8 = DistCsr::distribute(a, Layout::blocked(a.rows(), 8));
+  const CostModel cm(machine_skylake(), {.threads_per_rank = 1});
+  EXPECT_GT(cm.spmv_cost(d2).compute, cm.spmv_cost(d8).compute);
+  EXPECT_LT(cm.spmv_cost(d2).comm, cm.spmv_cost(d8).comm);
+}
+
+TEST(CostModelTest, AllreduceGrowsLogarithmically) {
+  const CostModel cm(machine_skylake(), {});
+  EXPECT_DOUBLE_EQ(cm.allreduce_cost(1), 0.0);
+  const double c2 = cm.allreduce_cost(2);
+  const double c4 = cm.allreduce_cost(4);
+  const double c16 = cm.allreduce_cost(16);
+  EXPECT_GT(c2, 0.0);
+  EXPECT_NEAR(c4 / c2, 2.0, 1e-12);
+  EXPECT_NEAR(c16 / c2, 4.0, 1e-12);
+}
+
+TEST(CostModelTest, ImbalancedDistributionCostsMore) {
+  const auto a = poisson2d(20, 20);
+  const auto balanced = DistCsr::distribute(a, Layout::blocked(a.rows(), 4));
+  // Skewed: rank 0 owns 70% of rows.
+  const index_t n = a.rows();
+  const Layout skew({0, 7 * n / 10, 8 * n / 10, 9 * n / 10, n});
+  const auto skewed = DistCsr::distribute(a, skew);
+  const CostModel cm(machine_skylake(), {});
+  EXPECT_GT(cm.spmv_cost(skewed).compute, cm.spmv_cost(balanced).compute);
+}
+
+TEST(CostModelTest, PcgIterationCostBreakdownAddsUp) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto build = build_fsai_preconditioner(a, l, FsaiOptions{});
+  const auto a_dist = DistCsr::distribute(a, l);
+  const CostModel cm(machine_skylake(), {});
+  const auto cost = cm.pcg_iteration_cost(a_dist, build.g_dist, build.gt_dist);
+  EXPECT_GT(cost.spmv_a.total(), 0.0);
+  EXPECT_GT(cost.precond_total(), 0.0);
+  EXPECT_GT(cost.blas1, 0.0);
+  EXPECT_GT(cost.allreduce, 0.0);
+  EXPECT_NEAR(cost.total(),
+              cost.spmv_a.total() + cost.precond_g.total() +
+                  cost.precond_gt.total() + cost.blas1 + cost.allreduce,
+              1e-15);
+}
+
+TEST(CostModelTest, ExtensionBarelyIncreasesPrecondCost) {
+  // The heart of the paper: a comm-aware cache-line extension adds nnz but
+  // almost no per-iteration cost. Assert the modeled cost grows by far less
+  // than the nnz growth.
+  const auto a = poisson2d(40, 40);
+  const Layout l = Layout::blocked(a.rows(), 4);
+
+  const auto plain = build_fsai_preconditioner(a, l, FsaiOptions{});
+  FsaiOptions ext_opts;
+  ext_opts.extension = ExtensionMode::CommAware;
+  ext_opts.cache_line_bytes = 256;
+  const auto ext = build_fsai_preconditioner(a, l, ext_opts);
+  ASSERT_GT(ext.nnz_increase_pct, 20.0);  // substantial extension
+
+  const auto a_dist = DistCsr::distribute(a, l);
+  const CostModel cm(machine_a64fx(), {});
+  const auto c_plain = cm.pcg_iteration_cost(a_dist, plain.g_dist, plain.gt_dist);
+  const auto c_ext = cm.pcg_iteration_cost(a_dist, ext.g_dist, ext.gt_dist);
+  const double cost_growth_pct =
+      100.0 * (c_ext.precond_total() - c_plain.precond_total()) /
+      c_plain.precond_total();
+  EXPECT_LT(cost_growth_pct, ext.nnz_increase_pct * 0.8)
+      << "extension cost should grow much slower than its nnz";
+}
+
+TEST(CostModelTest, PrecondGflopsPositiveAndHigherOnZen2) {
+  const auto a = poisson2d(20, 20);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto build = build_fsai_preconditioner(a, l, FsaiOptions{});
+  const CostModel sky(machine_skylake(), {});
+  const CostModel zen(machine_zen2(), {});
+  const double g_sky = sky.precond_gflops_per_process(build.g_dist, build.gt_dist);
+  const double g_zen = zen.precond_gflops_per_process(build.g_dist, build.gt_dist);
+  EXPECT_GT(g_sky, 0.0);
+  // The paper observes much higher FLOP/s on Zen 2 — flops_per_core dominates
+  // only when not bandwidth-bound; just assert both are sane and nonzero.
+  EXPECT_GT(g_zen, 0.0);
+}
+
+TEST(CostModelTest, RankCacheScalesWithThreads) {
+  const CostModel cm(machine_skylake(), {.threads_per_rank = 4});
+  EXPECT_EQ(cm.rank_cache().size_bytes, 4 * machine_skylake().l1.size_bytes);
+  EXPECT_EQ(cm.rank_cache().line_bytes, machine_skylake().l1.line_bytes);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,88 @@
+#include "perf/setup_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(SetupCostTest, FlopsMatchHandComputation) {
+  // Pattern with rows of sizes 1 and 2: flops = (1/3 + 2 + 8) + (8/3 + 8 + 32).
+  const auto p = SparsityPattern::from_rows(2, 2, {{0}, {0, 1}});
+  const auto cost = estimate_factor_setup(p, Layout::blocked(2, 1),
+                                          machine_skylake(), 1);
+  EXPECT_NEAR(cost.row_solve_flops, 1.0 / 3.0 + 2.0 + 8.0 / 3.0 + 8.0, 1e-12);
+  EXPECT_NEAR(cost.gather_flops, 8.0 * 1.0 + 8.0 * 4.0, 1e-12);
+  EXPECT_GT(cost.time, 0.0);
+}
+
+TEST(SetupCostTest, MoreThreadsReduceTime) {
+  const auto a = poisson2d(20, 20);
+  const auto p = a.pattern().lower_triangle();
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto t1 = estimate_factor_setup(p, l, machine_skylake(), 1);
+  const auto t8 = estimate_factor_setup(p, l, machine_skylake(), 8);
+  EXPECT_NEAR(t1.time / t8.time, 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t1.row_solve_flops, t8.row_solve_flops);
+}
+
+TEST(SetupCostTest, DenserPatternCostsMore) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto lvl1 = estimate_factor_setup(a.pattern().lower_triangle(), l,
+                                          machine_skylake(), 1);
+  const auto lvl2 = estimate_factor_setup(
+      a.pattern().symbolic_power(2).lower_triangle(), l, machine_skylake(), 1);
+  EXPECT_GT(lvl2.time, lvl1.time);
+  EXPECT_GT(lvl2.row_solve_flops, lvl1.row_solve_flops);
+}
+
+TEST(SetupCostTest, BuildSetupCountsTwoPassesWhenFiltering) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 2);
+
+  FsaiOptions plain;
+  const auto build_plain = build_fsai_preconditioner(a, l, plain);
+  const auto cost_plain =
+      estimate_build_setup(build_plain, l, machine_skylake(), 1);
+
+  FsaiOptions ext;
+  ext.extension = ExtensionMode::CommAware;
+  ext.cache_line_bytes = 256;
+  ext.filter = 0.05;
+  const auto build_ext = build_fsai_preconditioner(a, l, ext);
+  const auto cost_ext = estimate_build_setup(build_ext, l, machine_skylake(), 1);
+
+  // Two passes over a larger pattern: clearly more than twice the baseline.
+  EXPECT_GT(cost_ext.time, 2.0 * cost_plain.time);
+}
+
+TEST(SetupCostTest, ImbalancedLayoutPenalizedByMaxRank) {
+  const auto a = poisson2d(16, 16);
+  const auto p = a.pattern().lower_triangle();
+  const index_t n = a.rows();
+  const auto balanced = estimate_factor_setup(p, Layout::blocked(n, 4),
+                                              machine_skylake(), 1);
+  const Layout skew({0, 7 * n / 10, 8 * n / 10, 9 * n / 10, n});
+  const auto skewed = estimate_factor_setup(p, skew, machine_skylake(), 1);
+  EXPECT_GT(skewed.time, balanced.time);
+}
+
+TEST(AmortizationTest, BreakEvenArithmetic) {
+  // Extra setup 10, per-solve gain 2 → break even after 5 solves.
+  EXPECT_DOUBLE_EQ(solves_to_amortize(1.0, 10.0, 11.0, 8.0), 5.0);
+  // Candidate cheaper in setup AND per solve → immediately better.
+  EXPECT_DOUBLE_EQ(solves_to_amortize(5.0, 10.0, 3.0, 8.0), 0.0);
+  // No per-solve gain and more setup → never.
+  EXPECT_TRUE(std::isinf(solves_to_amortize(1.0, 8.0, 2.0, 8.0)));
+  // No per-solve gain but cheaper setup → ahead from the start (0), even
+  // though the baseline eventually overtakes; the function reports the
+  // first break-even only.
+  EXPECT_DOUBLE_EQ(solves_to_amortize(2.0, 8.0, 1.0, 9.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,175 @@
+#include "solver/gmres.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "core/spai.hpp"
+#include "matgen/generators.hpp"
+#include "solver/schwarz.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+namespace {
+
+DistVector random_rhs(const Layout& l, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> bg(static_cast<std::size_t>(l.global_size()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  return DistVector(l, bg);
+}
+
+value_t true_residual(const CsrMatrix& a, const DistVector& x, const DistVector& b) {
+  const auto xg = x.to_global();
+  const auto bg = b.to_global();
+  std::vector<value_t> r(xg.size());
+  spmv(a, xg, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = bg[i] - r[i];
+  }
+  return norm2(r);
+}
+
+TEST(GmresTest, SolvesSpdSystemLikeCg) {
+  const auto a = poisson2d(14, 14);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 1);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto r = gmres_solve(d, b, x, identity, {.rel_tol = 1e-9});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(true_residual(a, x, b), 1e-8 * r.initial_residual);
+}
+
+TEST(GmresTest, SolvesNonsymmetricSystem) {
+  // A convection-diffusion-like matrix: Poisson plus a skew part. CG is
+  // inapplicable; GMRES must handle it.
+  const auto base = poisson2d(12, 12);
+  CooBuilder builder(base.rows(), base.cols());
+  for (index_t i = 0; i < base.rows(); ++i) {
+    const auto cols = base.row_cols(i);
+    const auto vals = base.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      value_t v = vals[k];
+      if (j == i + 1) v += 0.4;   // upwind bias
+      if (j + 1 == i) v -= 0.4;
+      builder.add(i, j, v);
+    }
+  }
+  const auto a = builder.to_csr();
+  ASSERT_FALSE(a.is_symmetric(1e-12));
+  const Layout l = Layout::blocked(a.rows(), 3);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 2);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto r = gmres_solve(d, b, x, identity, {.rel_tol = 1e-9});
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(true_residual(a, x, b), 1e-8 * r.initial_residual);
+}
+
+TEST(GmresTest, FsaiPreconditioningReducesIterations) {
+  const auto a = poisson2d(20, 20);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 3);
+  const IdentityPreconditioner identity;
+  const auto build = build_fsai_preconditioner(a, l, FsaiOptions{});
+  const auto fsai = make_factorized_preconditioner(build, "fsai");
+
+  DistVector x1(l);
+  const auto plain = gmres_solve(d, b, x1, identity);
+  DistVector x2(l);
+  const auto prec = gmres_solve(d, b, x2, *fsai);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+}
+
+TEST(GmresTest, RestartLengthTradesIterations) {
+  // Shorter restarts lose Krylov information: same tolerance, more
+  // iterations.
+  const auto a = anisotropic2d(20, 20, 0.1);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 4);
+  const IdentityPreconditioner identity;
+  DistVector x1(l);
+  const auto long_restart =
+      gmres_solve(d, b, x1, identity, {.rel_tol = 1e-8, .restart = 200});
+  DistVector x2(l);
+  const auto short_restart =
+      gmres_solve(d, b, x2, identity, {.rel_tol = 1e-8, .restart = 10});
+  ASSERT_TRUE(long_restart.converged);
+  ASSERT_TRUE(short_restart.converged);
+  EXPECT_LE(long_restart.iterations, short_restart.iterations);
+}
+
+TEST(GmresTest, ZeroRhsConvergesImmediately) {
+  const auto a = poisson2d(5, 5);
+  const Layout l = Layout::blocked(a.rows(), 1);
+  const auto d = DistCsr::distribute(a, l);
+  DistVector b(l);
+  DistVector x(l);
+  const IdentityPreconditioner identity;
+  const auto r = gmres_solve(d, b, x, identity);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(GmresTest, MaxIterationsRespected) {
+  const auto a = anisotropic2d(24, 24, 0.02);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 5);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto r = gmres_solve(d, b, x, identity,
+                             {.rel_tol = 1e-14, .restart = 8, .max_iterations = 20});
+  EXPECT_FALSE(r.converged);
+  EXPECT_LE(r.iterations, 20);
+}
+
+TEST(GmresTest, HandlesUnsymmetrizedSpaiAndSchwarz) {
+  // The preconditioners CG cannot take: raw SPAI (not symmetrized here the
+  // preconditioner class symmetrizes, so use Schwarz with overlap which is
+  // fine too) — mainly assert GMRES converges with both wrappers.
+  const auto a = poisson2d(12, 12);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 6);
+  DistVector x1(l);
+  const SpaiPreconditioner spai(a, l);
+  const auto r1 = gmres_solve(d, b, x1, spai);
+  EXPECT_TRUE(r1.converged);
+  DistVector x2(l);
+  const SchwarzPreconditioner ras(a, l, 2);
+  const auto r2 = gmres_solve(d, b, x2, ras);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LE(true_residual(a, x2, b), 1e-7 * r2.initial_residual);
+}
+
+class GmresRestartProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GmresRestartProperty, ConvergesAtEveryRestartLength) {
+  const auto a = poisson2d(10, 10);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 7);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto r = gmres_solve(d, b, x, identity,
+                             {.rel_tol = 1e-8, .restart = GetParam()});
+  EXPECT_TRUE(r.converged) << "restart " << GetParam();
+  EXPECT_LE(true_residual(a, x, b), 1e-7 * r.initial_residual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Restarts, GmresRestartProperty,
+                         ::testing::Values(1, 2, 5, 20, 100));
+
+}  // namespace
+}  // namespace fsaic

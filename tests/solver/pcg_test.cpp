@@ -1,0 +1,231 @@
+#include "solver/pcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+namespace {
+
+/// ||b - A x||_2 computed serially on gathered vectors.
+value_t true_residual(const CsrMatrix& a, const DistVector& x, const DistVector& b) {
+  const auto xg = x.to_global();
+  const auto bg = b.to_global();
+  std::vector<value_t> r(static_cast<std::size_t>(a.rows()));
+  spmv(a, xg, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = bg[i] - r[i];
+  }
+  return norm2(r);
+}
+
+DistVector random_rhs(const Layout& l, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> bg(static_cast<std::size_t>(l.global_size()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  return DistVector(l, bg);
+}
+
+TEST(CgTest, SolvesPoissonToTolerance) {
+  const auto a = poisson2d(20, 20);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 1);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x, {.rel_tol = 1e-10, .max_iterations = 2000});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 5);
+  EXPECT_LE(true_residual(a, x, b), 1e-9 * result.initial_residual);
+}
+
+TEST(CgTest, ZeroRhsConvergesImmediately) {
+  const auto a = poisson2d(5, 5);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  DistVector b(l);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(CgTest, ExactInitialGuessConvergesImmediately) {
+  const auto a = poisson2d(6, 6);
+  const Layout l = Layout::blocked(a.rows(), 3);
+  const auto d = DistCsr::distribute(a, l);
+  // b = A * ones, x0 = ones.
+  std::vector<value_t> ones(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<value_t> bg(ones.size());
+  spmv(a, ones, bg);
+  const DistVector b(l, bg);
+  DistVector x(l, ones);
+  const auto result = cg_solve(d, b, x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(CgTest, ResidualHistoryIsTrackedAndDecreasesOverall) {
+  const auto a = poisson2d(12, 12);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 3);
+  DistVector x(l);
+  SolveOptions opts;
+  opts.track_residual_history = true;
+  const auto result = cg_solve(d, b, x, opts);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.residual_history.size(),
+            static_cast<std::size_t>(result.iterations) + 1);
+  EXPECT_LT(result.residual_history.back(),
+            1e-8 * result.residual_history.front());
+}
+
+TEST(CgTest, MaxIterationsStopsWithoutConvergence) {
+  const auto a = anisotropic2d(30, 30, 0.01);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 4);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x, {.rel_tol = 1e-14, .max_iterations = 5});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 5);
+}
+
+TEST(CgTest, IterationCountMatchesTheorysBoundForDiagonal) {
+  // For a diagonal matrix with k distinct eigenvalues CG converges in at
+  // most k iterations (exact arithmetic); allow +1 for rounding.
+  CooBuilder builder(8, 8);
+  for (index_t i = 0; i < 8; ++i) {
+    builder.add(i, i, (i % 2 == 0) ? 1.0 : 4.0);  // two distinct eigenvalues
+  }
+  const auto a = builder.to_csr();
+  const Layout l = Layout::blocked(8, 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 5);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x, {.rel_tol = 1e-12, .max_iterations = 100});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(PcgTest, JacobiHelpsScaledSystem) {
+  // Badly scaled diagonal blocks: Jacobi fixes scaling, plain CG suffers.
+  const auto base = poisson2d(15, 15);
+  CooBuilder builder(base.rows(), base.cols());
+  for (index_t i = 0; i < base.rows(); ++i) {
+    const value_t s = (i < base.rows() / 2) ? 1.0 : 1e4;
+    for (std::size_t k = 0; k < base.row_cols(i).size(); ++k) {
+      const index_t j = base.row_cols(i)[k];
+      const value_t sj = (j < base.rows() / 2) ? 1.0 : 1e4;
+      builder.add(i, j, base.row_vals(i)[k] * std::sqrt(s) * std::sqrt(sj));
+    }
+  }
+  const auto a = builder.to_csr();
+  const Layout l = Layout::blocked(a.rows(), 3);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 6);
+
+  DistVector x1(l);
+  const auto plain = cg_solve(d, b, x1, {.rel_tol = 1e-8, .max_iterations = 4000});
+  DistVector x2(l);
+  const JacobiPreconditioner jacobi(d);
+  const auto prec = pcg_solve(d, b, x2, jacobi,
+                              {.rel_tol = 1e-8, .max_iterations = 4000});
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+}
+
+TEST(PcgTest, BlockJacobiBeatsJacobiOnPoisson) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 7);
+
+  DistVector x1(l);
+  const JacobiPreconditioner jacobi(d);
+  const auto r1 = pcg_solve(d, b, x1, jacobi, {.rel_tol = 1e-8, .max_iterations = 2000});
+  DistVector x2(l);
+  const BlockJacobiPreconditioner bj(d, 16);
+  const auto r2 = pcg_solve(d, b, x2, bj, {.rel_tol = 1e-8, .max_iterations = 2000});
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  EXPECT_LT(r2.iterations, r1.iterations);
+  EXPECT_LE(true_residual(a, x2, b), 1e-7 * r2.initial_residual);
+}
+
+TEST(PcgTest, CommStatsCountHaloAndAllreduce) {
+  const auto a = poisson2d(10, 10);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 8);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x);
+  ASSERT_TRUE(result.converged);
+  // 3 allreduces per iteration (2 dots + 1 norm) plus setup ones.
+  EXPECT_GE(result.comm.allreduce_count, 3 * result.iterations);
+  EXPECT_GT(result.comm.halo_bytes, 0);
+}
+
+TEST(PcgTest, NonPositiveDefiniteDirectionAborts) {
+  // Indefinite matrix: CG must bail out instead of diverging.
+  CooBuilder builder(4, 4);
+  builder.add(0, 0, 1.0);
+  builder.add(1, 1, -1.0);
+  builder.add(2, 2, 1.0);
+  builder.add(3, 3, -1.0);
+  const auto a = builder.to_csr();
+  const Layout l = Layout::blocked(4, 1);
+  const auto d = DistCsr::distribute(a, l);
+  std::vector<value_t> bg{0.0, 1.0, 0.0, 1.0};
+  const DistVector b(l, bg);
+  DistVector x(l);
+  const auto result = cg_solve(d, b, x, {.rel_tol = 1e-8, .max_iterations = 50});
+  EXPECT_FALSE(result.converged);
+}
+
+class PcgRankInvariance : public ::testing::TestWithParam<rank_t> {};
+
+TEST_P(PcgRankInvariance, IterationCountIndependentOfRankCount) {
+  // The distributed CG is algebraically identical for any rank count;
+  // iteration counts must match exactly (deterministic arithmetic order
+  // differs only in the dot-product reduction, which stays within one ulp —
+  // allow a ±1 iteration wobble).
+  const auto a = poisson2d(14, 14);
+  const auto b_global = [&] {
+    Rng rng(9);
+    std::vector<value_t> v(static_cast<std::size_t>(a.rows()));
+    for (auto& e : v) e = rng.next_uniform(-1.0, 1.0);
+    return v;
+  }();
+
+  const Layout l1 = Layout::blocked(a.rows(), 1);
+  const auto d1 = DistCsr::distribute(a, l1);
+  DistVector x1(l1);
+  const auto r1 = cg_solve(d1, DistVector(l1, b_global), x1);
+
+  const rank_t nranks = GetParam();
+  const Layout lp = Layout::blocked(a.rows(), nranks);
+  const auto dp = DistCsr::distribute(a, lp);
+  DistVector xp(lp);
+  const auto rp = cg_solve(dp, DistVector(lp, b_global), xp);
+
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(rp.converged);
+  EXPECT_NEAR(rp.iterations, r1.iterations, 1);
+  // Solutions agree.
+  const auto g1 = x1.to_global();
+  const auto gp = xp.to_global();
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(gp[i], g1[i], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PcgRankInvariance, ::testing::Values(2, 3, 7, 14));
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,134 @@
+#include "solver/pipelined_cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+namespace {
+
+DistVector random_rhs(const Layout& l, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> bg(static_cast<std::size_t>(l.global_size()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  return DistVector(l, bg);
+}
+
+TEST(PipelinedCgTest, MatchesClassicPcgSolution) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 1);
+  const auto build = build_fsai_preconditioner(a, l, FsaiOptions{});
+  const auto precond = make_factorized_preconditioner(build, "fsai");
+
+  DistVector x1(l);
+  const auto classic = pcg_solve(d, b, x1, *precond,
+                                 {.rel_tol = 1e-10, .max_iterations = 2000});
+  DistVector x2(l);
+  const auto piped = pcg_solve_pipelined(d, b, x2, *precond,
+                                         {.rel_tol = 1e-10, .max_iterations = 2000});
+  ASSERT_TRUE(classic.converged);
+  ASSERT_TRUE(piped.converged);
+  // Algebraically equivalent recurrences: iteration counts within a couple.
+  EXPECT_NEAR(piped.iterations, classic.iterations, 3);
+  const auto g1 = x1.to_global();
+  const auto g2 = x2.to_global();
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g2[i], g1[i], 1e-6);
+  }
+}
+
+TEST(PipelinedCgTest, OneAllreducePerIteration) {
+  const auto a = poisson2d(12, 12);
+  const Layout l = Layout::blocked(a.rows(), 3);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 2);
+  const IdentityPreconditioner identity;
+
+  DistVector x1(l);
+  const auto classic = pcg_solve(d, b, x1, identity);
+  DistVector x2(l);
+  const auto piped = pcg_solve_pipelined(d, b, x2, identity);
+  ASSERT_TRUE(classic.converged);
+  ASSERT_TRUE(piped.converged);
+  // Classic: 3 allreduces per iteration (+setup). Pipelined: 1 (+setup).
+  EXPECT_GE(classic.comm.allreduce_count, 3 * classic.iterations);
+  EXPECT_LE(piped.comm.allreduce_count, piped.iterations + 2);
+  // Both solved the system to the same target.
+  EXPECT_LE(piped.final_residual, 1e-8 * piped.initial_residual);
+}
+
+TEST(PipelinedCgTest, TrueResidualMatchesRecurrence) {
+  const auto a = poisson2d(10, 14);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 3);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto r = pcg_solve_pipelined(d, b, x, identity,
+                                     {.rel_tol = 1e-9, .max_iterations = 2000});
+  ASSERT_TRUE(r.converged);
+  const auto xg = x.to_global();
+  const auto bg = b.to_global();
+  std::vector<value_t> res(xg.size());
+  spmv(a, xg, res);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    res[i] = bg[i] - res[i];
+  }
+  // Pipelined recurrences drift slightly more than classic CG; allow 10x.
+  EXPECT_LE(norm2(res), 1e-8 * r.initial_residual);
+}
+
+TEST(PipelinedCgTest, ZeroRhsImmediate) {
+  const auto a = poisson2d(5, 5);
+  const Layout l = Layout::blocked(a.rows(), 1);
+  const auto d = DistCsr::distribute(a, l);
+  DistVector b(l);
+  DistVector x(l);
+  const IdentityPreconditioner identity;
+  const auto r = pcg_solve_pipelined(d, b, x, identity);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(PipelinedCgTest, IndefiniteSystemAborts) {
+  CooBuilder bld(2, 2);
+  bld.add(0, 0, 1.0);
+  bld.add(1, 1, -1.0);
+  const auto d = DistCsr::distribute(bld.to_csr(), Layout::blocked(2, 1));
+  std::vector<value_t> bg{0.0, 1.0};
+  const DistVector b(Layout::blocked(2, 1), bg);
+  DistVector x(Layout::blocked(2, 1));
+  const IdentityPreconditioner identity;
+  const auto r = pcg_solve_pipelined(d, b, x, identity,
+                                     {.rel_tol = 1e-8, .max_iterations = 10});
+  EXPECT_FALSE(r.converged);
+}
+
+class PipelinedEquivalence : public ::testing::TestWithParam<rank_t> {};
+
+TEST_P(PipelinedEquivalence, IterationCountsTrackClassicAcrossRankCounts) {
+  const auto a = anisotropic2d(14, 14, 0.3);
+  const Layout l = Layout::blocked(a.rows(), GetParam());
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 7);
+  const JacobiPreconditioner jac(d);
+  DistVector x1(l);
+  DistVector x2(l);
+  const auto classic = pcg_solve(d, b, x1, jac);
+  const auto piped = pcg_solve_pipelined(d, b, x2, jac);
+  ASSERT_TRUE(classic.converged);
+  ASSERT_TRUE(piped.converged);
+  EXPECT_NEAR(piped.iterations, classic.iterations, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PipelinedEquivalence, ::testing::Values(1, 2, 5, 8));
+
+}  // namespace
+}  // namespace fsaic

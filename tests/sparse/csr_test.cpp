@@ -1,0 +1,114 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace fsaic {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add_symmetric(0, 1, -1.0);
+  b.add(1, 1, 2.0);
+  b.add_symmetric(1, 2, -1.0);
+  b.add(2, 2, 2.0);
+  return b.to_csr();
+}
+
+TEST(CsrTest, AtReturnsStoredValuesAndZeroOutsidePattern) {
+  const auto a = small_matrix();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(CsrTest, DiagonalExtraction) {
+  const auto d = small_matrix().diagonal();
+  EXPECT_EQ(d, (std::vector<value_t>{2.0, 2.0, 2.0}));
+}
+
+TEST(CsrTest, SymmetryCheck) {
+  EXPECT_TRUE(small_matrix().is_symmetric());
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 2.0);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(b.to_csr().is_symmetric());
+  EXPECT_TRUE(b.to_csr().is_symmetric(1.5));  // within tolerance
+}
+
+TEST(CsrTest, MaxAbs) {
+  EXPECT_DOUBLE_EQ(small_matrix().max_abs(), 2.0);
+}
+
+TEST(CsrTest, ZeroMatrixOnPattern) {
+  const CsrMatrix z{small_matrix().pattern()};
+  EXPECT_EQ(z.nnz(), small_matrix().nnz());
+  for (value_t v : z.values()) {
+    EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(CsrTest, ValueCountMustMatchPattern) {
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 1}, {0}, {1.0, 2.0}), Error);
+}
+
+TEST(CooTest, DuplicatesAreSummed) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, 1.0);
+  const auto a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+}
+
+TEST(CooTest, DropZerosRemovesCancellations) {
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  b.add(0, 1, -1.0);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  EXPECT_EQ(b.to_csr(false).nnz(), 3);
+  EXPECT_EQ(b.to_csr(true).nnz(), 2);
+}
+
+TEST(CooTest, AddSymmetricAddsOnceOnDiagonal) {
+  CooBuilder b(2, 2);
+  b.add_symmetric(0, 0, 5.0);
+  b.add_symmetric(0, 1, 1.0);
+  b.add(1, 1, 1.0);
+  const auto a = b.to_csr();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(CooTest, RejectsOutOfRangeIndices) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, -1, 1.0), Error);
+}
+
+TEST(CooTest, ColumnsSortedWithinRows) {
+  CooBuilder b(1, 5);
+  b.add(0, 4, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, 3.0);
+  const auto a = b.to_csr();
+  const auto cols = a.row_cols(0);
+  EXPECT_EQ(std::vector<index_t>(cols.begin(), cols.end()),
+            (std::vector<index_t>{0, 2, 4}));
+  const auto vals = a.row_vals(0);
+  EXPECT_EQ(std::vector<value_t>(vals.begin(), vals.end()),
+            (std::vector<value_t>{2.0, 3.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace fsaic

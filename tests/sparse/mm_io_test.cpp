@@ -1,0 +1,80 @@
+#include "sparse/mm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matgen/generators.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(MmIoTest, RoundTripGeneral) {
+  const auto a = random_spd(20, 3, 11);
+  std::stringstream ss;
+  write_matrix_market(ss, a);
+  const auto b = read_matrix_market(ss);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(b.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(MmIoTest, SymmetricFileMirrorsUpperTriangle) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% comment line\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "2 2 2.0\n"
+     << "3 3 2.0\n";
+  const auto a = read_matrix_market(ss);
+  EXPECT_EQ(a.nnz(), 5);  // (1,2) mirrored to (2,1)
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(MmIoTest, PatternFieldGivesUnitValues) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "2 2 2\n"
+     << "1 1\n"
+     << "2 2\n";
+  const auto a = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
+TEST(MmIoTest, RejectsBadBanner) {
+  std::stringstream ss;
+  ss << "%%NotMatrixMarket matrix coordinate real general\n2 2 0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MmIoTest, RejectsTruncatedEntries) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 2\n"
+     << "1 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MmIoTest, RejectsOutOfRangeEntry) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "2 2 1\n"
+     << "3 1 1.0\n";
+  EXPECT_THROW(read_matrix_market(ss), Error);
+}
+
+TEST(MmIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,157 @@
+#include "sparse/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/vector_ops.hpp"
+
+namespace fsaic {
+namespace {
+
+/// Dense reference SpMV.
+std::vector<value_t> dense_spmv(const CsrMatrix& a, std::span<const value_t> x) {
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      y[static_cast<std::size_t>(i)] += a.at(i, j) * x[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+TEST(OpsTest, SpmvMatchesDenseReference) {
+  const auto a = poisson2d(7, 5);
+  Rng rng(42);
+  std::vector<value_t> x(static_cast<std::size_t>(a.cols()));
+  for (auto& v : x) v = rng.next_uniform(-1.0, 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()));
+  spmv(a, x, y);
+  const auto ref = dense_spmv(a, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 1e-12);
+  }
+}
+
+TEST(OpsTest, SpmvTransposeMatchesExplicitTranspose) {
+  const auto a = random_spd(40, 4, 7);
+  Rng rng(9);
+  std::vector<value_t> x(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x) v = rng.next_uniform(-1.0, 1.0);
+  std::vector<value_t> y1(static_cast<std::size_t>(a.cols()));
+  spmv_transpose(a, x, y1);
+  std::vector<value_t> y2(static_cast<std::size_t>(a.cols()));
+  spmv(transpose(a), x, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_NEAR(y1[i], y2[i], 1e-12);
+  }
+}
+
+TEST(OpsTest, TransposeTwiceIsIdentity) {
+  const auto a = random_spd(25, 3, 3);
+  const auto att = transpose(transpose(a));
+  ASSERT_EQ(att.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(OpsTest, ThresholdKeepsDiagonalAndLargeEntries) {
+  CooBuilder b(3, 3);
+  b.add(0, 0, 4.0);
+  b.add(1, 1, 1.0);
+  b.add(2, 2, 9.0);
+  b.add_symmetric(0, 1, 0.5);   // scale sqrt(4*1)=2, ratio 0.25
+  b.add_symmetric(1, 2, 0.06);  // scale sqrt(1*9)=3, ratio 0.02
+  const auto a = b.to_csr();
+  const auto t = threshold(a, 0.1);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 0.5);   // 0.25 >= 0.1, kept
+  EXPECT_DOUBLE_EQ(t.at(1, 2), 0.0);   // 0.02 < 0.1, dropped
+  EXPECT_DOUBLE_EQ(t.at(2, 2), 9.0);   // diagonal always kept
+}
+
+TEST(OpsTest, ThresholdZeroDropsOnlyExplicitZeros) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 0.0);
+  b.add(1, 1, 1.0);
+  const auto t = threshold(b.to_csr(), 0.0);
+  EXPECT_EQ(t.nnz(), 2);
+}
+
+TEST(OpsTest, RestrictToPatternDropsAndZeroFills) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 1, 3.0);
+  const auto a = b.to_csr();
+  const auto p = SparsityPattern::from_rows(2, 2, {{0}, {0, 1}});
+  const auto r = restrict_to_pattern(a, p);
+  EXPECT_EQ(r.nnz(), 3);
+  EXPECT_DOUBLE_EQ(r.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 1), 0.0);  // dropped by pattern
+  EXPECT_DOUBLE_EQ(r.at(1, 0), 0.0);  // explicit zero fill
+  EXPECT_DOUBLE_EQ(r.at(1, 1), 3.0);
+}
+
+TEST(OpsTest, PermuteSymmetricPreservesSpectrumEntries) {
+  const auto a = poisson2d(4, 4);
+  std::vector<index_t> perm(static_cast<std::size_t>(a.rows()));
+  // Reverse permutation.
+  for (index_t i = 0; i < a.rows(); ++i) {
+    perm[static_cast<std::size_t>(i)] = a.rows() - 1 - i;
+  }
+  const auto b = permute_symmetric(a, perm);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(b.at(perm[static_cast<std::size_t>(i)],
+                            perm[static_cast<std::size_t>(j)]),
+                       a.at(i, j));
+    }
+  }
+}
+
+TEST(OpsTest, LowerTriangleKeepsValues) {
+  const auto a = poisson2d(3, 3);
+  const auto l = lower_triangle(a);
+  EXPECT_TRUE(l.pattern().is_lower_triangular());
+  for (index_t i = 0; i < l.rows(); ++i) {
+    for (index_t j : l.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(l.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(OpsTest, MultiplyMatchesDense) {
+  const auto a = random_spd(12, 3, 1);
+  const auto b = random_spd(12, 3, 2);
+  const auto c = multiply(a, b);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 12; ++j) {
+      value_t ref = 0.0;
+      for (index_t k = 0; k < 12; ++k) {
+        ref += a.at(i, k) * b.at(k, j);
+      }
+      EXPECT_NEAR(c.at(i, j), ref, 1e-12) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(OpsTest, IdentityResidualOfIdentityIsZero) {
+  CooBuilder b(3, 3);
+  for (index_t i = 0; i < 3; ++i) b.add(i, i, 1.0);
+  EXPECT_NEAR(identity_residual_fro(b.to_csr()), 0.0, 1e-15);
+}
+
+TEST(OpsTest, IdentityResidualCountsMissingDiagonal) {
+  // Zero 2x2 matrix: ||I - 0||_F = sqrt(2).
+  const CsrMatrix z{SparsityPattern(2, 2)};
+  EXPECT_NEAR(identity_residual_fro(z), std::sqrt(2.0), 1e-15);
+}
+
+}  // namespace
+}  // namespace fsaic

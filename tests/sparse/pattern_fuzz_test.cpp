@@ -1,0 +1,149 @@
+// Randomized property tests over the sparse-pattern algebra: algebraic
+// identities that must hold for any pattern, checked on randomly generated
+// ones across densities and shapes.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/pattern.hpp"
+
+namespace fsaic {
+namespace {
+
+SparsityPattern random_pattern(index_t rows, index_t cols, double density,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<index_t>> r(static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    for (index_t j = 0; j < cols; ++j) {
+      if (rng.next_uniform() < density) {
+        r[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  return SparsityPattern::from_rows(rows, cols, std::move(r));
+}
+
+class PatternFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] SparsityPattern make(index_t rows, index_t cols,
+                                     double density) const {
+    return random_pattern(rows, cols, density, GetParam());
+  }
+};
+
+TEST_P(PatternFuzz, TransposeIsInvolution) {
+  const auto p = make(23, 17, 0.15);
+  EXPECT_EQ(p.transposed().transposed(), p);
+  EXPECT_EQ(p.transposed().nnz(), p.nnz());
+}
+
+TEST_P(PatternFuzz, UnionIsCommutativeIdempotentAndMonotone) {
+  const auto a = make(19, 19, 0.1);
+  const auto b = random_pattern(19, 19, 0.12, GetParam() + 1000);
+  const auto u = a.merged_with(b);
+  EXPECT_EQ(u, b.merged_with(a));
+  EXPECT_EQ(u.merged_with(u), u);
+  EXPECT_GE(u.nnz(), std::max(a.nnz(), b.nnz()));
+  EXPECT_LE(u.nnz(), a.nnz() + b.nnz());
+  // Every entry of a and b is in the union.
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row(i)) {
+      EXPECT_TRUE(u.contains(i, j));
+    }
+  }
+}
+
+TEST_P(PatternFuzz, LowerPlusUpperRecoversOriginalIfSymmetric) {
+  // Symmetrize then split: lower ∪ lower^T = symmetrized pattern.
+  const auto p = make(21, 21, 0.1);
+  const auto sym = p.merged_with(p.transposed());
+  const auto lower = sym.lower_triangle();
+  EXPECT_EQ(lower.merged_with(lower.transposed()), sym);
+}
+
+TEST_P(PatternFuzz, SymbolicMultiplyMatchesNumericMultiply) {
+  // Boolean product pattern == pattern of the numeric product with all-ones
+  // values (no cancellation possible).
+  const auto ap = make(12, 14, 0.18);
+  const auto bp = random_pattern(14, 10, 0.18, GetParam() + 7);
+  CsrMatrix a{ap};
+  CsrMatrix b{bp};
+  for (auto& v : a.values()) v = 1.0;
+  for (auto& v : b.values()) v = 1.0;
+  const auto numeric = multiply(a, b);
+  EXPECT_EQ(ap.symbolic_multiply(bp), numeric.pattern());
+}
+
+TEST_P(PatternFuzz, TransposeDistributesOverUnion) {
+  const auto a = make(16, 13, 0.2);
+  const auto b = random_pattern(16, 13, 0.1, GetParam() + 3);
+  EXPECT_EQ(a.merged_with(b).transposed(),
+            a.transposed().merged_with(b.transposed()));
+}
+
+TEST_P(PatternFuzz, WithFullDiagonalIsIdempotent) {
+  const auto p = make(15, 15, 0.1);
+  const auto d = p.with_full_diagonal();
+  EXPECT_TRUE(d.has_full_diagonal());
+  EXPECT_EQ(d.with_full_diagonal(), d);
+  EXPECT_GE(d.nnz(), p.nnz());
+  EXPECT_LE(d.nnz(), p.nnz() + 15);
+}
+
+TEST_P(PatternFuzz, CooCsrRoundTripPreservesSums) {
+  // Random triplets with duplicates: CSR entries must be the exact sums.
+  Rng rng(GetParam() + 99);
+  const index_t n = 12;
+  CooBuilder builder(n, n);
+  std::vector<std::vector<value_t>> dense(
+      static_cast<std::size_t>(n), std::vector<value_t>(static_cast<std::size_t>(n), 0.0));
+  for (int k = 0; k < 300; ++k) {
+    const index_t i = rng.next_index(n);
+    const index_t j = rng.next_index(n);
+    const value_t v = rng.next_uniform(-2.0, 2.0);
+    builder.add(i, j, v);
+    dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] += v;
+  }
+  const auto a = builder.to_csr();
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(a.at(i, j), dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                  1e-12);
+    }
+  }
+}
+
+TEST_P(PatternFuzz, PermuteSymmetricPreservesSymmetryAndValuesMultiset) {
+  Rng rng(GetParam() + 5);
+  const index_t n = 14;
+  CooBuilder builder(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    builder.add(i, i, 2.0 + rng.next_uniform());
+    const index_t j = rng.next_index(n);
+    if (j != i) builder.add_symmetric(i, j, rng.next_uniform(-1.0, 1.0));
+  }
+  const auto a = builder.to_csr();
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(rng.next_index(i + 1))]);
+  }
+  const auto b = permute_symmetric(a, perm);
+  EXPECT_TRUE(b.is_symmetric(1e-14));
+  EXPECT_EQ(b.nnz(), a.nnz());
+  // Multisets of values agree.
+  auto va = std::vector<value_t>(a.values().begin(), a.values().end());
+  auto vb = std::vector<value_t>(b.values().begin(), b.values().end());
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(va, vb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,144 @@
+#include "sparse/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fsaic {
+namespace {
+
+SparsityPattern tridiag_pattern(index_t n) {
+  std::vector<std::vector<index_t>> rows(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    auto& r = rows[static_cast<std::size_t>(i)];
+    if (i > 0) r.push_back(i - 1);
+    r.push_back(i);
+    if (i < n - 1) r.push_back(i + 1);
+  }
+  return SparsityPattern::from_rows(n, n, std::move(rows));
+}
+
+TEST(PatternTest, EmptyPatternHasNoEntries) {
+  const SparsityPattern p(4, 5);
+  EXPECT_EQ(p.rows(), 4);
+  EXPECT_EQ(p.cols(), 5);
+  EXPECT_EQ(p.nnz(), 0);
+  EXPECT_FALSE(p.contains(0, 0));
+}
+
+TEST(PatternTest, FromRowsSortsAndDeduplicates) {
+  const auto p = SparsityPattern::from_rows(2, 4, {{3, 1, 3, 0}, {2, 2}});
+  EXPECT_EQ(p.nnz(), 4);
+  const auto r0 = p.row(0);
+  EXPECT_EQ(std::vector<index_t>(r0.begin(), r0.end()),
+            (std::vector<index_t>{0, 1, 3}));
+  EXPECT_TRUE(p.contains(1, 2));
+  EXPECT_FALSE(p.contains(1, 3));
+}
+
+TEST(PatternTest, ConstructorRejectsUnsortedColumns) {
+  EXPECT_THROW(SparsityPattern(2, 3, {0, 2, 3}, {2, 1, 0}), Error);
+}
+
+TEST(PatternTest, ConstructorRejectsOutOfRangeColumn) {
+  EXPECT_THROW(SparsityPattern(1, 2, {0, 1}, {5}), Error);
+}
+
+TEST(PatternTest, ConstructorRejectsBadRowPtr) {
+  EXPECT_THROW(SparsityPattern(2, 2, {0, 2}, {0, 1}), Error);     // short
+  EXPECT_THROW(SparsityPattern(2, 2, {1, 1, 2}, {0, 1}), Error);  // start != 0
+}
+
+TEST(PatternTest, LowerTriangleKeepsDiagonalAndBelow) {
+  const auto p = tridiag_pattern(4).lower_triangle();
+  EXPECT_TRUE(p.is_lower_triangular());
+  EXPECT_EQ(p.nnz(), 7);  // 4 diagonal + 3 subdiagonal
+  EXPECT_TRUE(p.contains(2, 1));
+  EXPECT_FALSE(p.contains(1, 2));
+}
+
+TEST(PatternTest, TransposeOfTridiagonalIsItself) {
+  const auto p = tridiag_pattern(5);
+  EXPECT_EQ(p.transposed(), p);
+  EXPECT_TRUE(p.is_symmetric());
+}
+
+TEST(PatternTest, TransposeReversesLowerTriangle) {
+  const auto lower = tridiag_pattern(5).lower_triangle();
+  const auto upper = lower.transposed();
+  EXPECT_TRUE(upper.contains(1, 2));
+  EXPECT_FALSE(upper.contains(2, 1));
+  EXPECT_EQ(upper.transposed(), lower);
+}
+
+TEST(PatternTest, MergeIsUnion) {
+  const auto a = SparsityPattern::from_rows(2, 3, {{0}, {1}});
+  const auto b = SparsityPattern::from_rows(2, 3, {{2}, {1, 0}});
+  const auto u = a.merged_with(b);
+  EXPECT_EQ(u.nnz(), 4);
+  EXPECT_TRUE(u.contains(0, 0));
+  EXPECT_TRUE(u.contains(0, 2));
+  EXPECT_TRUE(u.contains(1, 0));
+  EXPECT_TRUE(u.contains(1, 1));
+}
+
+TEST(PatternTest, WithFullDiagonalInsertsMissing) {
+  const auto p = SparsityPattern::from_rows(3, 3, {{1}, {}, {0, 2}});
+  const auto d = p.with_full_diagonal();
+  EXPECT_TRUE(d.has_full_diagonal());
+  EXPECT_EQ(d.nnz(), 5);  // diag 0 and 1 inserted, (2,2) already present
+}
+
+TEST(PatternTest, SymbolicPowerOfTridiagonalGrowsBandwidth) {
+  const auto p = tridiag_pattern(7);
+  const auto p2 = p.symbolic_power(2);
+  // Row 3 of P^2 reaches columns 1..5.
+  for (index_t j = 1; j <= 5; ++j) {
+    EXPECT_TRUE(p2.contains(3, j)) << "missing column " << j;
+  }
+  EXPECT_FALSE(p2.contains(3, 0));
+  EXPECT_FALSE(p2.contains(3, 6));
+  const auto p3 = p.symbolic_power(3);
+  EXPECT_TRUE(p3.contains(3, 0));
+  EXPECT_TRUE(p3.contains(3, 6));
+}
+
+TEST(PatternTest, SymbolicPowerOneIsIdentityOperation) {
+  const auto p = tridiag_pattern(6);
+  EXPECT_EQ(p.symbolic_power(1), p);
+}
+
+TEST(PatternTest, SymbolicMultiplyMatchesManualProduct) {
+  // a: 2x3 with rows {0,2},{1}; b: 3x2 with rows {1},{0},{0,1}.
+  const auto a = SparsityPattern::from_rows(2, 3, {{0, 2}, {1}});
+  const auto b = SparsityPattern::from_rows(3, 2, {{1}, {0}, {0, 1}});
+  const auto c = a.symbolic_multiply(b);
+  EXPECT_TRUE(c.contains(0, 0));   // via k=2
+  EXPECT_TRUE(c.contains(0, 1));   // via k=0 or k=2
+  EXPECT_TRUE(c.contains(1, 0));   // via k=1
+  EXPECT_FALSE(c.contains(1, 1));
+}
+
+TEST(PatternTest, HasFullDiagonalFalseForRectangular) {
+  const SparsityPattern p(2, 3);
+  EXPECT_FALSE(p.has_full_diagonal());
+}
+
+class PatternPowerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternPowerProperty, PowerContainsLowerPower) {
+  const int n = GetParam();
+  const auto p = tridiag_pattern(9);
+  const auto pn = p.symbolic_power(n);
+  const auto pn1 = p.symbolic_power(n + 1);
+  // Tridiagonal patterns contain the diagonal, so P^n ⊆ P^(n+1).
+  for (index_t i = 0; i < p.rows(); ++i) {
+    for (index_t j : pn.row(i)) {
+      EXPECT_TRUE(pn1.contains(i, j)) << "(" << i << "," << j << ") lost at n=" << n;
+    }
+  }
+  EXPECT_TRUE(pn.is_symmetric());
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, PatternPowerProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,95 @@
+#include "sparse/sell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+namespace {
+
+std::vector<value_t> random_vec(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> v(static_cast<std::size_t>(n));
+  for (auto& e : v) e = rng.next_uniform(-1.0, 1.0);
+  return v;
+}
+
+void expect_same_spmv(const CsrMatrix& a, index_t chunk, index_t sigma,
+                      std::uint64_t seed) {
+  const SellMatrix sell(a, chunk, sigma);
+  const auto x = random_vec(a.cols(), seed);
+  std::vector<value_t> y_csr(static_cast<std::size_t>(a.rows()));
+  std::vector<value_t> y_sell(static_cast<std::size_t>(a.rows()));
+  spmv(a, x, y_csr);
+  sell.spmv(x, y_sell);
+  for (std::size_t i = 0; i < y_csr.size(); ++i) {
+    ASSERT_NEAR(y_sell[i], y_csr[i], 1e-12) << "row " << i;
+  }
+}
+
+TEST(SellTest, MatchesCsrOnUniformStencil) {
+  expect_same_spmv(poisson2d(13, 11), 8, 64, 1);
+}
+
+TEST(SellTest, MatchesCsrOnIrregularMatrix) {
+  // Wildly varying row lengths: the padding/sorting machinery earns its keep.
+  expect_same_spmv(random_laplacian(300, 5, 0.1, 9), 8, 64, 2);
+}
+
+TEST(SellTest, MatchesCsrWhenRowsNotMultipleOfChunk) {
+  expect_same_spmv(poisson2d(7, 9), 8, 64, 3);  // 63 rows, chunk 8
+}
+
+TEST(SellTest, ChunkOneIsPlainSortedCsr) {
+  expect_same_spmv(poisson2d(6, 6), 1, 4, 4);
+}
+
+TEST(SellTest, HandlesEmptyRows) {
+  // Diagonal matrix with some zero rows in the pattern.
+  const auto p = SparsityPattern::from_rows(6, 6, {{0}, {}, {2}, {}, {4}, {5}});
+  CsrMatrix a{p};
+  for (auto& v : a.values()) v = 2.0;
+  expect_same_spmv(a, 4, 4, 5);
+}
+
+TEST(SellTest, SortingReducesPaddingOnSkewedRows) {
+  const auto a = random_laplacian(512, 6, 0.1, 7);
+  const SellMatrix unsorted(a, 8, 8);     // sigma == chunk: no sorting
+  const SellMatrix sorted(a, 8, 512);     // global sorting window
+  EXPECT_LE(sorted.padded_size(), unsorted.padded_size());
+  EXPECT_GE(sorted.padding_ratio(), 1.0);
+}
+
+TEST(SellTest, PaddingRatioIsOneForUniformRows) {
+  // Interior-only stencil where every row has identical length: band matrix.
+  const auto a = band_spd(64, 3, 0.4, 0.5);
+  // Rows near the boundary are shorter; use sigma=rows to pack them together.
+  const SellMatrix sell(a, 8, 64);
+  EXPECT_LT(sell.padding_ratio(), 1.2);
+}
+
+TEST(SellTest, RejectsBadParameters) {
+  const auto a = poisson2d(4, 4);
+  EXPECT_THROW((SellMatrix{a, 0, 8}), Error);
+  EXPECT_THROW((SellMatrix{a, 8, 4}), Error);   // sigma < chunk
+  EXPECT_THROW((SellMatrix{a, 8, 12}), Error);  // not a multiple
+}
+
+class SellGeometryProperty
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(SellGeometryProperty, SpmvMatchesCsrForAllGeometries) {
+  const auto [chunk, sigma_mult] = GetParam();
+  const auto a = random_spd(150, 4, 11);
+  expect_same_spmv(a, chunk, chunk * sigma_mult, 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SellGeometryProperty,
+    ::testing::Combine(::testing::Values<index_t>(1, 2, 4, 8, 16),
+                       ::testing::Values<index_t>(1, 4, 16)));
+
+}  // namespace
+}  // namespace fsaic

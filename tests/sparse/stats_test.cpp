@@ -1,0 +1,94 @@
+#include "sparse/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(MatrixStatsTest, PoissonValues) {
+  const auto s = compute_matrix_stats(poisson2d(5, 5));
+  EXPECT_EQ(s.rows, 25);
+  EXPECT_EQ(s.nnz, 105);
+  EXPECT_EQ(s.min_row_nnz, 3);  // corners
+  EXPECT_EQ(s.max_row_nnz, 5);  // interior
+  EXPECT_NEAR(s.avg_row_nnz, 105.0 / 25.0, 1e-12);
+  EXPECT_EQ(s.bandwidth, 5);
+  EXPECT_TRUE(s.symmetric);
+  EXPECT_DOUBLE_EQ(s.diagonal_ratio, 1.0);  // constant diagonal
+  // Interior rows are weakly dominant (4 = 4), boundary strictly.
+  EXPECT_GT(s.diagonally_dominant_fraction, 0.0);
+  EXPECT_LT(s.diagonally_dominant_fraction, 1.0);
+}
+
+TEST(MatrixStatsTest, AsymmetricDetected) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(compute_matrix_stats(b.to_csr()).symmetric);
+}
+
+TEST(LambdaMaxTest, DiagonalMatrixGivesLargestEntry) {
+  CooBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 7.0);
+  b.add(2, 2, 3.0);
+  EXPECT_NEAR(estimate_lambda_max(b.to_csr(), 100), 7.0, 1e-6);
+}
+
+TEST(LambdaMaxTest, Poisson1dMatchesClosedForm) {
+  // Tridiagonal (-1, 2, -1) of size n: lambda_max = 2 + 2 cos(pi/(n+1)).
+  const index_t n = 40;
+  CooBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i < n - 1) b.add(i, i + 1, -1.0);
+  }
+  const value_t expected =
+      2.0 + 2.0 * std::cos(3.14159265358979323846 / (n + 1));
+  // The power method converges slowly when the top eigenvalues cluster
+  // (ratio cos(pi/41)/cos(2pi/41) here); accept 1% accuracy.
+  EXPECT_NEAR(estimate_lambda_max(b.to_csr(), 400), expected, 1e-2);
+}
+
+TEST(ConditionTest, DiagonalMatrixExact) {
+  CooBuilder b(4, 4);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 10.0);
+  b.add(2, 2, 100.0);
+  b.add(3, 3, 4.0);
+  EXPECT_NEAR(estimate_condition_number(b.to_csr(), 4), 100.0, 1e-6);
+}
+
+TEST(ConditionTest, Poisson1dMatchesClosedForm) {
+  const index_t n = 30;
+  CooBuilder b(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i < n - 1) b.add(i, i + 1, -1.0);
+  }
+  const double pi = 3.14159265358979323846;
+  const value_t lmax = 2.0 + 2.0 * std::cos(pi / (n + 1));
+  const value_t lmin = 2.0 - 2.0 * std::cos(pi / (n + 1));
+  const value_t expected = lmax / lmin;
+  // Full-dimension Lanczos reproduces the extreme eigenvalues well.
+  EXPECT_NEAR(estimate_condition_number(b.to_csr(), n) / expected, 1.0, 0.05);
+}
+
+TEST(ConditionTest, ShiftReducesCondition) {
+  const auto a = poisson2d(12, 12);
+  const value_t c1 = estimate_condition_number(a, 80);
+  const value_t c2 = estimate_condition_number(shifted(a, 5.0), 80);
+  EXPECT_GT(c1, c2);
+  EXPECT_GT(c2, 1.0);
+}
+
+}  // namespace
+}  // namespace fsaic

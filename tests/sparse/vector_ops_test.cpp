@@ -1,0 +1,53 @@
+#include "sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fsaic {
+namespace {
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<value_t> x{1.0, 2.0, 3.0};
+  std::vector<value_t> y{1.0, 1.0, 1.0};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<value_t>{3.0, 5.0, 7.0}));
+}
+
+TEST(VectorOpsTest, Xpby) {
+  std::vector<value_t> x{1.0, 2.0};
+  std::vector<value_t> y{10.0, 20.0};
+  xpby(x, 0.5, y);
+  EXPECT_EQ(y, (std::vector<value_t>{6.0, 12.0}));
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const std::vector<value_t> x{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<value_t> x{1.0, -2.0};
+  scale(-3.0, x);
+  EXPECT_EQ(x, (std::vector<value_t>{-3.0, 6.0}));
+}
+
+TEST(VectorOpsTest, SizeMismatchThrows) {
+  std::vector<value_t> x{1.0};
+  std::vector<value_t> y{1.0, 2.0};
+  EXPECT_THROW(axpy(1.0, x, y), Error);
+  EXPECT_THROW((void)dot(x, y), Error);
+}
+
+TEST(VectorOpsTest, EmptyVectorsAreFine) {
+  std::vector<value_t> x;
+  std::vector<value_t> y;
+  axpy(1.0, x, y);
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 0.0);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -1,0 +1,303 @@
+// fsaic — command-line front end of the library.
+//
+//   fsaic analyze  <matrix.mtx> [--ranks P]
+//       Structure, partition-quality and conditioning report.
+//   fsaic solve    <matrix.mtx> [options]
+//       Preconditioned CG solve with the FSAI family.
+//         --method fsai|fsaie|fsaie-comm|fsaie-full|jacobi|block-jacobi|
+//                  block-ic0|schwarz|none  (default fsaie-comm)
+//         --overlap K         Schwarz overlap level      (default 1)
+//         --ranks P           simulated ranks            (default 8)
+//         --threads T         threads/rank (cost model)  (default 8)
+//         --filter F          filter value               (default 0.01)
+//         --static            static instead of dynamic filtering
+//         --machine M         skylake|a64fx|zen2         (default skylake)
+//         --tol T             relative tolerance         (default 1e-8)
+//         --pipelined         Chronopoulos-Gear CG (1 allreduce/iter)
+//         --gmres             restarted GMRES(50) instead of CG
+//         --rcm               apply RCM reordering before partitioning
+//         --save-factor PATH  serialize the computed G factor
+//         --load-factor PATH  reuse a previously saved factor
+//   fsaic suite    [small|large]
+//       List the built-in synthetic suites.
+//   fsaic generate <entry-name> <out.mtx>
+//       Write one suite matrix to a MatrixMarket file.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/factor_io.hpp"
+#include "core/fsai_driver.hpp"
+#include "graph/rcm.hpp"
+#include "harness/table.hpp"
+#include "matgen/suite.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/setup_cost.hpp"
+#include "solver/ic0.hpp"
+#include "solver/gmres.hpp"
+#include "solver/pipelined_cg.hpp"
+#include "solver/schwarz.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/stats.hpp"
+
+namespace {
+
+using namespace fsaic;
+
+int usage() {
+  std::cerr << "usage: fsaic <analyze|solve|suite|generate> ...\n"
+            << "       (see the header of tools/fsaic.cpp for options)\n";
+  return 1;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    for (const auto& [k, v] : options) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      // Flags with values: everything except the boolean switches.
+      const bool boolean = a == "--static" || a == "--pipelined" ||
+                           a == "--rcm" || a == "--gmres";
+      std::string value;
+      if (!boolean && i + 1 < argc) {
+        value = argv[++i];
+      }
+      args.options.emplace_back(a.substr(2), value);
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const CsrMatrix a = read_matrix_market_file(args.positional[0]);
+  const auto s = compute_matrix_stats(a);
+  std::cout << args.positional[0] << "\n"
+            << "  rows " << s.rows << ", nnz " << s.nnz << " (" << s.avg_row_nnz
+            << "/row, min " << s.min_row_nnz << ", max " << s.max_row_nnz << ")\n"
+            << "  symmetric: " << (s.symmetric ? "yes" : "NO") << "\n"
+            << "  bandwidth " << s.bandwidth << ", dominant rows "
+            << pct2(100.0 * s.diagonally_dominant_fraction) << "%\n";
+  if (s.symmetric) {
+    std::cout << "  estimated condition number "
+              << strformat("%.3g", estimate_condition_number(a)) << "\n";
+  }
+  const Graph g = Graph::from_pattern(a.pattern());
+  std::cout << "  graph: " << g.num_edges() << " edges, "
+            << g.component_count() << " component(s)\n";
+  const auto nranks = static_cast<rank_t>(std::stoi(args.get("ranks", "8")));
+  const PartitionedSystem sys = partition_system(a, nranks);
+  const auto dist = DistCsr::distribute(sys.matrix, sys.layout);
+  std::cout << "  partition into " << nranks << " ranks: edge cut "
+            << sys.edge_cut << ", imbalance "
+            << strformat("%.3f", sys.partition_imbalance)
+            << ", halo/update " << dist.halo_update_bytes() << " B in "
+            << dist.halo_update_messages() << " messages\n";
+  const Graph gperm = Graph::from_pattern(sys.matrix.pattern());
+  const auto rcm = rcm_permutation(gperm);
+  std::cout << "  RCM would reduce bandwidth " << pattern_bandwidth(a.pattern())
+            << " -> "
+            << pattern_bandwidth(
+                   permute_symmetric(sys.matrix, rcm).pattern())
+            << "\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  if (args.positional.empty()) return usage();
+  CsrMatrix a = read_matrix_market_file(args.positional[0]);
+  FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+  FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
+                "matrix must be symmetric (CG requires SPD)");
+
+  const Machine machine = machine_by_name(args.get("machine", "skylake"));
+  const auto nranks = static_cast<rank_t>(std::stoi(args.get("ranks", "8")));
+  const int threads = std::stoi(args.get("threads", "8"));
+  const value_t filter = std::stod(args.get("filter", "0.01"));
+  const value_t tol = std::stod(args.get("tol", "1e-8"));
+  const std::string method = args.get("method", "fsaie-comm");
+
+  if (args.has("rcm")) {
+    const Graph g = Graph::from_pattern(a.pattern());
+    a = permute_symmetric(a, rcm_permutation(g));
+    std::cout << "applied RCM: bandwidth now " << pattern_bandwidth(a.pattern())
+              << "\n";
+  }
+
+  const PartitionedSystem sys = partition_system(a, nranks);
+  const DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout);
+  std::cout << args.positional[0] << ": " << a.rows() << " rows, " << a.nnz()
+            << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
+            << ")\n";
+
+  // Right-hand side per the paper's setup.
+  Rng rng(2022);
+  std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  std::vector<value_t> b_perm(bg.size());
+  for (std::size_t i = 0; i < bg.size(); ++i) {
+    b_perm[static_cast<std::size_t>(sys.perm[i])] = bg[i];
+  }
+  const DistVector b(sys.layout, b_perm);
+
+  std::unique_ptr<Preconditioner> precond;
+  const CostModel cost(machine, {.threads_per_rank = threads});
+  double apply_cost = 0.0;
+  if (method == "none") {
+    precond = std::make_unique<IdentityPreconditioner>();
+  } else if (method == "jacobi") {
+    precond = std::make_unique<JacobiPreconditioner>(a_dist);
+  } else if (method == "block-jacobi") {
+    precond = std::make_unique<BlockJacobiPreconditioner>(a_dist, 32);
+  } else if (method == "block-ic0") {
+    precond = std::make_unique<BlockIc0Preconditioner>(a_dist);
+  } else if (method == "schwarz") {
+    const int overlap = std::stoi(args.get("overlap", "1"));
+    auto ras = std::make_unique<SchwarzPreconditioner>(sys.matrix, sys.layout,
+                                                       overlap);
+    std::cout << "schwarz overlap " << overlap << ": "
+              << ras->apply_halo_bytes() << " halo B/application\n";
+    precond = std::move(ras);
+  } else {
+    FsaiOptions opts;
+    opts.cache_line_bytes = machine.l1.line_bytes;
+    opts.filter = filter;
+    opts.filter_strategy =
+        args.has("static") ? FilterStrategy::Static : FilterStrategy::Dynamic;
+    if (method == "fsai") {
+      opts.extension = ExtensionMode::None;
+      opts.filter = 0.0;
+    } else if (method == "fsaie") {
+      opts.extension = ExtensionMode::LocalOnly;
+    } else if (method == "fsaie-comm") {
+      opts.extension = ExtensionMode::CommAware;
+    } else if (method == "fsaie-full") {
+      opts.extension = ExtensionMode::FullHalo;
+    } else {
+      std::cerr << "unknown method: " << method << "\n";
+      return 1;
+    }
+    if (args.has("load-factor")) {
+      const SavedFactor saved = load_factor(args.get("load-factor", ""));
+      FSAIC_REQUIRE(saved.layout == sys.layout,
+                    "saved factor was built for a different layout");
+      const DistCsr g_dist = DistCsr::distribute(saved.g, saved.layout);
+      const DistCsr gt_dist =
+          DistCsr::distribute(transpose(saved.g), saved.layout);
+      apply_cost = cost.spmv_cost(g_dist).total() + cost.spmv_cost(gt_dist).total();
+      precond = std::make_unique<FactorizedPreconditioner>(g_dist, gt_dist,
+                                                           method + "(loaded)");
+    } else {
+      const FsaiBuildResult build =
+          build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      std::cout << method << ": +" << pct2(build.nnz_increase_pct)
+                << "% pattern entries, imbalance index "
+                << strformat("%.3f", build.imbalance_avg()) << ", setup "
+                << sci2(estimate_build_setup(build, sys.layout, machine, threads)
+                            .time)
+                << " s (modeled)\n";
+      if (args.has("save-factor")) {
+        save_factor(args.get("save-factor", ""), build.g, sys.layout);
+        std::cout << "factor saved to " << args.get("save-factor", "") << "\n";
+      }
+      apply_cost = cost.spmv_cost(build.g_dist).total() +
+                   cost.spmv_cost(build.gt_dist).total();
+      precond = std::make_unique<FactorizedPreconditioner>(
+          build.g_dist, build.gt_dist, method);
+    }
+  }
+
+  DistVector x(sys.layout);
+  const SolveOptions solve_opts{.rel_tol = tol, .max_iterations = 100000};
+  const SolveResult r =
+      args.has("gmres")
+          ? gmres_solve(a_dist, b, x, *precond,
+                        {.rel_tol = tol, .max_iterations = 100000})
+          : (args.has("pipelined")
+                 ? pcg_solve_pipelined(a_dist, b, x, *precond, solve_opts)
+                 : pcg_solve(a_dist, b, x, *precond, solve_opts));
+
+  const double iter_cost = cost.spmv_cost(a_dist).total() +
+                           cost.blas1_cost(sys.layout, 3) +
+                           (args.has("pipelined") ? 1.0 : 3.0) *
+                               cost.allreduce_cost(nranks) +
+                           apply_cost;
+  std::cout << (r.converged ? "converged" : "NOT converged") << " in "
+            << r.iterations << " iterations (relative residual "
+            << strformat("%.2e", r.final_residual / r.initial_residual)
+            << ")\n"
+            << "modeled time on " << machine.name << ": "
+            << sci2(r.iterations * iter_cost) << " s; solve moved "
+            << r.comm.halo_bytes << " halo bytes, " << r.comm.allreduce_count
+            << " allreduces\n";
+  return r.converged ? 0 : 2;
+}
+
+int cmd_suite(const Args& args) {
+  const std::string which =
+      args.positional.empty() ? "small" : args.positional[0];
+  TextTable table({"name", "mirrors", "type", "paper.FSAI.it", "paper.Comm.it"});
+  const auto print = [&](const std::vector<SuiteEntry>& suite) {
+    for (const auto& e : suite) {
+      table.add_row({e.name, e.paper_name, e.type,
+                     std::to_string(e.paper_fsai_iters),
+                     std::to_string(e.paper_fsaie_comm_iters)});
+    }
+  };
+  if (which == "small" || which == "all") print(small_suite());
+  if (which == "large" || which == "all") print(large_suite());
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto& entry = suite_entry(args.positional[0]);
+  const CsrMatrix a = entry.generate();
+  write_matrix_market_file(args.positional[1], a);
+  std::cout << "wrote " << args.positional[1] << ": " << a.rows() << " rows, "
+            << a.nnz() << " nnz (" << entry.type << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "suite") return cmd_suite(args);
+    if (cmd == "generate") return cmd_generate(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "fsaic: " << e.what() << "\n";
+    return 1;
+  }
+}
