@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filter_scope.dir/ablation_filter_scope.cpp.o"
+  "CMakeFiles/ablation_filter_scope.dir/ablation_filter_scope.cpp.o.d"
+  "ablation_filter_scope"
+  "ablation_filter_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filter_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

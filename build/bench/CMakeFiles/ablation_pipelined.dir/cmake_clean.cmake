@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipelined.dir/ablation_pipelined.cpp.o"
+  "CMakeFiles/ablation_pipelined.dir/ablation_pipelined.cpp.o.d"
+  "ablation_pipelined"
+  "ablation_pipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

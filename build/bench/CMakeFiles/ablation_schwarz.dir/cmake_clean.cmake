@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schwarz.dir/ablation_schwarz.cpp.o"
+  "CMakeFiles/ablation_schwarz.dir/ablation_schwarz.cpp.o.d"
+  "ablation_schwarz"
+  "ablation_schwarz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparsity_level.dir/ablation_sparsity_level.cpp.o"
+  "CMakeFiles/ablation_sparsity_level.dir/ablation_sparsity_level.cpp.o.d"
+  "ablation_sparsity_level"
+  "ablation_sparsity_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparsity_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

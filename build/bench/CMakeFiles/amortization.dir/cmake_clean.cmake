@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amortization.dir/amortization.cpp.o"
+  "CMakeFiles/amortization.dir/amortization.cpp.o.d"
+  "amortization"
+  "amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_invariance.dir/comm_invariance.cpp.o"
+  "CMakeFiles/comm_invariance.dir/comm_invariance.cpp.o.d"
+  "comm_invariance"
+  "comm_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_skylake_permatrix.dir/fig2_skylake_permatrix.cpp.o"
+  "CMakeFiles/fig2_skylake_permatrix.dir/fig2_skylake_permatrix.cpp.o.d"
+  "fig2_skylake_permatrix"
+  "fig2_skylake_permatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_skylake_permatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

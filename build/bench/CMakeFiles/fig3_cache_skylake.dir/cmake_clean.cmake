@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cache_skylake.dir/fig3_cache_skylake.cpp.o"
+  "CMakeFiles/fig3_cache_skylake.dir/fig3_cache_skylake.cpp.o.d"
+  "fig3_cache_skylake"
+  "fig3_cache_skylake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cache_skylake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

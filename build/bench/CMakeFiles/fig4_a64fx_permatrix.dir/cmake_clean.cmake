@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_a64fx_permatrix.dir/fig4_a64fx_permatrix.cpp.o"
+  "CMakeFiles/fig4_a64fx_permatrix.dir/fig4_a64fx_permatrix.cpp.o.d"
+  "fig4_a64fx_permatrix"
+  "fig4_a64fx_permatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_a64fx_permatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

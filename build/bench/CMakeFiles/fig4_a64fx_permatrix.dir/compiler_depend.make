@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_a64fx_permatrix.
+# This may be replaced when dependencies are built.

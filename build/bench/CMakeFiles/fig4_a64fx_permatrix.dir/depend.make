@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_a64fx_permatrix.
+# This may be replaced when dependencies are built.

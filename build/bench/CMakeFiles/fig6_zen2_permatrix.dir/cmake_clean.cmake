@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_zen2_permatrix.dir/fig6_zen2_permatrix.cpp.o"
+  "CMakeFiles/fig6_zen2_permatrix.dir/fig6_zen2_permatrix.cpp.o.d"
+  "fig6_zen2_permatrix"
+  "fig6_zen2_permatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_zen2_permatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_zen2_permatrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_flops_zen2.dir/fig7_flops_zen2.cpp.o"
+  "CMakeFiles/fig7_flops_zen2.dir/fig7_flops_zen2.cpp.o.d"
+  "fig7_flops_zen2"
+  "fig7_flops_zen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flops_zen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_flops_zen2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_large_permatrix.dir/fig8_large_permatrix.cpp.o"
+  "CMakeFiles/fig8_large_permatrix.dir/fig8_large_permatrix.cpp.o.d"
+  "fig8_large_permatrix"
+  "fig8_large_permatrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_large_permatrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

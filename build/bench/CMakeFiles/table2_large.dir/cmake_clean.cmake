@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_large.dir/table2_large.cpp.o"
+  "CMakeFiles/table2_large.dir/table2_large.cpp.o.d"
+  "table2_large"
+  "table2_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

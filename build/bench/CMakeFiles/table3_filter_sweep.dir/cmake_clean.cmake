@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_filter_sweep.dir/table3_filter_sweep.cpp.o"
+  "CMakeFiles/table3_filter_sweep.dir/table3_filter_sweep.cpp.o.d"
+  "table3_filter_sweep"
+  "table3_filter_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_filter_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hybrid.dir/table4_hybrid.cpp.o"
+  "CMakeFiles/table4_hybrid.dir/table4_hybrid.cpp.o.d"
+  "table4_hybrid"
+  "table4_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

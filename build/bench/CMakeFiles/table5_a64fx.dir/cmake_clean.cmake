@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_a64fx.dir/table5_a64fx.cpp.o"
+  "CMakeFiles/table5_a64fx.dir/table5_a64fx.cpp.o.d"
+  "table5_a64fx"
+  "table5_a64fx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_a64fx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_zen2.dir/table6_zen2.cpp.o"
+  "CMakeFiles/table6_zen2.dir/table6_zen2.cpp.o.d"
+  "table6_zen2"
+  "table6_zen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_zen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

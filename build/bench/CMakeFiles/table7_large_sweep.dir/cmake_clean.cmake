@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_large_sweep.dir/table7_large_sweep.cpp.o"
+  "CMakeFiles/table7_large_sweep.dir/table7_large_sweep.cpp.o.d"
+  "table7_large_sweep"
+  "table7_large_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_large_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache_model.cpp" "src/CMakeFiles/fsaic.dir/cachesim/cache_model.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/cachesim/cache_model.cpp.o.d"
+  "/root/repo/src/core/adaptive.cpp" "src/CMakeFiles/fsaic.dir/core/adaptive.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/adaptive.cpp.o.d"
+  "/root/repo/src/core/factor_io.cpp" "src/CMakeFiles/fsaic.dir/core/factor_io.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/factor_io.cpp.o.d"
+  "/root/repo/src/core/filtering.cpp" "src/CMakeFiles/fsaic.dir/core/filtering.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/filtering.cpp.o.d"
+  "/root/repo/src/core/fsai.cpp" "src/CMakeFiles/fsaic.dir/core/fsai.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/fsai.cpp.o.d"
+  "/root/repo/src/core/fsai_driver.cpp" "src/CMakeFiles/fsaic.dir/core/fsai_driver.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/fsai_driver.cpp.o.d"
+  "/root/repo/src/core/pattern_extend.cpp" "src/CMakeFiles/fsaic.dir/core/pattern_extend.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/pattern_extend.cpp.o.d"
+  "/root/repo/src/core/spai.cpp" "src/CMakeFiles/fsaic.dir/core/spai.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/core/spai.cpp.o.d"
+  "/root/repo/src/dense/dense_matrix.cpp" "src/CMakeFiles/fsaic.dir/dense/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/dense/dense_matrix.cpp.o.d"
+  "/root/repo/src/dense/factorizations.cpp" "src/CMakeFiles/fsaic.dir/dense/factorizations.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/dense/factorizations.cpp.o.d"
+  "/root/repo/src/dist/comm_scheme.cpp" "src/CMakeFiles/fsaic.dir/dist/comm_scheme.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/dist/comm_scheme.cpp.o.d"
+  "/root/repo/src/dist/dist_csr.cpp" "src/CMakeFiles/fsaic.dir/dist/dist_csr.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/dist/dist_csr.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/fsaic.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/level_schedule.cpp" "src/CMakeFiles/fsaic.dir/graph/level_schedule.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/graph/level_schedule.cpp.o.d"
+  "/root/repo/src/graph/multilevel.cpp" "src/CMakeFiles/fsaic.dir/graph/multilevel.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/graph/multilevel.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/fsaic.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/graph/partition.cpp.o.d"
+  "/root/repo/src/graph/rcm.cpp" "src/CMakeFiles/fsaic.dir/graph/rcm.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/graph/rcm.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/fsaic.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/CMakeFiles/fsaic.dir/harness/table.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/harness/table.cpp.o.d"
+  "/root/repo/src/matgen/generators.cpp" "src/CMakeFiles/fsaic.dir/matgen/generators.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/matgen/generators.cpp.o.d"
+  "/root/repo/src/matgen/suite.cpp" "src/CMakeFiles/fsaic.dir/matgen/suite.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/matgen/suite.cpp.o.d"
+  "/root/repo/src/perf/cost_model.cpp" "src/CMakeFiles/fsaic.dir/perf/cost_model.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/perf/cost_model.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/fsaic.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/setup_cost.cpp" "src/CMakeFiles/fsaic.dir/perf/setup_cost.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/perf/setup_cost.cpp.o.d"
+  "/root/repo/src/solver/chebyshev.cpp" "src/CMakeFiles/fsaic.dir/solver/chebyshev.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/chebyshev.cpp.o.d"
+  "/root/repo/src/solver/gmres.cpp" "src/CMakeFiles/fsaic.dir/solver/gmres.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/gmres.cpp.o.d"
+  "/root/repo/src/solver/ic0.cpp" "src/CMakeFiles/fsaic.dir/solver/ic0.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/ic0.cpp.o.d"
+  "/root/repo/src/solver/pcg.cpp" "src/CMakeFiles/fsaic.dir/solver/pcg.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/pcg.cpp.o.d"
+  "/root/repo/src/solver/pipelined_cg.cpp" "src/CMakeFiles/fsaic.dir/solver/pipelined_cg.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/pipelined_cg.cpp.o.d"
+  "/root/repo/src/solver/preconditioner.cpp" "src/CMakeFiles/fsaic.dir/solver/preconditioner.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/preconditioner.cpp.o.d"
+  "/root/repo/src/solver/schwarz.cpp" "src/CMakeFiles/fsaic.dir/solver/schwarz.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/solver/schwarz.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/fsaic.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/fsaic.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/CMakeFiles/fsaic.dir/sparse/mm_io.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/CMakeFiles/fsaic.dir/sparse/ops.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/ops.cpp.o.d"
+  "/root/repo/src/sparse/pattern.cpp" "src/CMakeFiles/fsaic.dir/sparse/pattern.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/pattern.cpp.o.d"
+  "/root/repo/src/sparse/sell.cpp" "src/CMakeFiles/fsaic.dir/sparse/sell.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/sell.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/CMakeFiles/fsaic.dir/sparse/stats.cpp.o" "gcc" "src/CMakeFiles/fsaic.dir/sparse/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_cache_model_test.dir/cachesim/cache_model_test.cpp.o"
+  "CMakeFiles/cachesim_cache_model_test.dir/cachesim/cache_model_test.cpp.o.d"
+  "cachesim_cache_model_test"
+  "cachesim_cache_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_cache_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_filtering_test.dir/core/filtering_test.cpp.o"
+  "CMakeFiles/core_filtering_test.dir/core/filtering_test.cpp.o.d"
+  "core_filtering_test"
+  "core_filtering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_filtering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

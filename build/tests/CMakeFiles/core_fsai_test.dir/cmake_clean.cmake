@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fsai_test.dir/core/fsai_test.cpp.o"
+  "CMakeFiles/core_fsai_test.dir/core/fsai_test.cpp.o.d"
+  "core_fsai_test"
+  "core_fsai_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fsai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pattern_extend_test.dir/core/pattern_extend_test.cpp.o"
+  "CMakeFiles/core_pattern_extend_test.dir/core/pattern_extend_test.cpp.o.d"
+  "core_pattern_extend_test"
+  "core_pattern_extend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pattern_extend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_factorizations_test.dir/dense/factorizations_test.cpp.o"
+  "CMakeFiles/dense_factorizations_test.dir/dense/factorizations_test.cpp.o.d"
+  "dense_factorizations_test"
+  "dense_factorizations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_factorizations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

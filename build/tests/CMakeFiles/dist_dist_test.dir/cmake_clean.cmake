@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_dist_test.dir/dist/dist_test.cpp.o"
+  "CMakeFiles/dist_dist_test.dir/dist/dist_test.cpp.o.d"
+  "dist_dist_test"
+  "dist_dist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

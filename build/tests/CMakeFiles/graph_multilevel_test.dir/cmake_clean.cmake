@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_multilevel_test.dir/graph/multilevel_test.cpp.o"
+  "CMakeFiles/graph_multilevel_test.dir/graph/multilevel_test.cpp.o.d"
+  "graph_multilevel_test"
+  "graph_multilevel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_multilevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_rcm_test.dir/graph/rcm_test.cpp.o"
+  "CMakeFiles/graph_rcm_test.dir/graph/rcm_test.cpp.o.d"
+  "graph_rcm_test"
+  "graph_rcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_rcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

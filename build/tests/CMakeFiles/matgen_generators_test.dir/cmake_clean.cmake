@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matgen_generators_test.dir/matgen/generators_test.cpp.o"
+  "CMakeFiles/matgen_generators_test.dir/matgen/generators_test.cpp.o.d"
+  "matgen_generators_test"
+  "matgen_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matgen_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

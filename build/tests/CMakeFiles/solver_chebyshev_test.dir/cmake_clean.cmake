@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_chebyshev_test.dir/solver/chebyshev_test.cpp.o"
+  "CMakeFiles/solver_chebyshev_test.dir/solver/chebyshev_test.cpp.o.d"
+  "solver_chebyshev_test"
+  "solver_chebyshev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_chebyshev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

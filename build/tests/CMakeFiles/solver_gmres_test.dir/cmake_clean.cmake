@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_gmres_test.dir/solver/gmres_test.cpp.o"
+  "CMakeFiles/solver_gmres_test.dir/solver/gmres_test.cpp.o.d"
+  "solver_gmres_test"
+  "solver_gmres_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_gmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

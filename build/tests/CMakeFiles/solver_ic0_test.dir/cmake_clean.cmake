@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_ic0_test.dir/solver/ic0_test.cpp.o"
+  "CMakeFiles/solver_ic0_test.dir/solver/ic0_test.cpp.o.d"
+  "solver_ic0_test"
+  "solver_ic0_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_ic0_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

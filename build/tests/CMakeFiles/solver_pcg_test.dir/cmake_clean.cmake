@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_pcg_test.dir/solver/pcg_test.cpp.o"
+  "CMakeFiles/solver_pcg_test.dir/solver/pcg_test.cpp.o.d"
+  "solver_pcg_test"
+  "solver_pcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_pcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_pipelined_cg_test.dir/solver/pipelined_cg_test.cpp.o"
+  "CMakeFiles/solver_pipelined_cg_test.dir/solver/pipelined_cg_test.cpp.o.d"
+  "solver_pipelined_cg_test"
+  "solver_pipelined_cg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_pipelined_cg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_preconditioner_test.dir/solver/preconditioner_test.cpp.o"
+  "CMakeFiles/solver_preconditioner_test.dir/solver/preconditioner_test.cpp.o.d"
+  "solver_preconditioner_test"
+  "solver_preconditioner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_preconditioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

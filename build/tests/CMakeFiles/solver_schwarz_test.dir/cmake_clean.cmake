@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_schwarz_test.dir/solver/schwarz_test.cpp.o"
+  "CMakeFiles/solver_schwarz_test.dir/solver/schwarz_test.cpp.o.d"
+  "solver_schwarz_test"
+  "solver_schwarz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_schwarz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_mm_io_test.dir/sparse/mm_io_test.cpp.o"
+  "CMakeFiles/sparse_mm_io_test.dir/sparse/mm_io_test.cpp.o.d"
+  "sparse_mm_io_test"
+  "sparse_mm_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_mm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

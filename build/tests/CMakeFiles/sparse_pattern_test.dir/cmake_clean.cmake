@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_pattern_test.dir/sparse/pattern_test.cpp.o"
+  "CMakeFiles/sparse_pattern_test.dir/sparse/pattern_test.cpp.o.d"
+  "sparse_pattern_test"
+  "sparse_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_sell_test.dir/sparse/sell_test.cpp.o"
+  "CMakeFiles/sparse_sell_test.dir/sparse/sell_test.cpp.o.d"
+  "sparse_sell_test"
+  "sparse_sell_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_sell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_stats_test.dir/sparse/stats_test.cpp.o"
+  "CMakeFiles/sparse_stats_test.dir/sparse/stats_test.cpp.o.d"
+  "sparse_stats_test"
+  "sparse_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_vector_ops_test.dir/sparse/vector_ops_test.cpp.o"
+  "CMakeFiles/sparse_vector_ops_test.dir/sparse/vector_ops_test.cpp.o.d"
+  "sparse_vector_ops_test"
+  "sparse_vector_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_vector_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsaic_cli.dir/fsaic.cpp.o"
+  "CMakeFiles/fsaic_cli.dir/fsaic.cpp.o.d"
+  "fsaic"
+  "fsaic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsaic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
