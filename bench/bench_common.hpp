@@ -1,18 +1,35 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/format.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "obs/report.hpp"
 
 namespace fsaic::bench {
 
 /// The Filter values the paper sweeps in Tables 3/5/6/7.
 inline const std::vector<value_t> kFilters{0.01, 0.05, 0.1, 0.2};
+
+/// Honour the FSAIC_REPORT environment variable: when set, every run the
+/// bench computes is also appended as one JSONL record to that path, so a
+/// sweep over bench binaries leaves a machine-readable artifact next to the
+/// text tables (FSAIC_REPORT=runs.jsonl build/bench/table1_matrices). The
+/// returned writer owns the file; keep it alive for the bench's duration.
+inline std::unique_ptr<RunReportWriter> attach_env_report(
+    ExperimentRunner& runner) {
+  const char* path = std::getenv("FSAIC_REPORT");
+  if (path == nullptr || *path == '\0') return nullptr;
+  auto writer = std::make_unique<RunReportWriter>(std::string(path));
+  runner.set_report_writer(writer.get());
+  return writer;
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n==== " << title << " ====\n";

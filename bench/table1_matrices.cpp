@@ -12,6 +12,7 @@ int main() {
   ExperimentConfig cfg;
   cfg.machine = machine_skylake();
   ExperimentRunner runner(cfg);
+  const auto report = attach_env_report(runner);
   print_matrix_table(runner, small_suite(), 0.01);
   return 0;
 }

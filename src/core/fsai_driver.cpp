@@ -15,44 +15,57 @@ FsaiBuildResult build_fsai_preconditioner(const CsrMatrix& a, const Layout& layo
   FSAIC_REQUIRE(a.rows() == layout.global_size(),
                 "layout must cover the matrix rows");
   FsaiBuildResult result;
+  TraceRecorder* const trace = options.trace;
 
   // Steps 1-2: a-priori pattern.
-  result.base_pattern =
-      fsai_base_pattern(a, options.sparsity_level, options.prefilter_threshold);
+  {
+    ScopedPhase phase(trace, "pattern_build", "setup");
+    result.base_pattern =
+        fsai_base_pattern(a, options.sparsity_level, options.prefilter_threshold);
+  }
 
   // Step 3: cache-line extension.
-  ExtensionResult ext = extend_pattern(result.base_pattern, layout,
-                                       options.cache_line_bytes, options.extension);
-  result.extended_pattern = std::move(ext.extended);
+  {
+    ScopedPhase phase(trace, "pattern_extension", "setup");
+    ExtensionResult ext = extend_pattern(result.base_pattern, layout,
+                                         options.cache_line_bytes, options.extension);
+    result.extended_pattern = std::move(ext.extended);
+  }
 
   // Step 4: provisional values + filtering of added entries.
-  const bool filtering_active =
-      options.filter > 0.0 && result.extended_pattern.nnz() > result.base_pattern.nnz();
-  if (filtering_active) {
-    const CsrMatrix g_pre =
-        compute_fsai_factor(a, result.extended_pattern, &result.factor_stats);
-    FilterOptions fopts;
-    fopts.filter = options.filter;
-    fopts.only_added_entries = options.filter_only_added;
-    fopts.imbalance_tolerance = options.imbalance_tolerance;
-    fopts.max_bisection_steps = options.max_bisection_steps;
-    fopts.rebalance_rounds = options.rebalance_rounds;
-    FilterOutcome outcome =
-        options.filter_strategy == FilterStrategy::Static
-            ? static_filter(g_pre, result.base_pattern, layout, fopts)
-            : dynamic_filter(g_pre, result.base_pattern, layout, fopts,
-                             &result.setup_comm);
-    result.final_pattern = std::move(outcome.pattern);
-    result.rank_filter = std::move(outcome.rank_filter);
-    result.dynamic_bisection_iterations = outcome.bisection_iterations;
-  } else {
-    result.final_pattern = result.extended_pattern;
-    result.rank_filter.assign(static_cast<std::size_t>(layout.nranks()),
-                              options.filter);
+  {
+    ScopedPhase phase(trace, "filtering", "setup");
+    const bool filtering_active =
+        options.filter > 0.0 && result.extended_pattern.nnz() > result.base_pattern.nnz();
+    if (filtering_active) {
+      const CsrMatrix g_pre =
+          compute_fsai_factor(a, result.extended_pattern, &result.factor_stats);
+      FilterOptions fopts;
+      fopts.filter = options.filter;
+      fopts.only_added_entries = options.filter_only_added;
+      fopts.imbalance_tolerance = options.imbalance_tolerance;
+      fopts.max_bisection_steps = options.max_bisection_steps;
+      fopts.rebalance_rounds = options.rebalance_rounds;
+      FilterOutcome outcome =
+          options.filter_strategy == FilterStrategy::Static
+              ? static_filter(g_pre, result.base_pattern, layout, fopts)
+              : dynamic_filter(g_pre, result.base_pattern, layout, fopts,
+                               &result.setup_comm);
+      result.final_pattern = std::move(outcome.pattern);
+      result.rank_filter = std::move(outcome.rank_filter);
+      result.dynamic_bisection_iterations = outcome.bisection_iterations;
+    } else {
+      result.final_pattern = result.extended_pattern;
+      result.rank_filter.assign(static_cast<std::size_t>(layout.nranks()),
+                                options.filter);
+    }
   }
 
   // Step 5: recompute values on the surviving pattern.
-  result.g = compute_fsai_factor(a, result.final_pattern, &result.factor_stats);
+  {
+    ScopedPhase phase(trace, "factorization", "setup");
+    result.g = compute_fsai_factor(a, result.final_pattern, &result.factor_stats);
+  }
 
   result.nnz_increase_pct =
       100.0 *
@@ -60,8 +73,11 @@ FsaiBuildResult build_fsai_preconditioner(const CsrMatrix& a, const Layout& layo
       static_cast<double>(result.base_pattern.nnz());
 
   // Distribute G and G^T for the solver, and measure load balance of both.
-  result.g_dist = DistCsr::distribute(result.g, layout);
-  result.gt_dist = DistCsr::distribute(transpose(result.g), layout);
+  {
+    ScopedPhase phase(trace, "distribute_factors", "setup");
+    result.g_dist = DistCsr::distribute(result.g, layout);
+    result.gt_dist = DistCsr::distribute(transpose(result.g), layout);
+  }
   const auto g_counts = rank_entry_counts(result.final_pattern, layout);
   const auto gt_counts =
       rank_entry_counts(result.final_pattern.transposed(), layout);

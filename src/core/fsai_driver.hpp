@@ -16,6 +16,7 @@
 #include "core/fsai.hpp"
 #include "core/pattern_extend.hpp"
 #include "dist/dist_csr.hpp"
+#include "obs/trace.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace fsaic {
@@ -43,6 +44,9 @@ struct FsaiOptions {
   double imbalance_tolerance = 0.05;
   int max_bisection_steps = 30;
   int rebalance_rounds = 8;
+  /// Optional phase tracer (borrowed): the build emits the setup phases
+  /// pattern_build / pattern_extension / filtering / factorization.
+  TraceRecorder* trace = nullptr;
 };
 
 struct FsaiBuildResult {

@@ -1,8 +1,10 @@
 #include "dist/dist_csr.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/vector_ops.hpp"
@@ -136,15 +138,21 @@ std::int64_t DistCsr::halo_update_messages() const {
   return messages;
 }
 
-void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats) const {
+void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
+                   TraceRecorder* trace) const {
   FSAIC_REQUIRE(x.layout() == col_layout_, "x layout mismatch");
   FSAIC_REQUIRE(y.layout() == row_layout_, "y layout mismatch");
-  // Superstep 1: halo update. Every rank assembles its extended local x
-  // [owned | ghosts] by "receiving" owned coefficients from the neighbors'
-  // blocks. The copy below is the simulated wire transfer.
+  using clock = std::chrono::steady_clock;
+  double halo_us = 0.0;
+  double compute_us = 0.0;
+  clock::time_point seg;
+  if (trace != nullptr) seg = clock::now();
   for (rank_t p = 0; p < nranks(); ++p) {
     const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
     const index_t nloc = row_layout_.local_size(p);
+    // Superstep 1: halo update. Every rank assembles its extended local x
+    // [owned | ghosts] by "receiving" owned coefficients from the neighbors'
+    // blocks. The copy below is the simulated wire transfer.
     std::vector<value_t> x_ext(static_cast<std::size_t>(nloc) + blk.ghost_gids.size());
     const auto x_loc = x.block(p);
     std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
@@ -161,8 +169,25 @@ void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats) const {
             static_cast<std::int64_t>(nb.gids.size() * sizeof(value_t)));
       }
     }
+    if (trace != nullptr) {
+      const auto now = clock::now();
+      halo_us += std::chrono::duration<double, std::micro>(now - seg).count();
+      seg = now;
+    }
     // Superstep 2: rank-local SpMV.
     fsaic::spmv(blk.matrix, x_ext, y.block(p));
+    if (trace != nullptr) {
+      const auto now = clock::now();
+      compute_us += std::chrono::duration<double, std::micro>(now - seg).count();
+      seg = now;
+    }
+  }
+  if (trace != nullptr) {
+    // The per-rank gather/compute segments are folded into one BSP-style
+    // halo superstep followed by one compute superstep.
+    const double start = trace->now_us() - halo_us - compute_us;
+    trace->complete("halo_exchange", "comm", start, halo_us);
+    trace->complete("spmv_local", "compute", start + halo_us, compute_us);
   }
 }
 
@@ -187,18 +212,23 @@ CsrMatrix DistCsr::to_global() const {
   return builder.to_csr();
 }
 
-value_t dist_dot(const DistVector& x, const DistVector& y, CommStats* stats) {
+value_t dist_dot(const DistVector& x, const DistVector& y, CommStats* stats,
+                 TraceRecorder* trace) {
   FSAIC_REQUIRE(x.layout() == y.layout(), "dot layout mismatch");
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   value_t sum = 0.0;
   for (rank_t p = 0; p < x.nranks(); ++p) {
     sum += dot(x.block(p), y.block(p));
   }
   if (stats != nullptr) stats->record_allreduce(sizeof(value_t));
+  if (trace != nullptr) {
+    trace->complete("allreduce", "comm", t0, trace->now_us() - t0);
+  }
   return sum;
 }
 
-value_t dist_norm2(const DistVector& x, CommStats* stats) {
-  return std::sqrt(dist_dot(x, x, stats));
+value_t dist_norm2(const DistVector& x, CommStats* stats, TraceRecorder* trace) {
+  return std::sqrt(dist_dot(x, x, stats, trace));
 }
 
 void dist_axpy(value_t alpha, const DistVector& x, DistVector& y) {

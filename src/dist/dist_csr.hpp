@@ -15,6 +15,8 @@
 
 namespace fsaic {
 
+class TraceRecorder;
+
 /// One rank's share of a distributed matrix.
 struct RankBlock {
   /// local_rows x (local_cols + ghosts); column index c < local_cols is the
@@ -63,8 +65,10 @@ class DistCsr {
   [[nodiscard]] std::int64_t halo_update_messages() const;
 
   /// y = A x. Performs the halo update (recorded into `stats` if non-null)
-  /// followed by the rank-local SpMVs.
-  void spmv(const DistVector& x, DistVector& y, CommStats* stats = nullptr) const;
+  /// followed by the rank-local SpMVs. A non-null `trace` receives one
+  /// "halo_exchange" and one "spmv_local" slice per call.
+  void spmv(const DistVector& x, DistVector& y, CommStats* stats = nullptr,
+            TraceRecorder* trace = nullptr) const;
 
   /// Reassemble the global matrix (testing / diagnostics).
   [[nodiscard]] CsrMatrix to_global() const;
@@ -81,11 +85,14 @@ class DistCsr {
 // ---- distributed vector kernels (instrumented collectives) --------------
 
 /// Global dot product: rank-local dots + one allreduce of a single double.
+/// A non-null `trace` receives one "allreduce" slice.
 [[nodiscard]] value_t dist_dot(const DistVector& x, const DistVector& y,
-                               CommStats* stats = nullptr);
+                               CommStats* stats = nullptr,
+                               TraceRecorder* trace = nullptr);
 
 /// Global Euclidean norm (counts as one allreduce, like dist_dot).
-[[nodiscard]] value_t dist_norm2(const DistVector& x, CommStats* stats = nullptr);
+[[nodiscard]] value_t dist_norm2(const DistVector& x, CommStats* stats = nullptr,
+                                 TraceRecorder* trace = nullptr);
 
 /// y += alpha x, blockwise (no communication).
 void dist_axpy(value_t alpha, const DistVector& x, DistVector& y);

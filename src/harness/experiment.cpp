@@ -1,10 +1,13 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/format.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/vector_ops.hpp"
 
@@ -78,11 +81,15 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
   fopts.cache_line_bytes = config_.machine.l1.line_bytes;
   fopts.filter = method.filter;
   fopts.filter_strategy = method.strategy;
+  using clock = std::chrono::steady_clock;
+  const auto t_setup = clock::now();
   FsaiBuildResult build = build_fsai_preconditioner(sys.matrix, sys.layout, fopts);
 
   const auto precond = make_factorized_preconditioner(build, method.label());
   DistVector x(sys.layout);
+  const auto t_solve = clock::now();
   const SolveResult solve = pcg_solve(sys.a_dist, sys.b, x, *precond, config_.solve);
+  const auto t_done = clock::now();
 
   const CostModel cost_model(config_.machine,
                              CostModelOptions{config_.threads_per_rank});
@@ -115,7 +122,89 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
   rec->halo_msgs_g = build.g_dist.halo_update_messages();
   rec->g_nnz = build.g.nnz();
 
+  rec->solve_halo_bytes = solve.comm.halo_bytes;
+  rec->solve_halo_messages = solve.comm.halo_messages;
+  rec->solve_allreduce_count = solve.comm.allreduce_count;
+  rec->solve_allreduce_bytes = solve.comm.allreduce_bytes;
+  rec->solve_neighbor_pairs =
+      static_cast<std::int64_t>(solve.comm.neighbor_pair_count());
+  rec->setup_seconds =
+      std::chrono::duration<double>(t_solve - t_setup).count();
+  rec->solve_seconds = std::chrono::duration<double>(t_done - t_solve).count();
+
+  if (metrics_ != nullptr) {
+    metrics_->add("runs", 1);
+    record_comm_stats(*metrics_, "solve", solve.comm);
+    record_comm_stats(*metrics_, "setup", build.setup_comm);
+    metrics_->set("run.precond_gflops", rec->precond_gflops);
+    metrics_->set("run.x_misses_per_gnnz", rec->x_misses_per_gnnz);
+    metrics_->set("run.imbalance_g", rec->imbalance_g);
+    metrics_->set("run.imbalance_gt", rec->imbalance_gt);
+  }
+  if (report_ != nullptr) report_->write(run_record_to_json(*rec));
+
   return *runs_.emplace(key, std::move(rec)).first->second;
+}
+
+JsonValue run_record_to_json(const RunRecord& rec) {
+  JsonValue out = JsonValue::object();
+  out["kind"] = "run";
+  out["matrix"] = rec.matrix;
+  out["method"] = rec.method;
+  out["nranks"] = rec.nranks;
+  out["rows"] = rec.rows;
+  out["matrix_nnz"] = rec.matrix_nnz;
+  out["converged"] = rec.converged;
+  out["iterations"] = rec.iterations;
+  out["modeled_time"] = rec.modeled_time;
+  out["iter_cost"] = rec.iter_cost;
+  out["precond_cost"] = rec.precond_cost;
+  out["nnz_increase_pct"] = rec.nnz_increase_pct;
+  out["imbalance_g"] = rec.imbalance_g;
+  out["imbalance_gt"] = rec.imbalance_gt;
+  out["precond_gflops"] = rec.precond_gflops;
+  out["x_misses_per_gnnz"] = rec.x_misses_per_gnnz;
+  out["halo_bytes_g"] = rec.halo_bytes_g;
+  out["halo_msgs_g"] = rec.halo_msgs_g;
+  out["g_nnz"] = rec.g_nnz;
+  out["solve_halo_bytes"] = rec.solve_halo_bytes;
+  out["solve_halo_messages"] = rec.solve_halo_messages;
+  out["solve_allreduce_count"] = rec.solve_allreduce_count;
+  out["solve_allreduce_bytes"] = rec.solve_allreduce_bytes;
+  out["solve_neighbor_pairs"] = rec.solve_neighbor_pairs;
+  out["setup_seconds"] = rec.setup_seconds;
+  out["solve_seconds"] = rec.solve_seconds;
+  return out;
+}
+
+RunRecord run_record_from_json(const JsonValue& json) {
+  RunRecord rec;
+  rec.matrix = json.at("matrix").as_string();
+  rec.method = json.at("method").as_string();
+  rec.nranks = static_cast<rank_t>(json.at("nranks").as_int());
+  rec.rows = static_cast<index_t>(json.at("rows").as_int());
+  rec.matrix_nnz = static_cast<offset_t>(json.at("matrix_nnz").as_int());
+  rec.converged = json.at("converged").as_bool();
+  rec.iterations = static_cast<int>(json.at("iterations").as_int());
+  rec.modeled_time = json.at("modeled_time").as_double();
+  rec.iter_cost = json.at("iter_cost").as_double();
+  rec.precond_cost = json.at("precond_cost").as_double();
+  rec.nnz_increase_pct = json.at("nnz_increase_pct").as_double();
+  rec.imbalance_g = json.at("imbalance_g").as_double();
+  rec.imbalance_gt = json.at("imbalance_gt").as_double();
+  rec.precond_gflops = json.at("precond_gflops").as_double();
+  rec.x_misses_per_gnnz = json.at("x_misses_per_gnnz").as_double();
+  rec.halo_bytes_g = json.at("halo_bytes_g").as_int();
+  rec.halo_msgs_g = json.at("halo_msgs_g").as_int();
+  rec.g_nnz = static_cast<offset_t>(json.at("g_nnz").as_int());
+  rec.solve_halo_bytes = json.at("solve_halo_bytes").as_int();
+  rec.solve_halo_messages = json.at("solve_halo_messages").as_int();
+  rec.solve_allreduce_count = json.at("solve_allreduce_count").as_int();
+  rec.solve_allreduce_bytes = json.at("solve_allreduce_bytes").as_int();
+  rec.solve_neighbor_pairs = json.at("solve_neighbor_pairs").as_int();
+  rec.setup_seconds = json.at("setup_seconds").as_double();
+  rec.solve_seconds = json.at("solve_seconds").as_double();
+  return rec;
 }
 
 Improvement improvement_over(const RunRecord& base, const RunRecord& run) {

@@ -12,10 +12,14 @@
 
 #include "core/fsai_driver.hpp"
 #include "matgen/suite.hpp"
+#include "obs/json.hpp"
 #include "perf/cost_model.hpp"
 #include "solver/pcg.hpp"
 
 namespace fsaic {
+
+class MetricsRegistry;
+class RunReportWriter;
 
 struct ExperimentConfig {
   Machine machine = machine_skylake();
@@ -60,6 +64,18 @@ struct RunRecord {
   std::int64_t halo_bytes_g = 0; ///< bytes of one G halo update
   std::int64_t halo_msgs_g = 0;
   offset_t g_nnz = 0;
+
+  /// Solve-phase fabric traffic totals (copied from SolveResult::comm).
+  std::int64_t solve_halo_bytes = 0;
+  std::int64_t solve_halo_messages = 0;
+  std::int64_t solve_allreduce_count = 0;
+  std::int64_t solve_allreduce_bytes = 0;
+  std::int64_t solve_neighbor_pairs = 0;
+
+  /// Measured wall time of the preconditioner build / the solve, seconds
+  /// (host time of the simulation, distinct from modeled_time).
+  double setup_seconds = 0.0;
+  double solve_seconds = 0.0;
 };
 
 /// A prepared (partitioned + distributed) linear system.
@@ -89,11 +105,26 @@ class ExperimentRunner {
     return run(entry, MethodConfig{ExtensionMode::None, FilterStrategy::Static, 0.0});
   }
 
+  /// Attach a JSONL report writer (borrowed): every *newly computed* run
+  /// appends one record; memoized re-reads do not write again.
+  void set_report_writer(RunReportWriter* writer) { report_ = writer; }
+
+  /// Attach a metrics registry (borrowed): runs accumulate solve comm
+  /// counters and publish cache/GFLOP gauges into it.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   ExperimentConfig config_;
   std::map<std::string, std::unique_ptr<PreparedSystem>> systems_;
   std::map<std::string, std::unique_ptr<RunRecord>> runs_;
+  RunReportWriter* report_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
 };
+
+/// Serialize a RunRecord to a flat JSON object (one JSONL report line) and
+/// back. to_json/from_json round-trip every field bit-exactly for integers.
+[[nodiscard]] JsonValue run_record_to_json(const RunRecord& rec);
+[[nodiscard]] RunRecord run_record_from_json(const JsonValue& json);
 
 /// Percentage improvements of `run` over `base` (positive = better).
 struct Improvement {

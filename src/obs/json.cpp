@@ -1,0 +1,354 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+bool JsonValue::as_bool() const {
+  FSAIC_REQUIRE(type_ == Type::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  FSAIC_REQUIRE(type_ == Type::Int, "JSON value is not an integer");
+  return int_;
+}
+
+double JsonValue::as_double() const {
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  FSAIC_REQUIRE(type_ == Type::Double, "JSON value is not a number");
+  return double_;
+}
+
+const std::string& JsonValue::as_string() const {
+  FSAIC_REQUIRE(type_ == Type::String, "JSON value is not a string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  FSAIC_REQUIRE(type_ == Type::Array, "JSON value is not an array");
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  FSAIC_REQUIRE(type_ == Type::Object, "JSON value is not an object");
+  return object_;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == Type::Null) type_ = Type::Object;
+  FSAIC_REQUIRE(type_ == Type::Object, "JSON value is not an object");
+  return object_[key];
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  FSAIC_REQUIRE(v != nullptr, "JSON object has no key \"" + key + "\"");
+  return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ == Type::Null) type_ = Type::Array;
+  FSAIC_REQUIRE(type_ == Type::Array, "JSON value is not an array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  return 0;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_to(const JsonValue& v, std::string& out);
+
+void dump_double(double d, std::string& out) {
+  // Non-finite numbers have no JSON spelling; null keeps the line parseable.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void dump_to(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::Null: out += "null"; break;
+    case JsonValue::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::Int: out += std::to_string(v.as_int()); break;
+    case JsonValue::Type::Double: dump_double(v.as_double(), out); break;
+    case JsonValue::Type::String:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_to(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        dump_to(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    FSAIC_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      return JsonValue(true);
+    }
+    if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      return JsonValue(false);
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return JsonValue();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP codepoint (surrogate pairs are not needed
+          // by anything this library writes).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        return JsonValue(static_cast<std::int64_t>(v));
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number");
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace fsaic

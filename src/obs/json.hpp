@@ -1,0 +1,95 @@
+// Minimal JSON value tree with a writer and a strict recursive-descent
+// parser. This is the serialization substrate of the observability layer:
+// the trace recorder, the metrics registry and the JSONL run reports all
+// emit through it, and the tests parse their own output back to prove the
+// files are loadable (chrome://tracing, jq, pandas.read_json(lines=True)).
+//
+// Integers are kept separate from doubles so byte counters round-trip
+// exactly — the bench reports *prove* communication neutrality by comparing
+// counters, which %.17g doubles above 2^53 could silently break.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fsaic {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonValue(T i) : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  JsonValue(double d) : type_(Type::Double), double_(d) {}
+  JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}
+  JsonValue(Array a) : type_(Type::Array), array_(std::move(a)) {}
+  JsonValue(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+  [[nodiscard]] static JsonValue object() { return JsonValue(Object{}); }
+  [[nodiscard]] static JsonValue array() { return JsonValue(Array{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::Int; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::Int || type_ == Type::Double;
+  }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  /// Checked accessors; throw fsaic::Error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  /// Ints promote to double here.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object access. operator[] inserts (null-coerces a fresh value into an
+  /// object); `find` returns nullptr when absent; `at` throws.
+  JsonValue& operator[](const std::string& key);
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  /// Array append (coerces a null value into an array).
+  void push_back(JsonValue v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Compact single-line rendering (no insignificant whitespace), suitable
+  /// for JSONL.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of a complete JSON document (trailing whitespace allowed,
+  /// anything else throws fsaic::Error).
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape a string for embedding inside a JSON string literal (no quotes
+/// added); shared with the handwritten trace writer.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace fsaic

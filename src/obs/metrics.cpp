@@ -1,0 +1,72 @@
+#include "obs/metrics.hpp"
+
+namespace fsaic {
+
+std::string MetricsRegistry::key(std::string_view name, rank_t rank) {
+  std::string k(name);
+  if (rank != kGlobal) {
+    k += ".rank";
+    k += std::to_string(rank);
+  }
+  return k;
+}
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta,
+                          rank_t rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[key(name, rank)] += delta;
+}
+
+void MetricsRegistry::set(std::string_view name, double value, rank_t rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[key(name, rank)] = value;
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name, rank_t rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(key(name, rank));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name, rank_t rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(key(name, rank));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_, gauges_};
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  const Snapshot snap = snapshot();
+  JsonValue out = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [k, v] : snap.counters) counters[k] = v;
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [k, v] : snap.gauges) gauges[k] = v;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+void record_comm_stats(MetricsRegistry& metrics, std::string_view prefix,
+                       const CommStats& stats) {
+  const std::string p(prefix);
+  metrics.add(p + ".halo_messages", stats.halo_messages);
+  metrics.add(p + ".halo_bytes", stats.halo_bytes);
+  metrics.add(p + ".allreduce_count", stats.allreduce_count);
+  metrics.add(p + ".allreduce_bytes", stats.allreduce_bytes);
+  for (const auto& [pair, bytes] : stats.pair_bytes) {
+    metrics.add(p + ".halo_bytes_sent", bytes, pair.first);
+  }
+}
+
+}  // namespace fsaic

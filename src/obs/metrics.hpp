@@ -1,0 +1,68 @@
+// Thread-safe registry of named counters and gauges with an optional
+// per-rank dimension.
+//
+// Counters are monotonic int64 accumulators (bytes, messages, runs); gauges
+// are last-written doubles (GFLOP/s, misses/nnz, imbalance). A metric can be
+// recorded globally (rank = kGlobal) or per simulated rank — the flattened
+// key "name.rank<p>" keeps snapshots and JSON exports flat and greppable.
+// CommStats feeds in through record_comm_stats(); the experiment runner and
+// `fsaic bench` export snapshots into the JSONL run reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "dist/comm_stats.hpp"
+#include "obs/json.hpp"
+
+namespace fsaic {
+
+class MetricsRegistry {
+ public:
+  /// Sentinel rank for the global (un-dimensioned) series of a metric.
+  static constexpr rank_t kGlobal = -1;
+
+  /// Accumulate into a counter.
+  void add(std::string_view name, std::int64_t delta, rank_t rank = kGlobal);
+
+  /// Overwrite a gauge.
+  void set(std::string_view name, double value, rank_t rank = kGlobal);
+
+  /// Current counter value (0 if never touched).
+  [[nodiscard]] std::int64_t counter(std::string_view name,
+                                     rank_t rank = kGlobal) const;
+
+  /// Current gauge value (0.0 if never set).
+  [[nodiscard]] double gauge(std::string_view name, rank_t rank = kGlobal) const;
+
+  struct Snapshot {
+    std::map<std::string, std::int64_t> counters;  ///< by flattened key
+    std::map<std::string, double> gauges;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}} for the run reports.
+  [[nodiscard]] JsonValue to_json() const;
+
+  void clear();
+
+  /// Flattened storage key: "name" or "name.rank<p>".
+  [[nodiscard]] static std::string key(std::string_view name, rank_t rank);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Fold a CommStats block into the registry under `prefix`: global counters
+/// <prefix>.halo_messages / .halo_bytes / .allreduce_count / .allreduce_bytes
+/// plus per-sender-rank <prefix>.halo_bytes_sent derived from pair_bytes.
+void record_comm_stats(MetricsRegistry& metrics, std::string_view prefix,
+                       const CommStats& stats);
+
+}  // namespace fsaic

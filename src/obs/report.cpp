@@ -1,0 +1,50 @@
+#include "obs/report.hpp"
+
+#include <istream>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+RunReportWriter::RunReportWriter(const std::string& path)
+    : owned_(path), out_(&owned_) {
+  FSAIC_REQUIRE(owned_.good(), "cannot open report output file: " + path);
+}
+
+RunReportWriter::RunReportWriter(std::ostream& out) : out_(&out) {}
+
+void RunReportWriter::write(const JsonValue& record) {
+  const std::string line = record.dump();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line << '\n';
+  out_->flush();
+  ++count_;
+}
+
+std::vector<JsonValue> read_jsonl(std::istream& in) {
+  std::vector<JsonValue> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    records.push_back(JsonValue::parse(line));
+  }
+  return records;
+}
+
+std::vector<JsonValue> read_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  FSAIC_REQUIRE(in.good(), "cannot open report file: " + path);
+  return read_jsonl(in);
+}
+
+JsonValue comm_stats_to_json(const CommStats& stats) {
+  JsonValue out = JsonValue::object();
+  out["halo_messages"] = stats.halo_messages;
+  out["halo_bytes"] = stats.halo_bytes;
+  out["allreduce_count"] = stats.allreduce_count;
+  out["allreduce_bytes"] = stats.allreduce_bytes;
+  out["neighbor_pairs"] = static_cast<std::int64_t>(stats.neighbor_pair_count());
+  return out;
+}
+
+}  // namespace fsaic

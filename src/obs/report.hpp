@@ -1,0 +1,48 @@
+// Machine-readable run reports: one compact JSON object per line (JSONL),
+// the format pandas.read_json(lines=True) / jq -s consume directly. The
+// experiment runner appends one record per (matrix, method) run; `fsaic
+// solve --report` writes a run record followed by per-iteration records.
+// read_jsonl() closes the loop so tests can prove the files round-trip.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dist/comm_stats.hpp"
+#include "obs/json.hpp"
+
+namespace fsaic {
+
+class RunReportWriter {
+ public:
+  /// Open (truncate) `path`; throws fsaic::Error if it cannot be created.
+  explicit RunReportWriter(const std::string& path);
+
+  /// Write to a borrowed stream (tests; the caller keeps it alive).
+  explicit RunReportWriter(std::ostream& out);
+
+  /// Append one record as a single line and flush, so reports of aborted
+  /// runs stay readable up to the last completed record. Thread-safe.
+  void write(const JsonValue& record);
+
+  [[nodiscard]] int records_written() const { return count_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+  std::mutex mutex_;
+  int count_ = 0;
+};
+
+/// Parse every non-empty line of a JSONL stream; throws on malformed lines.
+[[nodiscard]] std::vector<JsonValue> read_jsonl(std::istream& in);
+[[nodiscard]] std::vector<JsonValue> read_jsonl_file(const std::string& path);
+
+/// Totals of a CommStats block: halo_messages, halo_bytes, allreduce_count,
+/// allreduce_bytes, neighbor_pairs.
+[[nodiscard]] JsonValue comm_stats_to_json(const CommStats& stats);
+
+}  // namespace fsaic

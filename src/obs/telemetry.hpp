@@ -1,0 +1,128 @@
+// Per-iteration solver telemetry.
+//
+// The Krylov solvers call an IterationEmitter once per iteration; it fans the
+// sample out to (a) the SolveResult residual history, (b) the user-attached
+// TelemetrySink and (c) the trace recorder's residual counter track. This is
+// the *single* per-iteration recording path: residual-history tracking is no
+// longer a separate code path in each solver, and a sample carries the
+// communication deltas so a sink can attribute halo/allreduce traffic to
+// individual iterations (the data CommStats only exposes as end-of-run
+// totals).
+//
+// Everything is inline and guarded by null checks, so a solve with no sink,
+// no trace and no history tracking pays one pointer test per iteration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/comm_stats.hpp"
+#include "obs/trace.hpp"
+
+namespace fsaic {
+
+/// What the solver observed during one iteration.
+struct IterationSample {
+  int iteration = 0;               ///< 1-based iteration index
+  double residual = 0.0;           ///< ||r_k||_2 (GMRES: the cheap estimate)
+  double relative_residual = 0.0;  ///< residual / ||r_0||
+  std::int64_t halo_bytes_delta = 0;     ///< halo bytes moved this iteration
+  std::int64_t halo_messages_delta = 0;  ///< halo messages this iteration
+  std::int64_t allreduce_delta = 0;      ///< allreduce calls this iteration
+  double elapsed_us = 0.0;  ///< wall time since the previous sample
+};
+
+/// Receives one callback per solver iteration. Implementations must not
+/// throw; the solver treats the sink as pure observation.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void on_iteration(const IterationSample& sample) = 0;
+};
+
+/// Sink that stores every sample (tests, report writers).
+class CollectingSink final : public TelemetrySink {
+ public:
+  void on_iteration(const IterationSample& sample) override {
+    samples_.push_back(sample);
+  }
+  [[nodiscard]] const std::vector<IterationSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  std::vector<IterationSample> samples_;
+};
+
+/// The solvers' shared emission helper. `history` is the SolveResult's
+/// residual_history: the initial residual always lands there, per-iteration
+/// values only when `track_history` is set. `comm` is read (never written)
+/// to derive per-iteration traffic deltas.
+class IterationEmitter {
+ public:
+  IterationEmitter(TelemetrySink* sink, TraceRecorder* trace,
+                   std::vector<value_t>& history, bool track_history,
+                   const CommStats& comm)
+      : sink_(sink), trace_(trace), history_(history), track_(track_history),
+        comm_(comm) {}
+
+  /// Call once, right after ||r_0|| is known (before any early return).
+  void record_initial(value_t initial_residual) {
+    initial_residual_ = initial_residual;
+    history_.push_back(initial_residual);
+    if (trace_ != nullptr) {
+      trace_->counter("residual", static_cast<double>(initial_residual));
+    }
+    if (sink_ != nullptr) take_snapshot();
+  }
+
+  /// Call once per completed iteration, with the residual that the solver's
+  /// convergence test uses. The number of calls must equal the final
+  /// SolveResult::iterations.
+  void record_iteration(int iteration, value_t residual) {
+    if (track_) history_.push_back(residual);
+    if (trace_ != nullptr) {
+      trace_->counter("residual", static_cast<double>(residual));
+    }
+    if (sink_ != nullptr) {
+      IterationSample s;
+      s.iteration = iteration;
+      s.residual = static_cast<double>(residual);
+      s.relative_residual =
+          initial_residual_ > 0.0
+              ? static_cast<double>(residual / initial_residual_)
+              : 0.0;
+      s.halo_bytes_delta = comm_.halo_bytes - last_halo_bytes_;
+      s.halo_messages_delta = comm_.halo_messages - last_halo_messages_;
+      s.allreduce_delta = comm_.allreduce_count - last_allreduce_count_;
+      const auto now = std::chrono::steady_clock::now();
+      s.elapsed_us =
+          std::chrono::duration<double, std::micro>(now - last_time_).count();
+      sink_->on_iteration(s);
+      take_snapshot();
+    }
+  }
+
+ private:
+  void take_snapshot() {
+    last_halo_bytes_ = comm_.halo_bytes;
+    last_halo_messages_ = comm_.halo_messages;
+    last_allreduce_count_ = comm_.allreduce_count;
+    last_time_ = std::chrono::steady_clock::now();
+  }
+
+  TelemetrySink* sink_;
+  TraceRecorder* trace_;
+  std::vector<value_t>& history_;
+  bool track_;
+  const CommStats& comm_;
+  value_t initial_residual_ = 0.0;
+  std::int64_t last_halo_bytes_ = 0;
+  std::int64_t last_halo_messages_ = 0;
+  std::int64_t last_allreduce_count_ = 0;
+  std::chrono::steady_clock::time_point last_time_{};
+};
+
+}  // namespace fsaic

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "obs/json.hpp"
+
+namespace fsaic {
+
+std::uint32_t TraceRecorder::current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::begin(const char* name, const char* category) {
+  push({name, category, 'B', now_us(), 0.0, 0.0, current_tid()});
+}
+
+void TraceRecorder::end(const char* name, const char* category) {
+  push({name, category, 'E', now_us(), 0.0, 0.0, current_tid()});
+}
+
+void TraceRecorder::complete(const char* name, const char* category,
+                             double ts_us, double dur_us) {
+  push({name, category, 'X', ts_us, dur_us, 0.0, current_tid()});
+}
+
+void TraceRecorder::instant(const char* name, const char* category) {
+  push({name, category, 'i', now_us(), 0.0, 0.0, current_tid()});
+}
+
+void TraceRecorder::counter(const char* name, double value) {
+  push({name, "counter", 'C', now_us(), 0.0, value, current_tid()});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::write_json(std::ostream& out) const {
+  const auto snapshot = events();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : snapshot) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+        << json_escape(e.category) << "\",\"ph\":\"" << e.phase
+        << "\",\"pid\":0,\"tid\":" << e.tid
+        << strformat(",\"ts\":%.3f", e.timestamp_us);
+    if (e.phase == 'X') out << strformat(",\"dur\":%.3f", e.duration_us);
+    if (e.phase == 'C') out << strformat(",\"args\":{\"value\":%.17g}", e.value);
+    if (e.phase == 'i') out << ",\"s\":\"t\"";
+    out << "}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  FSAIC_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  write_json(out);
+  FSAIC_REQUIRE(out.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace fsaic

@@ -48,7 +48,11 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
   std::vector<value_t> g(static_cast<std::size_t>(mk) + 1);
 
   // r = b - A x.
-  a.spmv(x, r, &result.comm);
+  TraceRecorder* const trace = options.trace;
+  {
+    ScopedPhase phase(trace, "spmv", "solve");
+    a.spmv(x, r, &result.comm, trace);
+  }
   for (rank_t p = 0; p < layout.nranks(); ++p) {
     const auto bb = b.block(p);
     auto rb = r.block(p);
@@ -56,11 +60,11 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
       rb[i] = bb[i] - rb[i];
     }
   }
-  result.initial_residual = dist_norm2(r, &result.comm);
+  result.initial_residual = dist_norm2(r, &result.comm, trace);
   result.final_residual = result.initial_residual;
-  if (options.track_residual_history) {
-    result.residual_history.push_back(result.initial_residual);
-  }
+  IterationEmitter telemetry(options.sink, trace, result.residual_history,
+                             options.track_residual_history, result.comm);
+  telemetry.record_initial(result.initial_residual);
   if (result.initial_residual == 0.0) {
     result.converged = true;
     return result;
@@ -69,7 +73,7 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
   while (result.iterations < options.max_iterations) {
     // Start (or restart) the Arnoldi process from the current residual.
-    value_t beta = dist_norm2(r, &result.comm);
+    value_t beta = dist_norm2(r, &result.comm, trace);
     if (beta <= target) {
       result.converged = true;
       result.final_residual = beta;
@@ -87,19 +91,26 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
     int k = 0;  // columns completed in this cycle
     for (; k < mk && result.iterations < options.max_iterations; ++k) {
+      ScopedPhase iteration_phase(trace, "iteration", "solve");
       // w = A M v_k  (right preconditioning).
-      m.apply(basis[static_cast<std::size_t>(k)], z, &result.comm);
-      a.spmv(z, w, &result.comm);
+      {
+        ScopedPhase phase(trace, "precond_apply", "solve");
+        m.apply(basis[static_cast<std::size_t>(k)], z, &result.comm);
+      }
+      {
+        ScopedPhase phase(trace, "spmv", "solve");
+        a.spmv(z, w, &result.comm, trace);
+      }
       ++result.iterations;
 
       // Modified Gram-Schmidt against the basis.
       for (int j = 0; j <= k; ++j) {
         const value_t hjk =
-            dist_dot(w, basis[static_cast<std::size_t>(j)], &result.comm);
+            dist_dot(w, basis[static_cast<std::size_t>(j)], &result.comm, trace);
         h(j, k) = hjk;
         dist_axpy(-hjk, basis[static_cast<std::size_t>(j)], w);
       }
-      const value_t hkk = dist_norm2(w, &result.comm);
+      const value_t hkk = dist_norm2(w, &result.comm, trace);
       h(k + 1, k) = hkk;
       FSAIC_CHECK(std::isfinite(hkk), "GMRES breakdown: basis norm not finite");
       if (hkk > 0.0) {
@@ -135,9 +146,7 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
       const value_t res = std::abs(g[static_cast<std::size_t>(k) + 1]);
       result.final_residual = res;
-      if (options.track_residual_history) {
-        result.residual_history.push_back(res);
-      }
+      telemetry.record_iteration(result.iterations, res);
       if (res <= target) {
         ++k;
         break;
@@ -160,11 +169,17 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
       dist_axpy(y[static_cast<std::size_t>(j)], basis[static_cast<std::size_t>(j)],
                 w);
     }
-    m.apply(w, z, &result.comm);
+    {
+      ScopedPhase phase(trace, "precond_apply", "solve");
+      m.apply(w, z, &result.comm);
+    }
     dist_axpy(1.0, z, x);
 
     // True restart residual.
-    a.spmv(x, r, &result.comm);
+    {
+      ScopedPhase phase(trace, "spmv", "solve");
+      a.spmv(x, r, &result.comm, trace);
+    }
     for (rank_t p = 0; p < layout.nranks(); ++p) {
       const auto bb = b.block(p);
       auto rb = r.block(p);
@@ -172,7 +187,7 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
         rb[i] = bb[i] - rb[i];
       }
     }
-    const value_t true_res = dist_norm2(r, &result.comm);
+    const value_t true_res = dist_norm2(r, &result.comm, trace);
     result.final_residual = true_res;
     if (true_res <= target) {
       result.converged = true;

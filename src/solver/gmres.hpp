@@ -21,6 +21,10 @@ struct GmresOptions {
   /// Cap on total iterations (matrix-vector products).
   int max_iterations = 20000;
   bool track_residual_history = false;
+  /// Per-iteration observer and phase tracer, as in SolveOptions. The sink
+  /// receives the cheap Givens residual estimate of each Arnoldi step.
+  TelemetrySink* sink = nullptr;
+  TraceRecorder* trace = nullptr;
 };
 
 /// Solve A x = b with right-preconditioned restarted GMRES:

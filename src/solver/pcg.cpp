@@ -15,13 +15,17 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
                 "vector layouts must match the matrix");
 
   SolveResult result;
+  TraceRecorder* const trace = options.trace;
   DistVector r(layout);
   DistVector z(layout);
   DistVector d(layout);
   DistVector q(layout);
 
   // r = b - A x.
-  a.spmv(x, r, &result.comm);
+  {
+    ScopedPhase phase(trace, "spmv", "solve");
+    a.spmv(x, r, &result.comm, trace);
+  }
   for (rank_t p = 0; p < layout.nranks(); ++p) {
     const auto bb = b.block(p);
     auto rb = r.block(p);
@@ -30,24 +34,31 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
     }
   }
 
-  result.initial_residual = dist_norm2(r, &result.comm);
+  result.initial_residual = dist_norm2(r, &result.comm, trace);
   result.final_residual = result.initial_residual;
-  if (options.track_residual_history) {
-    result.residual_history.push_back(result.initial_residual);
-  }
+  IterationEmitter telemetry(options.sink, trace, result.residual_history,
+                             options.track_residual_history, result.comm);
+  telemetry.record_initial(result.initial_residual);
   if (result.initial_residual == 0.0) {
     result.converged = true;
     return result;
   }
   const value_t target = options.rel_tol * result.initial_residual;
 
-  m.apply(r, z, &result.comm);
+  {
+    ScopedPhase phase(trace, "precond_apply", "solve");
+    m.apply(r, z, &result.comm);
+  }
   dist_copy(z, d);
-  value_t rho = dist_dot(r, z, &result.comm);
+  value_t rho = dist_dot(r, z, &result.comm, trace);
 
   for (int it = 0; it < options.max_iterations; ++it) {
-    a.spmv(d, q, &result.comm);
-    const value_t dq = dist_dot(d, q, &result.comm);
+    ScopedPhase iteration_phase(trace, "iteration", "solve");
+    {
+      ScopedPhase phase(trace, "spmv", "solve");
+      a.spmv(d, q, &result.comm, trace);
+    }
+    const value_t dq = dist_dot(d, q, &result.comm, trace);
     FSAIC_CHECK(std::isfinite(dq), "CG breakdown: d^T A d is not finite");
     if (dq <= 0.0) {
       // A (or the preconditioned operator) is not positive definite along d;
@@ -59,19 +70,20 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
     dist_axpy(alpha, d, x);
     dist_axpy(-alpha, q, r);
 
-    const value_t rnorm = dist_norm2(r, &result.comm);
+    const value_t rnorm = dist_norm2(r, &result.comm, trace);
     result.final_residual = rnorm;
     result.iterations = it + 1;
-    if (options.track_residual_history) {
-      result.residual_history.push_back(rnorm);
-    }
+    telemetry.record_iteration(it + 1, rnorm);
     if (rnorm <= target) {
       result.converged = true;
       return result;
     }
 
-    m.apply(r, z, &result.comm);
-    const value_t rho_next = dist_dot(r, z, &result.comm);
+    {
+      ScopedPhase phase(trace, "precond_apply", "solve");
+      m.apply(r, z, &result.comm);
+    }
+    const value_t rho_next = dist_dot(r, z, &result.comm, trace);
     FSAIC_CHECK(std::isfinite(rho_next), "CG breakdown: r^T z is not finite");
     const value_t beta = rho_next / rho;
     rho = rho_next;

@@ -6,6 +6,8 @@
 #include "dist/comm_stats.hpp"
 #include "dist/dist_csr.hpp"
 #include "dist/dist_vector.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "solver/preconditioner.hpp"
 
 namespace fsaic {
@@ -15,8 +17,16 @@ struct SolveOptions {
   /// initial residual by eight orders of magnitude).
   value_t rel_tol = 1e-8;
   int max_iterations = 20000;
-  /// Record ||r_k|| for every iteration (diagnostics; costs one vector).
+  /// Append ||r_k|| of every iteration to SolveResult::residual_history
+  /// (the initial residual is recorded regardless).
   bool track_residual_history = false;
+  /// Optional per-iteration observer: residual, comm deltas, wall time.
+  /// Borrowed; must outlive the solve. Called exactly `iterations` times.
+  TelemetrySink* sink = nullptr;
+  /// Optional phase/counter trace recorder (Chrome trace_event). Borrowed.
+  /// Attach the same recorder to the preconditioner (set_trace) to also get
+  /// its G / G^T sub-phases.
+  TraceRecorder* trace = nullptr;
 };
 
 struct SolveResult {
@@ -24,6 +34,8 @@ struct SolveResult {
   int iterations = 0;
   value_t initial_residual = 0.0;
   value_t final_residual = 0.0;
+  /// Always holds ||r_0|| as its first entry; the per-iteration tail is
+  /// recorded only when SolveOptions::track_residual_history is set.
   std::vector<value_t> residual_history;
   /// Fabric traffic of the whole solve (halo updates + allreduces).
   CommStats comm;

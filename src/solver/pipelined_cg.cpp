@@ -18,7 +18,9 @@ struct FusedDots {
 };
 
 FusedDots fused_dots(const DistVector& r, const DistVector& u,
-                     const DistVector& w, CommStats* stats) {
+                     const DistVector& w, CommStats* stats,
+                     TraceRecorder* trace) {
+  const double t0 = trace != nullptr ? trace->now_us() : 0.0;
   FusedDots d{0.0, 0.0, 0.0};
   for (rank_t p = 0; p < r.nranks(); ++p) {
     const auto rb = r.block(p);
@@ -31,6 +33,9 @@ FusedDots fused_dots(const DistVector& r, const DistVector& u,
     }
   }
   if (stats != nullptr) stats->record_allreduce(3 * sizeof(value_t));
+  if (trace != nullptr) {
+    trace->complete("allreduce", "comm", t0, trace->now_us() - t0);
+  }
   return d;
 }
 
@@ -45,6 +50,7 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
                 "vector layouts must match the matrix");
 
   SolveResult result;
+  TraceRecorder* const trace = options.trace;
   DistVector r(layout);
   DistVector u(layout);  // u = M r
   DistVector w(layout);  // w = A u
@@ -52,7 +58,10 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
   DistVector s(layout);  // s = A p
 
   // r = b - A x.
-  a.spmv(x, r, &result.comm);
+  {
+    ScopedPhase phase(trace, "spmv", "solve");
+    a.spmv(x, r, &result.comm, trace);
+  }
   for (rank_t p = 0; p < layout.nranks(); ++p) {
     const auto bb = b.block(p);
     auto rb = r.block(p);
@@ -60,15 +69,21 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
       rb[i] = bb[i] - rb[i];
     }
   }
-  m.apply(r, u, &result.comm);
-  a.spmv(u, w, &result.comm);
+  {
+    ScopedPhase phase(trace, "precond_apply", "solve");
+    m.apply(r, u, &result.comm);
+  }
+  {
+    ScopedPhase phase(trace, "spmv", "solve");
+    a.spmv(u, w, &result.comm, trace);
+  }
 
-  FusedDots d = fused_dots(r, u, w, &result.comm);
+  FusedDots d = fused_dots(r, u, w, &result.comm, trace);
   result.initial_residual = std::sqrt(d.rr);
   result.final_residual = result.initial_residual;
-  if (options.track_residual_history) {
-    result.residual_history.push_back(result.initial_residual);
-  }
+  IterationEmitter telemetry(options.sink, trace, result.residual_history,
+                             options.track_residual_history, result.comm);
+  telemetry.record_initial(result.initial_residual);
   if (result.initial_residual == 0.0) {
     result.converged = true;
     return result;
@@ -81,6 +96,7 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
   value_t beta = 0.0;
 
   for (int it = 0; it < options.max_iterations; ++it) {
+    ScopedPhase iteration_phase(trace, "iteration", "solve");
     // p = u + beta p;  s = w + beta s.
     dist_xpby(u, beta, p_dir);
     dist_xpby(w, beta, s);
@@ -88,16 +104,20 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
     dist_axpy(alpha, p_dir, x);
     dist_axpy(-alpha, s, r);
 
-    m.apply(r, u, &result.comm);
-    a.spmv(u, w, &result.comm);
-    d = fused_dots(r, u, w, &result.comm);
+    {
+      ScopedPhase phase(trace, "precond_apply", "solve");
+      m.apply(r, u, &result.comm);
+    }
+    {
+      ScopedPhase phase(trace, "spmv", "solve");
+      a.spmv(u, w, &result.comm, trace);
+    }
+    d = fused_dots(r, u, w, &result.comm, trace);
 
     const value_t rnorm = std::sqrt(d.rr);
     result.final_residual = rnorm;
     result.iterations = it + 1;
-    if (options.track_residual_history) {
-      result.residual_history.push_back(rnorm);
-    }
+    telemetry.record_iteration(it + 1, rnorm);
     if (rnorm <= target) {
       result.converged = true;
       return result;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "dense/dense_matrix.hpp"
 #include "dense/factorizations.hpp"
+#include "obs/trace.hpp"
 
 namespace fsaic {
 
@@ -118,8 +119,14 @@ FactorizedPreconditioner::FactorizedPreconditioner(DistCsr g, DistCsr gt,
 void FactorizedPreconditioner::apply(const DistVector& r, DistVector& z,
                                      CommStats* stats) const {
   DistVector w(r.layout());
-  g_.spmv(r, w, stats);
-  gt_.spmv(w, z, stats);
+  {
+    ScopedPhase phase(trace(), "apply_G", "solve");
+    g_.spmv(r, w, stats, trace());
+  }
+  {
+    ScopedPhase phase(trace(), "apply_Gt", "solve");
+    gt_.spmv(w, z, stats, trace());
+  }
 }
 
 }  // namespace fsaic

@@ -13,6 +13,8 @@
 
 namespace fsaic {
 
+class TraceRecorder;
+
 /// Application-side interface: z = M r.
 class Preconditioner {
  public:
@@ -22,6 +24,15 @@ class Preconditioner {
                      CommStats* stats = nullptr) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attach a borrowed trace recorder; implementations with internal
+  /// structure (e.g. the G / G^T factor applications) emit sub-phase events
+  /// into it. Null detaches.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  [[nodiscard]] TraceRecorder* trace() const { return trace_; }
+
+ private:
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// z = r (plain CG).

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "dist/comm_stats.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(MetricsTest, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.counter("bytes"), 0);
+  metrics.add("bytes", 10);
+  metrics.add("bytes", 32);
+  EXPECT_EQ(metrics.counter("bytes"), 42);
+
+  metrics.set("gflops", 1.5);
+  metrics.set("gflops", 2.5);
+  EXPECT_DOUBLE_EQ(metrics.gauge("gflops"), 2.5);
+  EXPECT_DOUBLE_EQ(metrics.gauge("never_set"), 0.0);
+}
+
+TEST(MetricsTest, PerRankSeriesAreIndependent) {
+  MetricsRegistry metrics;
+  metrics.add("halo", 5, 0);
+  metrics.add("halo", 7, 1);
+  metrics.add("halo", 100);  // global series
+  EXPECT_EQ(metrics.counter("halo", 0), 5);
+  EXPECT_EQ(metrics.counter("halo", 1), 7);
+  EXPECT_EQ(metrics.counter("halo"), 100);
+  EXPECT_EQ(MetricsRegistry::key("halo", MetricsRegistry::kGlobal), "halo");
+  EXPECT_EQ(MetricsRegistry::key("halo", 3), "halo.rank3");
+}
+
+TEST(MetricsTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry metrics;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics, t] {
+      for (int i = 0; i < kIncrements; ++i) {
+        metrics.add("hits", 1);
+        metrics.add("hits", 1, static_cast<rank_t>(t % 2));
+        metrics.set("last", static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(metrics.counter("hits"), kThreads * kIncrements);
+  EXPECT_EQ(metrics.counter("hits", 0) + metrics.counter("hits", 1),
+            kThreads * kIncrements);
+  EXPECT_LT(metrics.gauge("last"), kIncrements);
+}
+
+TEST(MetricsTest, SnapshotAndJsonAgree) {
+  MetricsRegistry metrics;
+  metrics.add("runs", 3);
+  metrics.set("imbalance", 1.25, 2);
+  const auto snap = metrics.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters.at("runs"), 3);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("imbalance.rank2"), 1.25);
+
+  const JsonValue json = metrics.to_json();
+  EXPECT_EQ(json.at("counters").at("runs").as_int(), 3);
+  EXPECT_DOUBLE_EQ(json.at("gauges").at("imbalance.rank2").as_double(), 1.25);
+
+  metrics.clear();
+  EXPECT_TRUE(metrics.snapshot().counters.empty());
+  EXPECT_TRUE(metrics.snapshot().gauges.empty());
+}
+
+TEST(MetricsTest, RecordCommStatsMatchesTotalsExactly) {
+  CommStats stats;
+  stats.record_halo_message(0, 1, 128);
+  stats.record_halo_message(1, 0, 64);
+  stats.record_halo_message(0, 2, 8);
+  stats.record_allreduce(16);
+  stats.record_allreduce(16);
+
+  MetricsRegistry metrics;
+  record_comm_stats(metrics, "solve", stats);
+  EXPECT_EQ(metrics.counter("solve.halo_messages"), stats.halo_messages);
+  EXPECT_EQ(metrics.counter("solve.halo_bytes"), stats.halo_bytes);
+  EXPECT_EQ(metrics.counter("solve.allreduce_count"), stats.allreduce_count);
+  EXPECT_EQ(metrics.counter("solve.allreduce_bytes"), stats.allreduce_bytes);
+  // Per-sender bytes: rank 0 sent 136, rank 1 sent 64.
+  EXPECT_EQ(metrics.counter("solve.halo_bytes_sent", 0), 136);
+  EXPECT_EQ(metrics.counter("solve.halo_bytes_sent", 1), 64);
+}
+
+}  // namespace
+}  // namespace fsaic

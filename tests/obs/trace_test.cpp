@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(TraceTest, NullRecorderScopedPhaseIsNoOp) {
+  // The instrumented hot paths pass nullptr when tracing is off; the scope
+  // must be safe to construct and destroy.
+  ScopedPhase phase(nullptr, "anything");
+  SUCCEED();
+}
+
+TEST(TraceTest, ScopedPhaseEmitsMatchingBeginEnd) {
+  TraceRecorder rec;
+  {
+    ScopedPhase outer(&rec, "outer", "setup");
+    ScopedPhase inner(&rec, "inner", "setup");
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].phase, 'B');
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[2].phase, 'E');
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[3].phase, 'E');
+  EXPECT_EQ(events[3].name, "outer");
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].timestamp_us, events[i - 1].timestamp_us);
+  }
+}
+
+TEST(TraceTest, WriteJsonIsValidTraceEventDocument) {
+  TraceRecorder rec;
+  {
+    ScopedPhase phase(&rec, "work", "compute");
+  }
+  rec.complete("slice", "comm", 1.0, 2.5);
+  rec.instant("marker", "info");
+  rec.counter("residual", 0.125);
+
+  std::ostringstream out;
+  rec.write_json(out);
+  const JsonValue doc = JsonValue::parse(out.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 5u);
+
+  // Every event carries the mandatory trace_event keys.
+  for (const auto& e : events) {
+    EXPECT_NE(e.find("name"), nullptr);
+    EXPECT_NE(e.find("cat"), nullptr);
+    EXPECT_NE(e.find("ph"), nullptr);
+    EXPECT_NE(e.find("ts"), nullptr);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+  }
+  // The X slice has a duration, the counter has an args value.
+  const auto& slice = events[2];
+  EXPECT_EQ(slice.at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(slice.at("dur").as_double(), 2.5);
+  const auto& counter = events[4];
+  EXPECT_EQ(counter.at("ph").as_string(), "C");
+  EXPECT_DOUBLE_EQ(counter.at("args").at("value").as_double(), 0.125);
+}
+
+TEST(TraceTest, BeginEndNestWellFormedPerThread) {
+  TraceRecorder rec;
+  constexpr int kThreads = 4;
+  constexpr int kPhasesPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      for (int i = 0; i < kPhasesPerThread; ++i) {
+        ScopedPhase outer(&rec, "outer");
+        ScopedPhase inner(&rec, "inner");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kPhasesPerThread * 4);
+
+  // Replay each thread's track: B pushes, E must pop the same name, and
+  // every stack must be empty at the end.
+  std::map<std::uint32_t, std::vector<std::string>> stacks;
+  for (const auto& e : events) {
+    if (e.phase == 'B') {
+      stacks[e.tid].push_back(e.name);
+    } else if (e.phase == 'E') {
+      auto& stack = stacks[e.tid];
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  EXPECT_EQ(stacks.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unbalanced track tid=" << tid;
+  }
+}
+
+TEST(TraceTest, WriteFileRoundTripsThroughParser) {
+  TraceRecorder rec;
+  {
+    ScopedPhase phase(&rec, "io");
+  }
+  const std::string path = ::testing::TempDir() + "fsaic_trace_test.json";
+  rec.write_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -18,11 +18,19 @@
 //         --rcm               apply RCM reordering before partitioning
 //         --save-factor PATH  serialize the computed G factor
 //         --load-factor PATH  reuse a previously saved factor
+//         --trace PATH        Chrome trace_event JSON of setup + solve phases
+//         --report PATH       JSONL run report (one run line + per-iteration)
+//   fsaic bench    [small|large] [--machine M] [--threads T] [--filter F]
+//                  [--report PATH]
+//       Run a suite through the experiment harness: FSAI baseline vs
+//       FSAIE-Comm per matrix, plus a metrics summary.
 //   fsaic suite    [small|large]
 //       List the built-in synthetic suites.
 //   fsaic generate <entry-name> <out.mtx>
 //       Write one suite matrix to a MatrixMarket file.
 #include <iostream>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,8 +39,13 @@
 #include "core/factor_io.hpp"
 #include "core/fsai_driver.hpp"
 #include "graph/rcm.hpp"
+#include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "matgen/suite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/setup_cost.hpp"
 #include "solver/ic0.hpp"
@@ -48,7 +61,7 @@ namespace {
 using namespace fsaic;
 
 int usage() {
-  std::cerr << "usage: fsaic <analyze|solve|suite|generate> ...\n"
+  std::cerr << "usage: fsaic <analyze|solve|bench|suite|generate> ...\n"
             << "       (see the header of tools/fsaic.cpp for options)\n";
   return 1;
 }
@@ -141,6 +154,25 @@ int cmd_solve(const Args& args) {
   const value_t tol = std::stod(args.get("tol", "1e-8"));
   const std::string method = args.get("method", "fsaie-comm");
 
+  // Observability attachments: a trace recorder shared by the setup pipeline
+  // and the solver, and a collecting sink feeding the JSONL report. Both are
+  // null (zero-overhead) unless the corresponding flag was given. The output
+  // files are opened before the solve so a bad path fails fast.
+  TraceRecorder trace_rec;
+  TraceRecorder* const trace = args.has("trace") ? &trace_rec : nullptr;
+  std::ofstream trace_out;
+  if (trace != nullptr) {
+    trace_out.open(args.get("trace", ""));
+    FSAIC_REQUIRE(trace_out.good(),
+                  "cannot open trace output file: " + args.get("trace", ""));
+  }
+  CollectingSink sink;
+  TelemetrySink* const sinkp = args.has("report") ? &sink : nullptr;
+  std::unique_ptr<RunReportWriter> report;
+  if (args.has("report")) {
+    report = std::make_unique<RunReportWriter>(args.get("report", ""));
+  }
+
   if (args.has("rcm")) {
     const Graph g = Graph::from_pattern(a.pattern());
     a = permute_symmetric(a, rcm_permutation(g));
@@ -185,6 +217,7 @@ int cmd_solve(const Args& args) {
   } else {
     FsaiOptions opts;
     opts.cache_line_bytes = machine.l1.line_bytes;
+    opts.trace = trace;
     opts.filter = filter;
     opts.filter_strategy =
         args.has("static") ? FilterStrategy::Static : FilterStrategy::Dynamic;
@@ -231,12 +264,15 @@ int cmd_solve(const Args& args) {
     }
   }
 
+  precond->set_trace(trace);
   DistVector x(sys.layout);
-  const SolveOptions solve_opts{.rel_tol = tol, .max_iterations = 100000};
+  const SolveOptions solve_opts{.rel_tol = tol, .max_iterations = 100000,
+                                .sink = sinkp, .trace = trace};
   const SolveResult r =
       args.has("gmres")
           ? gmres_solve(a_dist, b, x, *precond,
-                        {.rel_tol = tol, .max_iterations = 100000})
+                        {.rel_tol = tol, .max_iterations = 100000,
+                         .sink = sinkp, .trace = trace})
           : (args.has("pipelined")
                  ? pcg_solve_pipelined(a_dist, b, x, *precond, solve_opts)
                  : pcg_solve(a_dist, b, x, *precond, solve_opts));
@@ -251,10 +287,105 @@ int cmd_solve(const Args& args) {
             << strformat("%.2e", r.final_residual / r.initial_residual)
             << ")\n"
             << "modeled time on " << machine.name << ": "
-            << sci2(r.iterations * iter_cost) << " s; solve moved "
-            << r.comm.halo_bytes << " halo bytes, " << r.comm.allreduce_count
-            << " allreduces\n";
+            << sci2(r.iterations * iter_cost) << " s\n"
+            << "comm: " << r.comm.halo_messages << " halo messages ("
+            << r.comm.halo_bytes << " B) over " << r.comm.neighbor_pair_count()
+            << " neighbor pairs; " << r.comm.allreduce_count << " allreduces ("
+            << r.comm.allreduce_bytes << " B)\n";
+
+  if (trace != nullptr) {
+    trace_rec.write_json(trace_out);
+    std::cout << "trace: " << trace_rec.event_count() << " events -> "
+              << args.get("trace", "")
+              << " (load in chrome://tracing or Perfetto)\n";
+  }
+  if (report != nullptr) {
+    JsonValue rec;
+    rec["kind"] = "run";
+    rec["matrix"] = args.positional[0];
+    rec["method"] = method;
+    rec["solver"] = args.has("gmres")
+                        ? "gmres"
+                        : (args.has("pipelined") ? "pipelined-cg" : "pcg");
+    rec["ranks"] = nranks;
+    rec["converged"] = r.converged;
+    rec["iterations"] = r.iterations;
+    rec["initial_residual"] = static_cast<double>(r.initial_residual);
+    rec["final_residual"] = static_cast<double>(r.final_residual);
+    rec["comm"] = comm_stats_to_json(r.comm);
+    report->write(rec);
+    for (const auto& s : sink.samples()) {
+      JsonValue line;
+      line["kind"] = "iteration";
+      line["iteration"] = s.iteration;
+      line["residual"] = s.residual;
+      line["relative_residual"] = s.relative_residual;
+      line["halo_bytes_delta"] = s.halo_bytes_delta;
+      line["halo_messages_delta"] = s.halo_messages_delta;
+      line["allreduce_delta"] = s.allreduce_delta;
+      line["elapsed_us"] = s.elapsed_us;
+      report->write(line);
+    }
+    std::cout << "report: " << report->records_written() << " records -> "
+              << args.get("report", "") << "\n";
+  }
   return r.converged ? 0 : 2;
+}
+
+// `fsaic bench`: run one suite through the experiment harness and print the
+// FSAI-vs-FSAIE-Comm comparison with measured wall times, feeding the same
+// metrics registry and JSONL report machinery as the bench binaries.
+int cmd_bench(const Args& args) {
+  const std::string which =
+      args.positional.empty() ? "small" : args.positional[0];
+  if (which != "small" && which != "large") return usage();
+  const bool large = which == "large";
+
+  ExperimentConfig cfg;
+  cfg.machine = machine_by_name(args.get("machine", large ? "zen2" : "skylake"));
+  cfg.threads_per_rank = std::stoi(args.get("threads", "8"));
+  if (large) {
+    cfg.nnz_per_rank = 8000;
+    cfg.max_ranks = 64;
+  }
+  const value_t filter = std::stod(args.get("filter", "0.01"));
+
+  ExperimentRunner runner(cfg);
+  MetricsRegistry metrics;
+  runner.set_metrics(&metrics);
+  std::unique_ptr<RunReportWriter> report;
+  if (args.has("report")) {
+    report = std::make_unique<RunReportWriter>(args.get("report", ""));
+    runner.set_report_writer(report.get());
+  }
+
+  const auto suite = large ? large_suite() : small_suite();
+  TextTable table({"Matrix", "Ranks", "FSAI.it", "Comm.it", "Comm.%NNZ",
+                   "time.dec%", "setup.s", "solve.s"});
+  for (const auto& entry : suite) {
+    const auto& base = runner.baseline(entry);
+    const auto& comm = runner.run(
+        entry, {ExtensionMode::CommAware, FilterStrategy::Dynamic, filter});
+    table.add_row({entry.name, std::to_string(base.nranks),
+                   std::to_string(base.iterations),
+                   std::to_string(comm.iterations),
+                   pct2(comm.nnz_increase_pct),
+                   pct2(improvement_over(base, comm).time_pct),
+                   sci2(comm.setup_seconds), sci2(comm.solve_seconds)});
+  }
+  table.print(std::cout);
+
+  const auto snap = metrics.snapshot();
+  std::cout << "\nmetrics (global counters):\n";
+  for (const auto& [key, value] : snap.counters) {
+    if (key.find(".rank") != std::string::npos) continue;
+    std::cout << "  " << key << " = " << value << "\n";
+  }
+  if (report != nullptr) {
+    std::cout << "report: " << report->records_written() << " records -> "
+              << args.get("report", "") << "\n";
+  }
+  return 0;
 }
 
 int cmd_suite(const Args& args) {
@@ -293,6 +424,7 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv, 2);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "bench") return cmd_bench(args);
     if (cmd == "suite") return cmd_suite(args);
     if (cmd == "generate") return cmd_generate(args);
     return usage();
