@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/format.hpp"
+#include "exec/exec_policy.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "obs/report.hpp"
@@ -33,7 +34,16 @@ inline std::unique_ptr<RunReportWriter> attach_env_report(
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n==== " << title << " ====\n";
-  std::cout << "reproduces: " << paper_ref << "\n\n";
+  std::cout << "reproduces: " << paper_ref << "\n";
+  // Benches route distributed operations through the process-wide default
+  // executor; results are bit-identical either way, so the mode is purely
+  // informational.
+  const ExecPolicy policy = ExecPolicy::from_env();
+  if (policy.threaded()) {
+    std::cout << "execution: threaded SPMD, " << policy.nthreads
+              << " threads (FSAIC_THREADS)\n";
+  }
+  std::cout << "\n";
 }
 
 /// Per-matrix method columns in the style of the paper's Tables 1-2:

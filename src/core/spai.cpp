@@ -95,8 +95,8 @@ SpaiPreconditioner::SpaiPreconditioner(const CsrMatrix& a, const Layout& layout)
 }
 
 void SpaiPreconditioner::apply(const DistVector& r, DistVector& z,
-                               CommStats* stats) const {
-  m_dist_.spmv(r, z, stats);
+                               CommStats* stats, Executor* exec) const {
+  m_dist_.spmv(r, z, stats, nullptr, exec);
 }
 
 }  // namespace fsaic

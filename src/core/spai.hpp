@@ -23,8 +23,8 @@ class SpaiPreconditioner final : public Preconditioner {
   /// Builds M on the pattern of A restricted by `layout`.
   SpaiPreconditioner(const CsrMatrix& a, const Layout& layout);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "spai"; }
 
   [[nodiscard]] const DistCsr& m() const { return m_dist_; }

@@ -39,6 +39,21 @@ struct CommStats {
 
   void reset() { *this = CommStats{}; }
 
+  /// Fold another accounting into this one. The threaded executor gives
+  /// every rank a private CommStats during a superstep and merges them in
+  /// rank order afterwards — contention-safe without a lock on the hot
+  /// path, and deterministic (the merged totals and pair map are identical
+  /// to what the sequential loop records).
+  void merge(const CommStats& other) {
+    halo_messages += other.halo_messages;
+    halo_bytes += other.halo_bytes;
+    allreduce_count += other.allreduce_count;
+    allreduce_bytes += other.allreduce_bytes;
+    for (const auto& [pair, bytes] : other.pair_bytes) {
+      pair_bytes[pair] += bytes;
+    }
+  }
+
   /// Number of distinct communicating rank pairs seen so far.
   [[nodiscard]] std::size_t neighbor_pair_count() const { return pair_bytes.size(); }
 };

@@ -1,9 +1,9 @@
 #include "dist/dist_csr.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <map>
 
+#include "exec/executor.hpp"
+#include "exec/halo.hpp"
 #include "obs/trace.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
@@ -100,7 +100,26 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
                 return a.rank < b.rank;
               });
   }
+
+  // Materialize the comm scheme as mailbox halo plans (shared by copies).
+  std::vector<HaloPlan> plans(static_cast<std::size_t>(layout.nranks()));
+  for (rank_t p = 0; p < layout.nranks(); ++p) {
+    const RankBlock& blk = d.blocks_[static_cast<std::size_t>(p)];
+    auto& plan = plans[static_cast<std::size_t>(p)];
+    for (const auto& nb : blk.send) {
+      plan.send.push_back({nb.rank, nb.gids});
+    }
+    for (const auto& nb : blk.recv) {
+      plan.recv.push_back({nb.rank, nb.gids});
+    }
+  }
+  d.halo_ = std::make_shared<HaloExchanger>(layout, std::move(plans));
   return d;
+}
+
+std::vector<double> DistCsr::halo_wait_us() const {
+  return halo_ != nullptr ? halo_->wait_us_per_rank()
+                          : std::vector<double>(static_cast<std::size_t>(nranks()), 0.0);
 }
 
 offset_t DistCsr::nnz() const {
@@ -139,55 +158,46 @@ std::int64_t DistCsr::halo_update_messages() const {
 }
 
 void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
-                   TraceRecorder* trace) const {
+                   TraceRecorder* trace, Executor* exec) const {
   FSAIC_REQUIRE(x.layout() == col_layout_, "x layout mismatch");
   FSAIC_REQUIRE(y.layout() == row_layout_, "y layout mismatch");
-  using clock = std::chrono::steady_clock;
-  double halo_us = 0.0;
-  double compute_us = 0.0;
-  clock::time_point seg;
-  if (trace != nullptr) seg = clock::now();
-  for (rank_t p = 0; p < nranks(); ++p) {
+  FSAIC_REQUIRE(halo_ != nullptr, "DistCsr was not built by distribute()");
+  Executor& ex = resolve_executor(exec);
+  const rank_t n = nranks();
+  // Per-rank private accounting, merged in rank order after the superstep:
+  // contention-safe under the threaded executor, identical totals under
+  // the sequential one.
+  std::vector<CommStats> rank_stats(
+      stats != nullptr ? static_cast<std::size_t>(n) : 0);
+
+  // Superstep 1: every rank deposits its owned coefficients into the
+  // neighbors' mailboxes (the simulated wire transfer).
+  ex.parallel_ranks(n, [&](rank_t p) { halo_->post_sends(p, x); });
+
+  // Superstep 2: every rank assembles its extended local x [owned | ghosts]
+  // by draining its mailboxes, then runs the rank-local SpMV.
+  ex.parallel_ranks(n, [&](rank_t p) {
     const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
-    const index_t nloc = row_layout_.local_size(p);
-    // Superstep 1: halo update. Every rank assembles its extended local x
-    // [owned | ghosts] by "receiving" owned coefficients from the neighbors'
-    // blocks. The copy below is the simulated wire transfer.
-    std::vector<value_t> x_ext(static_cast<std::size_t>(nloc) + blk.ghost_gids.size());
+    const auto nloc = static_cast<std::size_t>(row_layout_.local_size(p));
+    const double t0 = trace != nullptr ? trace->now_us() : 0.0;
+    std::vector<value_t> x_ext(nloc + blk.ghost_gids.size());
     const auto x_loc = x.block(p);
     std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
-    std::size_t slot = static_cast<std::size_t>(nloc);
-    for (const auto& nb : blk.recv) {
-      const auto src = x.block(nb.rank);
-      const index_t src0 = col_layout_.begin(nb.rank);
-      for (index_t gid : nb.gids) {
-        x_ext[slot++] = src[static_cast<std::size_t>(gid - src0)];
-      }
-      if (stats != nullptr) {
-        stats->record_halo_message(
-            nb.rank, p,
-            static_cast<std::int64_t>(nb.gids.size() * sizeof(value_t)));
-      }
-    }
-    if (trace != nullptr) {
-      const auto now = clock::now();
-      halo_us += std::chrono::duration<double, std::micro>(now - seg).count();
-      seg = now;
-    }
-    // Superstep 2: rank-local SpMV.
+    halo_->drain_recvs(
+        p, std::span<value_t>(x_ext).subspan(nloc),
+        stats != nullptr ? &rank_stats[static_cast<std::size_t>(p)] : nullptr);
+    const double t1 = trace != nullptr ? trace->now_us() : 0.0;
+    if (trace != nullptr) trace->complete("halo_exchange", "comm", t0, t1 - t0);
     fsaic::spmv(blk.matrix, x_ext, y.block(p));
     if (trace != nullptr) {
-      const auto now = clock::now();
-      compute_us += std::chrono::duration<double, std::micro>(now - seg).count();
-      seg = now;
+      trace->complete("spmv_local", "compute", t1, trace->now_us() - t1);
     }
-  }
-  if (trace != nullptr) {
-    // The per-rank gather/compute segments are folded into one BSP-style
-    // halo superstep followed by one compute superstep.
-    const double start = trace->now_us() - halo_us - compute_us;
-    trace->complete("halo_exchange", "comm", start, halo_us);
-    trace->complete("spmv_local", "compute", start + halo_us, compute_us);
+  });
+
+  if (stats != nullptr) {
+    for (const auto& rs : rank_stats) {
+      stats->merge(rs);
+    }
   }
 }
 
@@ -213,13 +223,17 @@ CsrMatrix DistCsr::to_global() const {
 }
 
 value_t dist_dot(const DistVector& x, const DistVector& y, CommStats* stats,
-                 TraceRecorder* trace) {
+                 TraceRecorder* trace, Executor* exec) {
   FSAIC_REQUIRE(x.layout() == y.layout(), "dot layout mismatch");
+  Executor& ex = resolve_executor(exec);
   const double t0 = trace != nullptr ? trace->now_us() : 0.0;
+  const rank_t n = x.nranks();
+  std::vector<value_t> partials(static_cast<std::size_t>(n));
+  ex.parallel_ranks(n, [&](rank_t p) {
+    partials[static_cast<std::size_t>(p)] = dot(x.block(p), y.block(p));
+  });
   value_t sum = 0.0;
-  for (rank_t p = 0; p < x.nranks(); ++p) {
-    sum += dot(x.block(p), y.block(p));
-  }
+  ex.allreduce_sum(partials, 1, std::span<value_t>(&sum, 1));
   if (stats != nullptr) stats->record_allreduce(sizeof(value_t));
   if (trace != nullptr) {
     trace->complete("allreduce", "comm", t0, trace->now_us() - t0);
@@ -227,31 +241,34 @@ value_t dist_dot(const DistVector& x, const DistVector& y, CommStats* stats,
   return sum;
 }
 
-value_t dist_norm2(const DistVector& x, CommStats* stats, TraceRecorder* trace) {
-  return std::sqrt(dist_dot(x, x, stats, trace));
+value_t dist_norm2(const DistVector& x, CommStats* stats, TraceRecorder* trace,
+                   Executor* exec) {
+  return std::sqrt(dist_dot(x, x, stats, trace, exec));
 }
 
-void dist_axpy(value_t alpha, const DistVector& x, DistVector& y) {
+void dist_axpy(value_t alpha, const DistVector& x, DistVector& y,
+               Executor* exec) {
   FSAIC_REQUIRE(x.layout() == y.layout(), "axpy layout mismatch");
-  for (rank_t p = 0; p < x.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(x.nranks(), [&](rank_t p) {
     axpy(alpha, x.block(p), y.block(p));
-  }
+  });
 }
 
-void dist_xpby(const DistVector& x, value_t beta, DistVector& y) {
+void dist_xpby(const DistVector& x, value_t beta, DistVector& y,
+               Executor* exec) {
   FSAIC_REQUIRE(x.layout() == y.layout(), "xpby layout mismatch");
-  for (rank_t p = 0; p < x.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(x.nranks(), [&](rank_t p) {
     xpby(x.block(p), beta, y.block(p));
-  }
+  });
 }
 
-void dist_copy(const DistVector& x, DistVector& y) {
+void dist_copy(const DistVector& x, DistVector& y, Executor* exec) {
   FSAIC_REQUIRE(x.layout() == y.layout(), "copy layout mismatch");
-  for (rank_t p = 0; p < x.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(x.nranks(), [&](rank_t p) {
     const auto src = x.block(p);
     auto dst = y.block(p);
     std::copy(src.begin(), src.end(), dst.begin());
-  }
+  });
 }
 
 }  // namespace fsaic

@@ -5,6 +5,7 @@
 // local unknowns, "halo entries" couple local with halo unknowns.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,8 @@
 namespace fsaic {
 
 class TraceRecorder;
+class Executor;
+class HaloExchanger;
 
 /// One rank's share of a distributed matrix.
 struct RankBlock {
@@ -64,11 +67,23 @@ class DistCsr {
   /// Messages one full halo update posts.
   [[nodiscard]] std::int64_t halo_update_messages() const;
 
-  /// y = A x. Performs the halo update (recorded into `stats` if non-null)
-  /// followed by the rank-local SpMVs. A non-null `trace` receives one
-  /// "halo_exchange" and one "spmv_local" slice per call.
+  /// y = A x as two SPMD supersteps on `exec` (nullptr -> the process-wide
+  /// default executor): every rank deposits its owned coefficients into the
+  /// neighbors' halo mailboxes, then every rank drains its mailboxes and
+  /// runs the rank-local SpMV. Halo traffic is recorded into `stats` if
+  /// non-null; a non-null `trace` receives one "halo_exchange" and one
+  /// "spmv_local" slice per rank, on the thread that executed the rank.
+  /// Threaded and sequential execution produce bit-identical y.
   void spmv(const DistVector& x, DistVector& y, CommStats* stats = nullptr,
-            TraceRecorder* trace = nullptr) const;
+            TraceRecorder* trace = nullptr, Executor* exec = nullptr) const;
+
+  /// The mailbox halo exchanger realizing this matrix's comm scheme (shared
+  /// between copies of the same distributed matrix).
+  [[nodiscard]] const HaloExchanger& halo() const { return *halo_; }
+
+  /// Accumulated per-rank mailbox wait of all spmv calls so far, in
+  /// microseconds (nonzero only under the threaded executor).
+  [[nodiscard]] std::vector<double> halo_wait_us() const;
 
   /// Reassemble the global matrix (testing / diagnostics).
   [[nodiscard]] CsrMatrix to_global() const;
@@ -77,30 +92,43 @@ class DistCsr {
   Layout row_layout_;
   Layout col_layout_;
   std::vector<RankBlock> blocks_;
+  /// Mailboxes are synchronization state, not matrix data: copies of a
+  /// DistCsr share one exchanger (operations on the same matrix are
+  /// serialized by the superstep structure).
+  std::shared_ptr<HaloExchanger> halo_;
 };
 
 /// Non-square distribution used by rectangular operators is not needed in
 /// this reproduction; DistCsr is square-only by construction.
 
 // ---- distributed vector kernels (instrumented collectives) --------------
+//
+// All kernels run their per-rank loops as one superstep on `exec` (nullptr
+// -> the process-wide default executor). Reductions combine the per-rank
+// partials with the executor's fixed-order tree, so results are
+// bit-identical across executors and thread counts.
 
-/// Global dot product: rank-local dots + one allreduce of a single double.
+/// Global dot product: rank-local dots + one tree allreduce of one double.
 /// A non-null `trace` receives one "allreduce" slice.
 [[nodiscard]] value_t dist_dot(const DistVector& x, const DistVector& y,
                                CommStats* stats = nullptr,
-                               TraceRecorder* trace = nullptr);
+                               TraceRecorder* trace = nullptr,
+                               Executor* exec = nullptr);
 
 /// Global Euclidean norm (counts as one allreduce, like dist_dot).
 [[nodiscard]] value_t dist_norm2(const DistVector& x, CommStats* stats = nullptr,
-                                 TraceRecorder* trace = nullptr);
+                                 TraceRecorder* trace = nullptr,
+                                 Executor* exec = nullptr);
 
 /// y += alpha x, blockwise (no communication).
-void dist_axpy(value_t alpha, const DistVector& x, DistVector& y);
+void dist_axpy(value_t alpha, const DistVector& x, DistVector& y,
+               Executor* exec = nullptr);
 
 /// y = x + beta y, blockwise (no communication).
-void dist_xpby(const DistVector& x, value_t beta, DistVector& y);
+void dist_xpby(const DistVector& x, value_t beta, DistVector& y,
+               Executor* exec = nullptr);
 
 /// y = x (blockwise copy).
-void dist_copy(const DistVector& x, DistVector& y);
+void dist_copy(const DistVector& x, DistVector& y, Executor* exec = nullptr);
 
 }  // namespace fsaic

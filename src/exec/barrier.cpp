@@ -1,0 +1,35 @@
+#include "exec/barrier.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  FSAIC_REQUIRE(parties >= 1, "barrier needs at least one party");
+}
+
+double Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (++arrived_ == parties_) {
+    // Last arrival: open the next generation and release everyone.
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return 0.0;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t gen = generation_;
+  cv_.wait(lock, [&] { return generation_ != gen; });
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t Barrier::generation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,42 @@
+// Reusable generation-counted barrier for the SPMD thread team.
+//
+// std::barrier exists in C++20 but its completion-function machinery and
+// arrival-token API are more than the executor needs; this condvar barrier is
+// deliberately minimal, reusable across an unbounded number of generations,
+// and reports how long each arrival waited — the number the observability
+// layer records as synchronization (imbalance) time.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fsaic {
+
+class Barrier {
+ public:
+  /// A barrier for `parties` participants; every generation releases once all
+  /// parties have arrived. The same object is reused indefinitely.
+  explicit Barrier(int parties);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until all parties of the current generation have arrived.
+  /// Returns the time this call spent blocked, in microseconds (0 for the
+  /// last arrival, which releases the generation).
+  double arrive_and_wait();
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+  /// Completed generations (mainly for tests of barrier reuse).
+  [[nodiscard]] std::uint64_t generation() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace fsaic

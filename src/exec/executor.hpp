@@ -1,0 +1,101 @@
+// Executor abstraction of the simulated distributed runtime.
+//
+// Every distributed operation (halo exchange + SpMV, dot products, AXPYs,
+// the factor applications) is phrased as supersteps over the simulated
+// ranks: parallel_ranks(n, f) runs f(p) for every rank p, and
+// allreduce_sum() combines per-rank partial reductions. The sequential
+// executor runs ranks in a plain loop (the pre-existing behaviour); the
+// threaded executor runs them on a persistent SPMD thread team.
+//
+// Determinism contract: both executors combine reduction partials with the
+// SAME fixed-order binary tree (tree_combine_step below), so every solver
+// produces bit-identical residual histories regardless of the executor or
+// its thread count. The tree's shape depends only on the number of ranks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fsaic {
+
+/// Synchronization counters of an executor (all zero for the sequential one).
+struct ExecStats {
+  int nthreads = 1;
+  std::uint64_t supersteps = 0;
+  std::uint64_t allreduces = 0;
+  /// Per team thread: accumulated time spent waiting at superstep barriers
+  /// (load imbalance). Empty for the sequential executor.
+  std::vector<double> barrier_wait_us;
+
+  [[nodiscard]] double max_barrier_wait_us() const {
+    double m = 0.0;
+    for (double w : barrier_wait_us) m = std::max(m, w);
+    return m;
+  }
+};
+
+/// One rank's combine of the fixed-order reduction tree at level `stride`:
+/// ranks whose id is a multiple of 2*stride absorb the partials of rank
+/// p + stride (when it exists). Applying strides 1, 2, 4, ... leaves the
+/// tree-combined sums in row 0 of `partials` (nranks rows of `width`).
+/// Shared by both executors — this is what makes them bit-identical.
+void tree_combine_step(std::span<value_t> partials, rank_t nranks, int width,
+                       rank_t stride, rank_t p);
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  [[nodiscard]] virtual bool threaded() const = 0;
+  [[nodiscard]] virtual int nthreads() const = 0;
+
+  /// One superstep: f(p) for every rank p in [0, nranks). The threaded
+  /// executor runs ranks concurrently and barriers before returning; rank
+  /// bodies may only write rank-private data (their own vector blocks,
+  /// their own row of a partials array, their own mailboxes).
+  virtual void parallel_ranks(rank_t nranks,
+                              const std::function<void(rank_t)>& f) = 0;
+
+  /// Deterministic sum-allreduce: `partials` holds nranks rows of `width`
+  /// values (row-major, consumed destructively); on return `out` (size
+  /// `width`) holds the fixed-order tree-combined sums. Identical bits for
+  /// every executor and thread count.
+  virtual void allreduce_sum(std::span<value_t> partials, int width,
+                             std::span<value_t> out) = 0;
+
+  [[nodiscard]] virtual ExecStats stats() const = 0;
+};
+
+/// The plain for-loop executor (default when no executor is supplied and
+/// FSAIC_THREADS is unset).
+class SeqExecutor final : public Executor {
+ public:
+  [[nodiscard]] bool threaded() const override { return false; }
+  [[nodiscard]] int nthreads() const override { return 1; }
+  void parallel_ranks(rank_t nranks,
+                      const std::function<void(rank_t)>& f) override;
+  void allreduce_sum(std::span<value_t> partials, int width,
+                     std::span<value_t> out) override;
+  [[nodiscard]] ExecStats stats() const override;
+
+ private:
+  std::uint64_t supersteps_ = 0;
+  std::uint64_t allreduces_ = 0;
+};
+
+/// Process-wide default executor, built once from ExecPolicy::from_env()
+/// (the FSAIC_THREADS environment variable). Distributed operations called
+/// without an explicit executor route here, so an entire test binary or
+/// bench can be switched to threaded execution from the environment.
+Executor& default_executor();
+
+/// `exec` if non-null, otherwise the process-wide default.
+inline Executor& resolve_executor(Executor* exec) {
+  return exec != nullptr ? *exec : default_executor();
+}
+
+}  // namespace fsaic

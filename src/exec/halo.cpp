@@ -1,0 +1,105 @@
+#include "exec/halo.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+HaloExchanger::HaloExchanger(Layout layout, std::vector<HaloPlan> plans)
+    : layout_(std::move(layout)), plans_(std::move(plans)) {
+  const auto n = static_cast<std::size_t>(layout_.nranks());
+  FSAIC_REQUIRE(plans_.size() == n, "one halo plan per rank");
+  mailboxes_.resize(n);
+  send_slot_.resize(n);
+  wait_us_.assign(n, 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    mailboxes_[p] = std::vector<Mailbox>(plans_[p].recv.size());
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    send_slot_[p].reserve(plans_[p].send.size());
+    for (const auto& edge : plans_[p].send) {
+      const auto& peer_recv = plans_[static_cast<std::size_t>(edge.peer)].recv;
+      std::size_t slot = peer_recv.size();
+      for (std::size_t e = 0; e < peer_recv.size(); ++e) {
+        if (peer_recv[e].peer == static_cast<rank_t>(p)) {
+          slot = e;
+          break;
+        }
+      }
+      FSAIC_REQUIRE(slot < peer_recv.size(),
+                    "send edge without matching recv edge on the peer");
+      FSAIC_REQUIRE(peer_recv[slot].gids == edge.gids,
+                    "send/recv edge coefficient lists must mirror each other");
+      send_slot_[p].push_back(slot);
+    }
+  }
+}
+
+void HaloExchanger::post_sends(rank_t p, const DistVector& x) {
+  const auto& plan = plans_[static_cast<std::size_t>(p)];
+  const auto owned = x.block(p);
+  const index_t first = layout_.begin(p);
+  for (std::size_t e = 0; e < plan.send.size(); ++e) {
+    const auto& edge = plan.send[e];
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(edge.peer)]
+                             [send_slot_[static_cast<std::size_t>(p)][e]];
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    FSAIC_CHECK(box.posted == box.taken,
+                "halo mailbox already holds an undrained deposit");
+    box.payload.resize(edge.gids.size());
+    for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+      box.payload[k] = owned[static_cast<std::size_t>(edge.gids[k] - first)];
+    }
+    ++box.posted;
+    box.cv.notify_one();
+  }
+}
+
+void HaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
+                                CommStats* stats) {
+  using clock = std::chrono::steady_clock;
+  const auto& plan = plans_[static_cast<std::size_t>(p)];
+  std::size_t slot = 0;
+  for (std::size_t e = 0; e < plan.recv.size(); ++e) {
+    const auto& edge = plan.recv[e];
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(p)][e];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    if (box.posted == box.taken) {
+      const auto t0 = clock::now();
+      box.cv.wait(lock, [&] { return box.posted > box.taken; });
+      wait_us_[static_cast<std::size_t>(p)] +=
+          std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+    }
+    FSAIC_CHECK(box.payload.size() == edge.gids.size(),
+                "halo payload size does not match the recv edge");
+    FSAIC_CHECK(slot + edge.gids.size() <= ghosts.size(),
+                "ghost section too small for the halo plan");
+    for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+      ghosts[slot++] = box.payload[k];
+    }
+    ++box.taken;
+    if (stats != nullptr) {
+      stats->record_halo_message(
+          edge.peer, p,
+          static_cast<std::int64_t>(edge.gids.size() * sizeof(value_t)));
+    }
+  }
+  FSAIC_CHECK(slot == ghosts.size(), "halo plan did not fill the ghost section");
+}
+
+std::vector<double> HaloExchanger::wait_us_per_rank() const { return wait_us_; }
+
+std::uint64_t HaloExchanger::deposits() const {
+  std::uint64_t total = 0;
+  for (const auto& boxes : mailboxes_) {
+    for (const auto& box : boxes) {
+      // taken == posted between exchanges; either is "completed deposits".
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      total += box.posted;
+    }
+  }
+  return total;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,93 @@
+// Two-sided halo exchange over per-neighbor mailboxes.
+//
+// The exchanger realizes the communication scheme a distributed operator
+// induces (the object CommScheme reasons about and DistCsr materializes as
+// send/recv neighbor lists): one mailbox per directed (sender -> receiver)
+// rank pair, guarded by a mutex/condvar. An exchange is two supersteps:
+//
+//   post_sends(p, x):  rank p packs its owned coefficients for every send
+//                      neighbor and deposits them in the peer's mailbox;
+//   drain_recvs(p, ghosts): rank p waits for every recv neighbor's deposit
+//                      and scatters the payloads into its ghost section.
+//
+// Run under the threaded executor the deposits really race with the drains
+// across threads; the condvar wait time is accumulated per receiving rank
+// (the "halo wait" the observability layer reports). Under the sequential
+// executor the same code runs with all sends completing before any drain.
+// Either way every receiver observes identical payloads in identical order,
+// which keeps threaded and sequential SpMV bit-identical.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "dist/comm_stats.hpp"
+#include "dist/dist_vector.hpp"
+#include "dist/layout.hpp"
+
+namespace fsaic {
+
+/// One rank's halo neighborhood: the coefficients it sends per destination
+/// and receives per source, both grouped by peer rank (ascending) with
+/// globally-sorted coefficient ids — the layout DistCsr::distribute builds.
+struct HaloPlan {
+  struct Edge {
+    rank_t peer = -1;
+    std::vector<index_t> gids;  ///< global ids exchanged, sorted
+  };
+  std::vector<Edge> send;
+  std::vector<Edge> recv;
+};
+
+class HaloExchanger {
+ public:
+  HaloExchanger(Layout layout, std::vector<HaloPlan> plans);
+
+  HaloExchanger(const HaloExchanger&) = delete;
+  HaloExchanger& operator=(const HaloExchanger&) = delete;
+
+  [[nodiscard]] rank_t nranks() const { return layout_.nranks(); }
+  [[nodiscard]] const HaloPlan& plan(rank_t p) const {
+    return plans_[static_cast<std::size_t>(p)];
+  }
+
+  /// Superstep 1 of an exchange: deposit rank p's owned coefficients into
+  /// every send neighbor's mailbox (the simulated wire transfer).
+  void post_sends(rank_t p, const DistVector& x);
+
+  /// Superstep 2: block until every recv neighbor of rank p has deposited,
+  /// then scatter the payloads into `ghosts` (the concatenation of the recv
+  /// edges, in plan order — exactly DistCsr's ghost column order). Records
+  /// one halo message per neighbor into `stats` when non-null.
+  void drain_recvs(rank_t p, std::span<value_t> ghosts, CommStats* stats);
+
+  /// Accumulated condvar wait of each receiving rank, microseconds. Only
+  /// meaningful between exchanges (not while one is in flight).
+  [[nodiscard]] std::vector<double> wait_us_per_rank() const;
+
+  /// Completed deposits across all mailboxes (diagnostics).
+  [[nodiscard]] std::uint64_t deposits() const;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<value_t> payload;
+    std::uint64_t posted = 0;  ///< deposits so far
+    std::uint64_t taken = 0;   ///< drains so far (receiver-side)
+  };
+
+  Layout layout_;
+  std::vector<HaloPlan> plans_;
+  /// mailboxes_[p][e]: mailbox of rank p's e-th recv edge.
+  std::vector<std::vector<Mailbox>> mailboxes_;
+  /// send_slot_[p][e]: index into mailboxes_[peer] for rank p's e-th send
+  /// edge (resolved once at construction).
+  std::vector<std::vector<std::size_t>> send_slot_;
+  /// Written only by the thread draining rank p, read between exchanges.
+  std::vector<double> wait_us_;
+};
+
+}  // namespace fsaic

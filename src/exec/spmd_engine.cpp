@@ -1,0 +1,68 @@
+#include "exec/spmd_engine.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "obs/trace.hpp"
+
+namespace fsaic {
+
+SpmdEngine::SpmdEngine(int nthreads)
+    : nthreads_(nthreads),
+      start_(nthreads + 1),
+      end_(nthreads + 1),
+      busy_us_(static_cast<std::size_t>(nthreads), 0.0) {
+  FSAIC_REQUIRE(nthreads >= 1, "SPMD engine needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+SpmdEngine::~SpmdEngine() {
+  stop_ = true;  // published to workers by the start barrier
+  start_.arrive_and_wait();
+  for (auto& th : threads_) {
+    th.join();
+  }
+}
+
+void SpmdEngine::run(const std::function<void(int)>& job) {
+  using clock = std::chrono::steady_clock;
+  job_ = &job;
+  error_ = nullptr;
+  const auto t0 = clock::now();
+  start_.arrive_and_wait();
+  end_.arrive_and_wait();
+  span_us_ +=
+      std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+  ++supersteps_;
+  job_ = nullptr;
+  if (error_ != nullptr) {
+    std::rethrow_exception(error_);
+  }
+}
+
+void SpmdEngine::worker_loop(int t) {
+  TraceRecorder::label_current_thread(strformat("spmd worker %d", t));
+  using clock = std::chrono::steady_clock;
+  for (;;) {
+    start_.arrive_and_wait();
+    if (stop_) return;
+    const auto t0 = clock::now();
+    try {
+      (*job_)(t);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    // Busy accounting is written before the end barrier so the submitter can
+    // read it race-free after run() returns.
+    busy_us_[static_cast<std::size_t>(t)] +=
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+    end_.arrive_and_wait();
+  }
+}
+
+}  // namespace fsaic

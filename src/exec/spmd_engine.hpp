@@ -1,0 +1,66 @@
+// Persistent SPMD thread team.
+//
+// The engine owns N worker threads that live for the engine's lifetime and
+// execute "supersteps": run(job) wakes every worker, worker t calls job(t),
+// and run() returns once all workers have finished (bulk-synchronous, like
+// one MPI communicator stepping through a program). Two reusable Barriers —
+// a start barrier and an end barrier shared with the submitting thread —
+// provide the happens-before edges, so data written before run() is visible
+// inside the job and data written by the job is visible after run() returns.
+//
+// Exceptions thrown inside a job are captured and rethrown on the submitting
+// thread after the superstep completes, so FSAIC_REQUIRE/FSAIC_CHECK keep
+// their throwing contract under threaded execution.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "exec/barrier.hpp"
+
+namespace fsaic {
+
+class SpmdEngine {
+ public:
+  explicit SpmdEngine(int nthreads);
+  ~SpmdEngine();
+
+  SpmdEngine(const SpmdEngine&) = delete;
+  SpmdEngine& operator=(const SpmdEngine&) = delete;
+
+  [[nodiscard]] int nthreads() const { return nthreads_; }
+
+  /// Execute one superstep: job(t) on worker thread t for every t in
+  /// [0, nthreads). Blocks until all workers are done; rethrows the first
+  /// exception a worker raised. Not reentrant (one superstep at a time).
+  void run(const std::function<void(int)>& job);
+
+  /// Supersteps completed so far.
+  [[nodiscard]] std::uint64_t supersteps() const { return supersteps_; }
+
+  /// Accumulated wall time of all supersteps (measured by the submitter).
+  [[nodiscard]] double span_us() const { return span_us_; }
+
+  /// Per-worker busy time inside jobs; span_us() minus a worker's busy time
+  /// is the time it spent waiting on barriers (load imbalance).
+  [[nodiscard]] const std::vector<double>& busy_us() const { return busy_us_; }
+
+ private:
+  void worker_loop(int t);
+
+  const int nthreads_;
+  Barrier start_;  ///< submitter + workers: job is published
+  Barrier end_;    ///< submitter + workers: job is complete
+  const std::function<void(int)>* job_ = nullptr;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+  std::uint64_t supersteps_ = 0;
+  double span_us_ = 0.0;
+  std::vector<double> busy_us_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fsaic

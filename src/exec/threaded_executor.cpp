@@ -1,0 +1,81 @@
+#include "exec/threaded_executor.hpp"
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+namespace {
+
+// Set while a worker executes a rank body. A distributed operation invoked
+// from inside a superstep (e.g. a preconditioner that calls spmv from a rank
+// body) must not re-enter the engine — it would deadlock on the barriers —
+// so nested parallel regions degrade to an inline loop on the calling
+// thread.
+thread_local bool in_spmd_region = false;
+
+// RAII so the flag is restored even when a rank body throws (the engine
+// captures the exception and the worker thread lives on).
+struct SpmdRegionGuard {
+  SpmdRegionGuard() { in_spmd_region = true; }
+  ~SpmdRegionGuard() { in_spmd_region = false; }
+};
+
+}  // namespace
+
+ThreadedExecutor::ThreadedExecutor(int nthreads) : engine_(nthreads) {
+  FSAIC_REQUIRE(nthreads >= 2, "threaded executor needs at least two threads");
+}
+
+void ThreadedExecutor::parallel_ranks(rank_t nranks,
+                                      const std::function<void(rank_t)>& f) {
+  if (in_spmd_region) {
+    for (rank_t p = 0; p < nranks; ++p) f(p);
+    return;
+  }
+  const auto nt = static_cast<rank_t>(engine_.nthreads());
+  engine_.run([&](int t) {
+    // Contiguous rank slice of thread t; empty when nranks < nthreads.
+    const rank_t lo = static_cast<rank_t>(t) * nranks / nt;
+    const rank_t hi = (static_cast<rank_t>(t) + 1) * nranks / nt;
+    const SpmdRegionGuard guard;
+    for (rank_t p = lo; p < hi; ++p) {
+      f(p);
+    }
+  });
+}
+
+void ThreadedExecutor::allreduce_sum(std::span<value_t> partials, int width,
+                                     std::span<value_t> out) {
+  FSAIC_REQUIRE(width >= 1 && partials.size() % static_cast<std::size_t>(width) == 0,
+                "allreduce partials must be nranks rows of width values");
+  FSAIC_REQUIRE(out.size() == static_cast<std::size_t>(width),
+                "allreduce output must hold width values");
+  const auto nranks =
+      static_cast<rank_t>(partials.size() / static_cast<std::size_t>(width));
+  // One superstep per tree level; the barrier between levels publishes the
+  // partial sums of level l to the combining ranks of level l+1.
+  for (rank_t stride = 1; stride < nranks; stride *= 2) {
+    parallel_ranks(nranks, [&](rank_t p) {
+      tree_combine_step(partials, nranks, width, stride, p);
+    });
+  }
+  for (int c = 0; c < width; ++c) {
+    out[static_cast<std::size_t>(c)] =
+        nranks > 0 ? partials[static_cast<std::size_t>(c)] : 0.0;
+  }
+  ++allreduces_;
+}
+
+ExecStats ThreadedExecutor::stats() const {
+  ExecStats s;
+  s.nthreads = engine_.nthreads();
+  s.supersteps = engine_.supersteps();
+  s.allreduces = allreduces_;
+  s.barrier_wait_us.reserve(engine_.busy_us().size());
+  for (double busy : engine_.busy_us()) {
+    s.barrier_wait_us.push_back(std::max(0.0, engine_.span_us() - busy));
+  }
+  return s;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,36 @@
+// Threaded executor: simulated ranks run concurrently on the persistent
+// SPMD team. Ranks are block-distributed over the team, so with nthreads >=
+// nranks every rank has its own std::thread; with fewer threads each thread
+// steps through a contiguous slice of ranks per superstep.
+//
+// The allreduce runs the shared fixed-order reduction tree as one superstep
+// per tree level, with a real barrier between levels — the threaded and
+// sequential executors perform the exact same additions in the exact same
+// pairing, so results are bit-identical (see executor.hpp).
+#pragma once
+
+#include <memory>
+
+#include "exec/executor.hpp"
+#include "exec/spmd_engine.hpp"
+
+namespace fsaic {
+
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(int nthreads);
+
+  [[nodiscard]] bool threaded() const override { return true; }
+  [[nodiscard]] int nthreads() const override { return engine_.nthreads(); }
+  void parallel_ranks(rank_t nranks,
+                      const std::function<void(rank_t)>& f) override;
+  void allreduce_sum(std::span<value_t> partials, int width,
+                     std::span<value_t> out) override;
+  [[nodiscard]] ExecStats stats() const override;
+
+ private:
+  SpmdEngine engine_;
+  std::uint64_t allreduces_ = 0;
+};
+
+}  // namespace fsaic

@@ -6,6 +6,7 @@
 
 #include "common/format.hpp"
 #include "common/rng.hpp"
+#include "exec/executor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "sparse/ops.hpp"
@@ -134,6 +135,8 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
 
   if (metrics_ != nullptr) {
     metrics_->add("runs", 1);
+    metrics_->set("exec.threads",
+                  resolve_executor(config_.solve.exec).nthreads());
     record_comm_stats(*metrics_, "solve", solve.comm);
     record_comm_stats(*metrics_, "setup", build.setup_comm);
     metrics_->set("run.precond_gflops", rec->precond_gflops);

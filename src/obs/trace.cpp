@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <map>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -14,6 +15,28 @@ std::uint32_t TraceRecorder::current_tid() {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t id = next.fetch_add(1);
   return id;
+}
+
+namespace {
+
+// Process-wide tid -> label registry shared by all recorders; threads are
+// few and labels are written once, so a mutexed map is plenty.
+std::mutex& label_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::uint32_t, std::string>& thread_labels() {
+  static std::map<std::uint32_t, std::string> labels;
+  return labels;
+}
+
+}  // namespace
+
+void TraceRecorder::label_current_thread(std::string label) {
+  const std::uint32_t tid = current_tid();
+  const std::lock_guard<std::mutex> lock(label_mutex());
+  thread_labels()[tid] = std::move(label);
 }
 
 void TraceRecorder::push(TraceEvent event) {
@@ -67,6 +90,24 @@ void TraceRecorder::write_json(std::ostream& out) const {
     if (e.phase == 'C') out << strformat(",\"args\":{\"value\":%.17g}", e.value);
     if (e.phase == 'i') out << ",\"s\":\"t\"";
     out << "}";
+  }
+  // thread_name metadata for every labeled track that appears in the trace.
+  {
+    const std::lock_guard<std::mutex> lock(label_mutex());
+    for (const auto& [tid, label] : thread_labels()) {
+      bool seen = false;
+      for (const auto& e : snapshot) {
+        if (e.tid == tid) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"" << json_escape(label) << "\"}}";
+    }
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }

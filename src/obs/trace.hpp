@@ -68,6 +68,12 @@ class TraceRecorder {
   /// write_json to `path`; throws fsaic::Error if the file cannot be opened.
   void write_file(const std::string& path) const;
 
+  /// Name the calling thread's track in every trace written by this process
+  /// (emitted as a trace_event "thread_name" metadata record). The SPMD
+  /// worker threads register themselves so per-rank slices show up under
+  /// "spmd worker N" instead of a bare numeric tid.
+  static void label_current_thread(std::string label);
+
  private:
   void push(TraceEvent event);
   static std::uint32_t current_tid();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 #include "sparse/stats.hpp"
 
 namespace fsaic {
@@ -28,9 +29,10 @@ ChebyshevPreconditioner ChebyshevPreconditioner::with_estimated_spectrum(
 }
 
 void ChebyshevPreconditioner::apply(const DistVector& r, DistVector& z,
-                                    CommStats* stats) const {
+                                    CommStats* stats, Executor* exec) const {
   const Layout& layout = a_->row_layout();
   FSAIC_REQUIRE(r.layout() == layout, "layout mismatch");
+  Executor& ex = resolve_executor(exec);
   // Classical Chebyshev iteration for A z ≈ r with z_0 = 0 (the standard
   // polynomial-smoother formulation; see Saad, Iterative Methods, §12.3).
   const value_t theta = 0.5 * (lmax_ + lmin_);
@@ -41,7 +43,7 @@ void ChebyshevPreconditioner::apply(const DistVector& r, DistVector& z,
   DistVector d(layout);
   DistVector az(layout);
   // First step: z = r / theta.
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
+  ex.parallel_ranks(layout.nranks(), [&](rank_t p) {
     const auto rb = r.block(p);
     auto db = d.block(p);
     auto zb = z.block(p);
@@ -49,14 +51,14 @@ void ChebyshevPreconditioner::apply(const DistVector& r, DistVector& z,
       db[i] = rb[i] / theta;
       zb[i] = db[i];
     }
-  }
+  });
   for (int k = 2; k <= degree_; ++k) {
     const value_t rho = 1.0 / (2.0 * sigma1 - rho_old);
-    a_->spmv(z, az, stats);
+    a_->spmv(z, az, stats, nullptr, exec);
     // d = rho*rho_old * d + 2*rho/delta * (r - A z); z += d.
     const value_t c1 = rho * rho_old;
     const value_t c2 = 2.0 * rho / delta;
-    for (rank_t p = 0; p < layout.nranks(); ++p) {
+    ex.parallel_ranks(layout.nranks(), [&](rank_t p) {
       const auto rb = r.block(p);
       const auto ab = az.block(p);
       auto db = d.block(p);
@@ -65,7 +67,7 @@ void ChebyshevPreconditioner::apply(const DistVector& r, DistVector& z,
         db[i] = c1 * db[i] + c2 * (rb[i] - ab[i]);
         zb[i] += db[i];
       }
-    }
+    });
     rho_old = rho;
   }
 }

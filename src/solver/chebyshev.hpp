@@ -28,8 +28,8 @@ class ChebyshevPreconditioner final : public Preconditioner {
                                                          const DistCsr& a,
                                                          int degree);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "chebyshev"; }
 
   [[nodiscard]] int degree() const { return degree_; }

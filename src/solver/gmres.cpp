@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 
 namespace fsaic {
 
@@ -49,18 +50,23 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
   // r = b - A x.
   TraceRecorder* const trace = options.trace;
+  Executor* const exec = options.exec;
+  Executor& ex = resolve_executor(exec);
+  const auto residual_from = [&](DistVector& dst) {
+    ex.parallel_ranks(layout.nranks(), [&](rank_t p) {
+      const auto bb = b.block(p);
+      auto rb = dst.block(p);
+      for (std::size_t i = 0; i < rb.size(); ++i) {
+        rb[i] = bb[i] - rb[i];
+      }
+    });
+  };
   {
     ScopedPhase phase(trace, "spmv", "solve");
-    a.spmv(x, r, &result.comm, trace);
+    a.spmv(x, r, &result.comm, trace, exec);
   }
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
-    const auto bb = b.block(p);
-    auto rb = r.block(p);
-    for (std::size_t i = 0; i < rb.size(); ++i) {
-      rb[i] = bb[i] - rb[i];
-    }
-  }
-  result.initial_residual = dist_norm2(r, &result.comm, trace);
+  residual_from(r);
+  result.initial_residual = dist_norm2(r, &result.comm, trace, exec);
   result.final_residual = result.initial_residual;
   IterationEmitter telemetry(options.sink, trace, result.residual_history,
                              options.track_residual_history, result.comm);
@@ -73,19 +79,19 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
   while (result.iterations < options.max_iterations) {
     // Start (or restart) the Arnoldi process from the current residual.
-    value_t beta = dist_norm2(r, &result.comm, trace);
+    value_t beta = dist_norm2(r, &result.comm, trace, exec);
     if (beta <= target) {
       result.converged = true;
       result.final_residual = beta;
       return result;
     }
-    for (rank_t p = 0; p < layout.nranks(); ++p) {
+    ex.parallel_ranks(layout.nranks(), [&](rank_t p) {
       const auto rb = r.block(p);
       auto vb = basis[0].block(p);
       for (std::size_t i = 0; i < rb.size(); ++i) {
         vb[i] = rb[i] / beta;
       }
-    }
+    });
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = beta;
 
@@ -95,32 +101,32 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
       // w = A M v_k  (right preconditioning).
       {
         ScopedPhase phase(trace, "precond_apply", "solve");
-        m.apply(basis[static_cast<std::size_t>(k)], z, &result.comm);
+        m.apply(basis[static_cast<std::size_t>(k)], z, &result.comm, exec);
       }
       {
         ScopedPhase phase(trace, "spmv", "solve");
-        a.spmv(z, w, &result.comm, trace);
+        a.spmv(z, w, &result.comm, trace, exec);
       }
       ++result.iterations;
 
       // Modified Gram-Schmidt against the basis.
       for (int j = 0; j <= k; ++j) {
-        const value_t hjk =
-            dist_dot(w, basis[static_cast<std::size_t>(j)], &result.comm, trace);
+        const value_t hjk = dist_dot(w, basis[static_cast<std::size_t>(j)],
+                                     &result.comm, trace, exec);
         h(j, k) = hjk;
-        dist_axpy(-hjk, basis[static_cast<std::size_t>(j)], w);
+        dist_axpy(-hjk, basis[static_cast<std::size_t>(j)], w, exec);
       }
-      const value_t hkk = dist_norm2(w, &result.comm, trace);
+      const value_t hkk = dist_norm2(w, &result.comm, trace, exec);
       h(k + 1, k) = hkk;
       FSAIC_CHECK(std::isfinite(hkk), "GMRES breakdown: basis norm not finite");
       if (hkk > 0.0) {
-        for (rank_t p = 0; p < layout.nranks(); ++p) {
+        ex.parallel_ranks(layout.nranks(), [&](rank_t p) {
           const auto wb = w.block(p);
           auto vb = basis[static_cast<std::size_t>(k) + 1].block(p);
           for (std::size_t i = 0; i < wb.size(); ++i) {
             vb[i] = wb[i] / hkk;
           }
-        }
+        });
       }
 
       // Apply previous Givens rotations to the new column, then create the
@@ -167,27 +173,21 @@ SolveResult gmres_solve(const DistCsr& a, const DistVector& b, DistVector& x,
     w.fill(0.0);
     for (int j = 0; j < k; ++j) {
       dist_axpy(y[static_cast<std::size_t>(j)], basis[static_cast<std::size_t>(j)],
-                w);
+                w, exec);
     }
     {
       ScopedPhase phase(trace, "precond_apply", "solve");
-      m.apply(w, z, &result.comm);
+      m.apply(w, z, &result.comm, exec);
     }
-    dist_axpy(1.0, z, x);
+    dist_axpy(1.0, z, x, exec);
 
     // True restart residual.
     {
       ScopedPhase phase(trace, "spmv", "solve");
-      a.spmv(x, r, &result.comm, trace);
+      a.spmv(x, r, &result.comm, trace, exec);
     }
-    for (rank_t p = 0; p < layout.nranks(); ++p) {
-      const auto bb = b.block(p);
-      auto rb = r.block(p);
-      for (std::size_t i = 0; i < rb.size(); ++i) {
-        rb[i] = bb[i] - rb[i];
-      }
-    }
-    const value_t true_res = dist_norm2(r, &result.comm, trace);
+    residual_from(r);
+    const value_t true_res = dist_norm2(r, &result.comm, trace, exec);
     result.final_residual = true_res;
     if (true_res <= target) {
       result.converged = true;

@@ -25,6 +25,8 @@ struct GmresOptions {
   /// receives the cheap Givens residual estimate of each Arnoldi step.
   TelemetrySink* sink = nullptr;
   TraceRecorder* trace = nullptr;
+  /// Executor for the per-rank supersteps, as in SolveOptions::exec.
+  Executor* exec = nullptr;
 };
 
 /// Solve A x = b with right-preconditioned restarted GMRES:

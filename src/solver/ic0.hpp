@@ -28,8 +28,8 @@ class BlockIc0Preconditioner final : public Preconditioner {
  public:
   explicit BlockIc0Preconditioner(const DistCsr& a);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "block-ic0"; }
 
   /// Sequential-depth proxy: the longest dependency chain of the triangular

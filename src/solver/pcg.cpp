@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 
 namespace fsaic {
 
@@ -16,6 +17,7 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
   SolveResult result;
   TraceRecorder* const trace = options.trace;
+  Executor* const exec = options.exec;
   DistVector r(layout);
   DistVector z(layout);
   DistVector d(layout);
@@ -24,17 +26,17 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
   // r = b - A x.
   {
     ScopedPhase phase(trace, "spmv", "solve");
-    a.spmv(x, r, &result.comm, trace);
+    a.spmv(x, r, &result.comm, trace, exec);
   }
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(layout.nranks(), [&](rank_t p) {
     const auto bb = b.block(p);
     auto rb = r.block(p);
     for (std::size_t i = 0; i < rb.size(); ++i) {
       rb[i] = bb[i] - rb[i];
     }
-  }
+  });
 
-  result.initial_residual = dist_norm2(r, &result.comm, trace);
+  result.initial_residual = dist_norm2(r, &result.comm, trace, exec);
   result.final_residual = result.initial_residual;
   IterationEmitter telemetry(options.sink, trace, result.residual_history,
                              options.track_residual_history, result.comm);
@@ -47,18 +49,18 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
   {
     ScopedPhase phase(trace, "precond_apply", "solve");
-    m.apply(r, z, &result.comm);
+    m.apply(r, z, &result.comm, exec);
   }
-  dist_copy(z, d);
-  value_t rho = dist_dot(r, z, &result.comm, trace);
+  dist_copy(z, d, exec);
+  value_t rho = dist_dot(r, z, &result.comm, trace, exec);
 
   for (int it = 0; it < options.max_iterations; ++it) {
     ScopedPhase iteration_phase(trace, "iteration", "solve");
     {
       ScopedPhase phase(trace, "spmv", "solve");
-      a.spmv(d, q, &result.comm, trace);
+      a.spmv(d, q, &result.comm, trace, exec);
     }
-    const value_t dq = dist_dot(d, q, &result.comm, trace);
+    const value_t dq = dist_dot(d, q, &result.comm, trace, exec);
     FSAIC_CHECK(std::isfinite(dq), "CG breakdown: d^T A d is not finite");
     if (dq <= 0.0) {
       // A (or the preconditioned operator) is not positive definite along d;
@@ -67,10 +69,10 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
       return result;
     }
     const value_t alpha = rho / dq;
-    dist_axpy(alpha, d, x);
-    dist_axpy(-alpha, q, r);
+    dist_axpy(alpha, d, x, exec);
+    dist_axpy(-alpha, q, r, exec);
 
-    const value_t rnorm = dist_norm2(r, &result.comm, trace);
+    const value_t rnorm = dist_norm2(r, &result.comm, trace, exec);
     result.final_residual = rnorm;
     result.iterations = it + 1;
     telemetry.record_iteration(it + 1, rnorm);
@@ -81,13 +83,13 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
 
     {
       ScopedPhase phase(trace, "precond_apply", "solve");
-      m.apply(r, z, &result.comm);
+      m.apply(r, z, &result.comm, exec);
     }
-    const value_t rho_next = dist_dot(r, z, &result.comm, trace);
+    const value_t rho_next = dist_dot(r, z, &result.comm, trace, exec);
     FSAIC_CHECK(std::isfinite(rho_next), "CG breakdown: r^T z is not finite");
     const value_t beta = rho_next / rho;
     rho = rho_next;
-    dist_xpby(z, beta, d);
+    dist_xpby(z, beta, d, exec);
   }
   return result;
 }

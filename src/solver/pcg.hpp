@@ -27,6 +27,11 @@ struct SolveOptions {
   /// Attach the same recorder to the preconditioner (set_trace) to also get
   /// its G / G^T sub-phases.
   TraceRecorder* trace = nullptr;
+  /// Executor running the per-rank supersteps of the iteration body (SpMV,
+  /// preconditioner application, vector kernels, reductions). Borrowed;
+  /// nullptr -> the process-wide default (sequential unless FSAIC_THREADS
+  /// is set). Residual histories are bit-identical across executors.
+  Executor* exec = nullptr;
 };
 
 struct SolveResult {

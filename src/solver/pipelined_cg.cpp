@@ -1,8 +1,10 @@
 #include "solver/pipelined_cg.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "exec/executor.hpp"
 #include "sparse/vector_ops.hpp"
 
 namespace fsaic {
@@ -10,7 +12,9 @@ namespace fsaic {
 namespace {
 
 /// Fused local reductions: returns (r.u, w.u, r.r) with ONE recorded
-/// allreduce of three doubles — the wire-level point of the method.
+/// allreduce of three doubles — the wire-level point of the method. One
+/// superstep computes the per-rank triples, one width-3 tree allreduce
+/// combines them.
 struct FusedDots {
   value_t ru;
   value_t wu;
@@ -19,19 +23,34 @@ struct FusedDots {
 
 FusedDots fused_dots(const DistVector& r, const DistVector& u,
                      const DistVector& w, CommStats* stats,
-                     TraceRecorder* trace) {
+                     TraceRecorder* trace, Executor* exec) {
   const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-  FusedDots d{0.0, 0.0, 0.0};
-  for (rank_t p = 0; p < r.nranks(); ++p) {
+  Executor& ex = resolve_executor(exec);
+  const rank_t n = r.nranks();
+  std::vector<value_t> partials(static_cast<std::size_t>(n) * 3, 0.0);
+  ex.parallel_ranks(n, [&](rank_t p) {
     const auto rb = r.block(p);
     const auto ub = u.block(p);
     const auto wb = w.block(p);
+    value_t ru = 0.0;
+    value_t wu = 0.0;
+    value_t rr = 0.0;
     for (std::size_t i = 0; i < rb.size(); ++i) {
-      d.ru += rb[i] * ub[i];
-      d.wu += wb[i] * ub[i];
-      d.rr += rb[i] * rb[i];
+      ru += rb[i] * ub[i];
+      wu += wb[i] * ub[i];
+      rr += rb[i] * rb[i];
     }
-  }
+    const std::size_t base = static_cast<std::size_t>(p) * 3;
+    partials[base + 0] = ru;
+    partials[base + 1] = wu;
+    partials[base + 2] = rr;
+  });
+  FusedDots d{0.0, 0.0, 0.0};
+  std::array<value_t, 3> out{};
+  ex.allreduce_sum(partials, 3, out);
+  d.ru = out[0];
+  d.wu = out[1];
+  d.rr = out[2];
   if (stats != nullptr) stats->record_allreduce(3 * sizeof(value_t));
   if (trace != nullptr) {
     trace->complete("allreduce", "comm", t0, trace->now_us() - t0);
@@ -51,6 +70,7 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
 
   SolveResult result;
   TraceRecorder* const trace = options.trace;
+  Executor* const exec = options.exec;
   DistVector r(layout);
   DistVector u(layout);  // u = M r
   DistVector w(layout);  // w = A u
@@ -60,25 +80,25 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
   // r = b - A x.
   {
     ScopedPhase phase(trace, "spmv", "solve");
-    a.spmv(x, r, &result.comm, trace);
+    a.spmv(x, r, &result.comm, trace, exec);
   }
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(layout.nranks(), [&](rank_t p) {
     const auto bb = b.block(p);
     auto rb = r.block(p);
     for (std::size_t i = 0; i < rb.size(); ++i) {
       rb[i] = bb[i] - rb[i];
     }
-  }
+  });
   {
     ScopedPhase phase(trace, "precond_apply", "solve");
-    m.apply(r, u, &result.comm);
+    m.apply(r, u, &result.comm, exec);
   }
   {
     ScopedPhase phase(trace, "spmv", "solve");
-    a.spmv(u, w, &result.comm, trace);
+    a.spmv(u, w, &result.comm, trace, exec);
   }
 
-  FusedDots d = fused_dots(r, u, w, &result.comm, trace);
+  FusedDots d = fused_dots(r, u, w, &result.comm, trace, exec);
   result.initial_residual = std::sqrt(d.rr);
   result.final_residual = result.initial_residual;
   IterationEmitter telemetry(options.sink, trace, result.residual_history,
@@ -98,21 +118,21 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
   for (int it = 0; it < options.max_iterations; ++it) {
     ScopedPhase iteration_phase(trace, "iteration", "solve");
     // p = u + beta p;  s = w + beta s.
-    dist_xpby(u, beta, p_dir);
-    dist_xpby(w, beta, s);
+    dist_xpby(u, beta, p_dir, exec);
+    dist_xpby(w, beta, s, exec);
     // x += alpha p;  r -= alpha s.
-    dist_axpy(alpha, p_dir, x);
-    dist_axpy(-alpha, s, r);
+    dist_axpy(alpha, p_dir, x, exec);
+    dist_axpy(-alpha, s, r, exec);
 
     {
       ScopedPhase phase(trace, "precond_apply", "solve");
-      m.apply(r, u, &result.comm);
+      m.apply(r, u, &result.comm, exec);
     }
     {
       ScopedPhase phase(trace, "spmv", "solve");
-      a.spmv(u, w, &result.comm, trace);
+      a.spmv(u, w, &result.comm, trace, exec);
     }
-    d = fused_dots(r, u, w, &result.comm, trace);
+    d = fused_dots(r, u, w, &result.comm, trace, exec);
 
     const value_t rnorm = std::sqrt(d.rr);
     result.final_residual = rnorm;

@@ -6,13 +6,14 @@
 #include "common/error.hpp"
 #include "dense/dense_matrix.hpp"
 #include "dense/factorizations.hpp"
+#include "exec/executor.hpp"
 #include "obs/trace.hpp"
 
 namespace fsaic {
 
 void IdentityPreconditioner::apply(const DistVector& r, DistVector& z,
-                                   CommStats* /*stats*/) const {
-  dist_copy(r, z);
+                                   CommStats* /*stats*/, Executor* exec) const {
+  dist_copy(r, z, exec);
 }
 
 JacobiPreconditioner::JacobiPreconditioner(const DistCsr& a)
@@ -29,16 +30,16 @@ JacobiPreconditioner::JacobiPreconditioner(const DistCsr& a)
 }
 
 void JacobiPreconditioner::apply(const DistVector& r, DistVector& z,
-                                 CommStats* /*stats*/) const {
+                                 CommStats* /*stats*/, Executor* exec) const {
   FSAIC_REQUIRE(r.layout() == inv_diag_.layout(), "layout mismatch");
-  for (rank_t p = 0; p < r.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(r.nranks(), [&](rank_t p) {
     const auto rb = r.block(p);
     const auto db = inv_diag_.block(p);
     auto zb = z.block(p);
     for (std::size_t i = 0; i < rb.size(); ++i) {
       zb[i] = rb[i] * db[i];
     }
-  }
+  });
 }
 
 BlockJacobiPreconditioner::BlockJacobiPreconditioner(const DistCsr& a,
@@ -80,9 +81,10 @@ BlockJacobiPreconditioner::BlockJacobiPreconditioner(const DistCsr& a,
 }
 
 void BlockJacobiPreconditioner::apply(const DistVector& r, DistVector& z,
-                                      CommStats* /*stats*/) const {
+                                      CommStats* /*stats*/,
+                                      Executor* exec) const {
   FSAIC_REQUIRE(r.layout() == layout_, "layout mismatch");
-  for (rank_t p = 0; p < layout_.nranks(); ++p) {
+  resolve_executor(exec).parallel_ranks(layout_.nranks(), [&](rank_t p) {
     const auto rb = r.block(p);
     auto zb = z.block(p);
     for (const Block& blk : rank_blocks_[static_cast<std::size_t>(p)]) {
@@ -106,7 +108,7 @@ void BlockJacobiPreconditioner::apply(const DistVector& r, DistVector& z,
         zb[static_cast<std::size_t>(blk.first + i)] = s / l(i, i);
       }
     }
-  }
+  });
 }
 
 FactorizedPreconditioner::FactorizedPreconditioner(DistCsr g, DistCsr gt,
@@ -117,15 +119,15 @@ FactorizedPreconditioner::FactorizedPreconditioner(DistCsr g, DistCsr gt,
 }
 
 void FactorizedPreconditioner::apply(const DistVector& r, DistVector& z,
-                                     CommStats* stats) const {
+                                     CommStats* stats, Executor* exec) const {
   DistVector w(r.layout());
   {
     ScopedPhase phase(trace(), "apply_G", "solve");
-    g_.spmv(r, w, stats, trace());
+    g_.spmv(r, w, stats, trace(), exec);
   }
   {
     ScopedPhase phase(trace(), "apply_Gt", "solve");
-    gt_.spmv(w, z, stats, trace());
+    gt_.spmv(w, z, stats, trace(), exec);
   }
 }
 

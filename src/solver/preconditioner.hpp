@@ -13,15 +13,20 @@
 
 namespace fsaic {
 
+class Executor;
 class TraceRecorder;
 
-/// Application-side interface: z = M r.
+/// Application-side interface: z = M r. The executor is per-call context
+/// like `stats`: implementations run their per-rank work as supersteps on
+/// it (nullptr -> the process-wide default), so a threaded solve threads
+/// its preconditioner applications too.
 class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
 
   virtual void apply(const DistVector& r, DistVector& z,
-                     CommStats* stats = nullptr) const = 0;
+                     CommStats* stats = nullptr,
+                     Executor* exec = nullptr) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -38,8 +43,8 @@ class Preconditioner {
 /// z = r (plain CG).
 class IdentityPreconditioner final : public Preconditioner {
  public:
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "identity"; }
 };
 
@@ -48,8 +53,8 @@ class JacobiPreconditioner final : public Preconditioner {
  public:
   explicit JacobiPreconditioner(const DistCsr& a);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "jacobi"; }
 
  private:
@@ -63,8 +68,8 @@ class BlockJacobiPreconditioner final : public Preconditioner {
  public:
   BlockJacobiPreconditioner(const DistCsr& a, index_t block_size);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "block-jacobi"; }
 
  private:
@@ -83,8 +88,8 @@ class FactorizedPreconditioner final : public Preconditioner {
  public:
   FactorizedPreconditioner(DistCsr g, DistCsr gt, std::string label);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return label_; }
 
   [[nodiscard]] const DistCsr& g() const { return g_; }

@@ -99,8 +99,13 @@ SchwarzPreconditioner::SchwarzPreconditioner(const CsrMatrix& a,
 }
 
 void SchwarzPreconditioner::apply(const DistVector& r, DistVector& z,
-                                  CommStats* stats) const {
+                                  CommStats* stats,
+                                  Executor* /*exec*/) const {
   FSAIC_REQUIRE(r.layout() == layout_, "layout mismatch");
+  // Deliberately sequential regardless of the executor: each domain
+  // scatter-adds its overlap contributions into *other* ranks' z blocks, so
+  // per-rank parallelization would race on z (and reordering the += sums
+  // would break the bit-identical-results guarantee).
   z.fill(0.0);
   std::vector<value_t> local;
   for (rank_t p = 0; p < layout_.nranks(); ++p) {

@@ -26,8 +26,8 @@ class SchwarzPreconditioner final : public Preconditioner {
   /// overlap = 0 degenerates to Block-Jacobi with one block per rank.
   SchwarzPreconditioner(const CsrMatrix& a, const Layout& layout, int overlap);
 
-  void apply(const DistVector& r, DistVector& z,
-             CommStats* stats = nullptr) const override;
+  void apply(const DistVector& r, DistVector& z, CommStats* stats = nullptr,
+             Executor* exec = nullptr) const override;
   [[nodiscard]] std::string name() const override { return "schwarz"; }
 
   /// Coefficients exchanged per application: residual values fetched into

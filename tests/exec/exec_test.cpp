@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "dist/dist_csr.hpp"
+#include "exec/barrier.hpp"
+#include "exec/exec_policy.hpp"
+#include "exec/executor.hpp"
+#include "exec/halo.hpp"
+#include "exec/threaded_executor.hpp"
+#include "matgen/generators.hpp"
+#include "solver/pcg.hpp"
+#include "solver/pipelined_cg.hpp"
+
+namespace fsaic {
+namespace {
+
+// ---- Barrier ------------------------------------------------------------
+
+TEST(BarrierTest, ReleasesAllPartiesAndIsReusableAcrossGenerations) {
+  constexpr int kParties = 4;
+  constexpr int kGenerations = 50;
+  Barrier barrier(kParties);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> team;
+  team.reserve(kParties);
+  for (int t = 0; t < kParties; ++t) {
+    team.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        // If the barrier released a generation early, more than kParties
+        // increments could be live between two waits.
+        if (inside.fetch_add(1) + 1 > kParties) overlap = true;
+        barrier.arrive_and_wait();
+        inside.fetch_sub(1);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(barrier.generation(), 2u * kGenerations);
+  EXPECT_EQ(barrier.parties(), kParties);
+}
+
+TEST(BarrierTest, SinglePartyNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(barrier.arrive_and_wait(), 0.0);
+  }
+  EXPECT_EQ(barrier.generation(), 10u);
+}
+
+// ---- executor determinism ----------------------------------------------
+
+std::vector<value_t> random_partials(rank_t nranks, int width,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<value_t> p(static_cast<std::size_t>(nranks) *
+                         static_cast<std::size_t>(width));
+  for (auto& v : p) v = rng.next_uniform(-1.0, 1.0);
+  return p;
+}
+
+TEST(ExecutorTest, TreeAllreduceIsBitIdenticalAcrossExecutorsAndWidths) {
+  SeqExecutor seq;
+  ThreadedExecutor two(2);
+  ThreadedExecutor four(4);
+  for (const rank_t nranks : {1, 2, 3, 7, 8, 13}) {
+    for (const int width : {1, 3}) {
+      const auto reference = random_partials(nranks, width, 77u + nranks);
+      std::vector<value_t> out_seq(static_cast<std::size_t>(width));
+      std::vector<value_t> out_two(out_seq);
+      std::vector<value_t> out_four(out_seq);
+      // The partials buffer is consumed destructively; give each executor
+      // its own copy.
+      auto a = reference;
+      auto b = reference;
+      auto c = reference;
+      seq.allreduce_sum(a, width, out_seq);
+      two.allreduce_sum(b, width, out_two);
+      four.allreduce_sum(c, width, out_four);
+      for (int w = 0; w < width; ++w) {
+        // Bitwise equality, not EXPECT_NEAR: the determinism contract.
+        EXPECT_EQ(out_seq[static_cast<std::size_t>(w)],
+                  out_two[static_cast<std::size_t>(w)]);
+        EXPECT_EQ(out_seq[static_cast<std::size_t>(w)],
+                  out_four[static_cast<std::size_t>(w)]);
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, ParallelRanksVisitsEveryRankExactlyOnce) {
+  ThreadedExecutor exec(3);
+  constexpr rank_t kRanks = 11;
+  std::vector<int> visits(kRanks, 0);
+  exec.parallel_ranks(kRanks, [&](rank_t p) {
+    ++visits[static_cast<std::size_t>(p)];
+  });
+  for (const int v : visits) EXPECT_EQ(v, 1);
+  EXPECT_GE(exec.stats().supersteps, 1u);
+  EXPECT_EQ(exec.stats().nthreads, 3);
+}
+
+TEST(ExecutorTest, NestedParallelRanksFallsBackToInlineLoop) {
+  ThreadedExecutor exec(2);
+  std::vector<int> inner_visits(4, 0);
+  // A rank body that re-enters the executor must not deadlock on the team
+  // barriers; the nested superstep degrades to an inline loop on the
+  // calling worker.
+  exec.parallel_ranks(1, [&](rank_t) {
+    exec.parallel_ranks(4, [&](rank_t q) {
+      ++inner_visits[static_cast<std::size_t>(q)];
+    });
+  });
+  for (const int v : inner_visits) EXPECT_EQ(v, 1);
+}
+
+TEST(ExecutorTest, ExceptionsInRankBodiesPropagateToTheCaller) {
+  ThreadedExecutor exec(4);
+  EXPECT_THROW(exec.parallel_ranks(8,
+                                   [](rank_t p) {
+                                     FSAIC_REQUIRE(p != 5, "rank 5 failed");
+                                   }),
+               Error);
+  // The team must survive a throwing superstep and stay usable.
+  std::atomic<int> count{0};
+  exec.parallel_ranks(8, [&](rank_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+// ---- ExecPolicy ---------------------------------------------------------
+
+TEST(ExecPolicyTest, FromEnvParsesClampsAndDefaults) {
+  ::unsetenv("FSAIC_THREADS");
+  EXPECT_EQ(ExecPolicy::from_env().nthreads, 1);
+  EXPECT_FALSE(ExecPolicy::from_env().threaded());
+  ::setenv("FSAIC_THREADS", "4", 1);
+  EXPECT_EQ(ExecPolicy::from_env().nthreads, 4);
+  EXPECT_TRUE(ExecPolicy::from_env().threaded());
+  ::setenv("FSAIC_THREADS", "0", 1);
+  EXPECT_EQ(ExecPolicy::from_env().nthreads, 1);
+  ::setenv("FSAIC_THREADS", "100000", 1);
+  EXPECT_EQ(ExecPolicy::from_env().nthreads, 256);
+  ::setenv("FSAIC_THREADS", "not-a-number", 1);
+  EXPECT_EQ(ExecPolicy::from_env().nthreads, 1);
+  ::unsetenv("FSAIC_THREADS");
+}
+
+TEST(ExecPolicyTest, MakeExecutorSelectsTheEngine) {
+  EXPECT_FALSE(make_executor({.nthreads = 1})->threaded());
+  const auto threaded = make_executor({.nthreads = 3});
+  EXPECT_TRUE(threaded->threaded());
+  EXPECT_EQ(threaded->nthreads(), 3);
+}
+
+// ---- halo exchange ------------------------------------------------------
+
+TEST(HaloExchangerTest, ThreadedSpmvIsBitIdenticalToSequentialSpmv) {
+  const auto a = poisson2d(17, 13);
+  // Deliberately uneven partition so ranks multiplex onto threads and the
+  // neighbor structure is irregular.
+  const Layout layout = Layout::from_part_sizes(
+      std::vector<index_t>{40, 3, 78, 0, 60, 40});
+  ASSERT_EQ(layout.global_size(), a.rows());
+  const auto d = DistCsr::distribute(a, layout);
+
+  Rng rng(11);
+  std::vector<value_t> xg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : xg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector x(layout, xg);
+
+  SeqExecutor seq;
+  DistVector y_seq(layout);
+  CommStats stats_seq;
+  d.spmv(x, y_seq, &stats_seq, nullptr, &seq);
+
+  for (const int nthreads : {2, 4, 8}) {
+    ThreadedExecutor exec(nthreads);
+    DistVector y_thr(layout);
+    CommStats stats_thr;
+    d.spmv(x, y_thr, &stats_thr, nullptr, &exec);
+    EXPECT_EQ(y_seq.to_global(), y_thr.to_global()) << nthreads << " threads";
+    // The mailbox fabric must account identical traffic to the sequential
+    // path: same messages, bytes, and per-pair breakdown.
+    EXPECT_EQ(stats_seq.halo_messages, stats_thr.halo_messages);
+    EXPECT_EQ(stats_seq.halo_bytes, stats_thr.halo_bytes);
+    EXPECT_EQ(stats_seq.pair_bytes, stats_thr.pair_bytes);
+  }
+  EXPECT_GT(d.halo().deposits(), 0u);
+}
+
+TEST(HaloExchangerTest, RepeatedExchangesReuseTheMailboxes) {
+  const auto a = poisson2d(8, 8);
+  const Layout layout = Layout::blocked(a.rows(), 4);
+  const auto d = DistCsr::distribute(a, layout);
+  const DistVector x(layout, std::vector<value_t>(
+                                 static_cast<std::size_t>(a.rows()), 1.0));
+  ThreadedExecutor exec(4);
+  DistVector y(layout);
+  const auto before = d.halo().deposits();
+  for (int i = 0; i < 5; ++i) {
+    d.spmv(x, y, nullptr, nullptr, &exec);
+  }
+  const auto per_exchange = d.halo_update_messages();
+  EXPECT_EQ(d.halo().deposits() - before,
+            5u * static_cast<std::uint64_t>(per_exchange));
+}
+
+// ---- solver determinism -------------------------------------------------
+
+TEST(ExecSolverTest, CgResidualHistoryIsBitIdenticalThreadedVsSequential) {
+  const auto a = poisson2d(20, 20);
+  const Layout layout = Layout::blocked(a.rows(), 8);
+  const auto d = DistCsr::distribute(a, layout);
+  Rng rng(5);
+  std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector b(layout, bg);
+
+  FsaiOptions fopts;
+  fopts.extension = ExtensionMode::CommAware;
+  fopts.filter = 0.1;
+  const auto build = build_fsai_preconditioner(a, layout, fopts);
+  const auto precond = make_factorized_preconditioner(build, "fsaie-comm");
+
+  SeqExecutor seq;
+  SolveOptions opts;
+  opts.rel_tol = 1e-10;
+  opts.track_residual_history = true;
+  opts.exec = &seq;
+  DistVector x_seq(layout);
+  const auto r_seq = pcg_solve(d, b, x_seq, *precond, opts);
+  ASSERT_TRUE(r_seq.converged);
+
+  ThreadedExecutor thr(4);
+  opts.exec = &thr;
+  DistVector x_thr(layout);
+  const auto r_thr = pcg_solve(d, b, x_thr, *precond, opts);
+  ASSERT_TRUE(r_thr.converged);
+
+  EXPECT_EQ(r_seq.iterations, r_thr.iterations);
+  EXPECT_EQ(r_seq.residual_history, r_thr.residual_history);
+  EXPECT_EQ(x_seq.to_global(), x_thr.to_global());
+}
+
+TEST(ExecSolverTest, PipelinedCgIsBitIdenticalThreadedVsSequential) {
+  const auto a = poisson2d(16, 16);
+  const Layout layout = Layout::blocked(a.rows(), 5);
+  const auto d = DistCsr::distribute(a, layout);
+  Rng rng(9);
+  std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector b(layout, bg);
+  const JacobiPreconditioner jacobi(d);
+
+  SeqExecutor seq;
+  SolveOptions opts;
+  opts.rel_tol = 1e-9;
+  opts.track_residual_history = true;
+  opts.exec = &seq;
+  DistVector x_seq(layout);
+  const auto r_seq = pcg_solve_pipelined(d, b, x_seq, jacobi, opts);
+  ASSERT_TRUE(r_seq.converged);
+
+  ThreadedExecutor thr(3);
+  opts.exec = &thr;
+  DistVector x_thr(layout);
+  const auto r_thr = pcg_solve_pipelined(d, b, x_thr, jacobi, opts);
+  ASSERT_TRUE(r_thr.converged);
+
+  EXPECT_EQ(r_seq.iterations, r_thr.iterations);
+  EXPECT_EQ(r_seq.residual_history, r_thr.residual_history);
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -157,9 +157,12 @@ TEST(TelemetryTest, SolverTraceContainsIterationAndCommPhases) {
   const auto events = trace.events();
   EXPECT_EQ(count_events(events, "iteration", 'B'), r.iterations);
   EXPECT_EQ(count_events(events, "iteration", 'E'), r.iterations);
-  // One spmv slice per iteration plus the initial residual spmv.
-  EXPECT_EQ(count_events(events, "spmv_local", 'X'), r.iterations + 1);
-  EXPECT_EQ(count_events(events, "halo_exchange", 'X'), r.iterations + 1);
+  // One spmv slice *per rank* per SpMV (each rank's slice is recorded from
+  // the thread that executed it), for the per-iteration SpMV plus the
+  // initial residual one.
+  const int spmvs = 4 * (r.iterations + 1);
+  EXPECT_EQ(count_events(events, "spmv_local", 'X'), spmvs);
+  EXPECT_EQ(count_events(events, "halo_exchange", 'X'), spmvs);
   EXPECT_GE(count_events(events, "allreduce", 'X'), 3 * r.iterations);
   // Residual counter track: initial value + one per iteration.
   EXPECT_EQ(count_events(events, "residual", 'C'), r.iterations + 1);

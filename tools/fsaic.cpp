@@ -8,7 +8,10 @@
 //                  block-ic0|schwarz|none  (default fsaie-comm)
 //         --overlap K         Schwarz overlap level      (default 1)
 //         --ranks P           simulated ranks            (default 8)
-//         --threads T         threads/rank (cost model)  (default 8)
+//         --threads T         threads/rank for the cost model (default 8);
+//                             when given explicitly, also runs the solve on
+//                             T real threads (bit-identical residuals). The
+//                             FSAIC_THREADS env var sets the default.
 //         --filter F          filter value               (default 0.01)
 //         --static            static instead of dynamic filtering
 //         --machine M         skylake|a64fx|zen2         (default skylake)
@@ -38,6 +41,7 @@
 #include "common/rng.hpp"
 #include "core/factor_io.hpp"
 #include "core/fsai_driver.hpp"
+#include "exec/exec_policy.hpp"
 #include "graph/rcm.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
@@ -150,6 +154,13 @@ int cmd_solve(const Args& args) {
   const Machine machine = machine_by_name(args.get("machine", "skylake"));
   const auto nranks = static_cast<rank_t>(std::stoi(args.get("ranks", "8")));
   const int threads = std::stoi(args.get("threads", "8"));
+  // `--threads` has always parameterized the *cost model* (default 8); it
+  // switches the actual execution engine only when passed explicitly, so a
+  // bare `fsaic solve m.mtx` stays sequential. FSAIC_THREADS sets the
+  // process default either way.
+  ExecPolicy exec_policy = ExecPolicy::from_env();
+  if (args.has("threads")) exec_policy.nthreads = threads;
+  const auto exec = make_executor(exec_policy);
   const value_t filter = std::stod(args.get("filter", "0.01"));
   const value_t tol = std::stod(args.get("tol", "1e-8"));
   const std::string method = args.get("method", "fsaie-comm");
@@ -267,12 +278,13 @@ int cmd_solve(const Args& args) {
   precond->set_trace(trace);
   DistVector x(sys.layout);
   const SolveOptions solve_opts{.rel_tol = tol, .max_iterations = 100000,
-                                .sink = sinkp, .trace = trace};
+                                .sink = sinkp, .trace = trace,
+                                .exec = exec.get()};
   const SolveResult r =
       args.has("gmres")
           ? gmres_solve(a_dist, b, x, *precond,
                         {.rel_tol = tol, .max_iterations = 100000,
-                         .sink = sinkp, .trace = trace})
+                         .sink = sinkp, .trace = trace, .exec = exec.get()})
           : (args.has("pipelined")
                  ? pcg_solve_pipelined(a_dist, b, x, *precond, solve_opts)
                  : pcg_solve(a_dist, b, x, *precond, solve_opts));
@@ -293,6 +305,17 @@ int cmd_solve(const Args& args) {
             << " neighbor pairs; " << r.comm.allreduce_count << " allreduces ("
             << r.comm.allreduce_bytes << " B)\n";
 
+  if (exec->threaded()) {
+    const ExecStats es = exec->stats();
+    double halo_wait_us = 0.0;
+    for (double w : a_dist.halo_wait_us()) halo_wait_us += w;
+    std::cout << "exec: " << es.nthreads << " threads, " << es.supersteps
+              << " supersteps, " << es.allreduces << " tree allreduces; max "
+              << "barrier wait " << sci2(es.max_barrier_wait_us() * 1e-6)
+              << " s, total halo mailbox wait " << sci2(halo_wait_us * 1e-6)
+              << " s\n";
+  }
+
   if (trace != nullptr) {
     trace_rec.write_json(trace_out);
     std::cout << "trace: " << trace_rec.event_count() << " events -> "
@@ -308,6 +331,8 @@ int cmd_solve(const Args& args) {
                         ? "gmres"
                         : (args.has("pipelined") ? "pipelined-cg" : "pcg");
     rec["ranks"] = nranks;
+    rec["exec_threads"] = exec->nthreads();
+    rec["exec_supersteps"] = static_cast<std::int64_t>(exec->stats().supersteps);
     rec["converged"] = r.converged;
     rec["iterations"] = r.iterations;
     rec["initial_residual"] = static_cast<double>(r.initial_residual);
