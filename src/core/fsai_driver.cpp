@@ -33,13 +33,15 @@ FsaiBuildResult build_fsai_preconditioner(const CsrMatrix& a, const Layout& layo
   }
 
   // Step 4: provisional values + filtering of added entries.
+  const FsaiComputeOptions copts{options.assembly, options.exec};
+  CsrMatrix g_pre;
+  const bool filtering_active =
+      options.filter > 0.0 && result.extended_pattern.nnz() > result.base_pattern.nnz();
   {
     ScopedPhase phase(trace, "filtering", "setup");
-    const bool filtering_active =
-        options.filter > 0.0 && result.extended_pattern.nnz() > result.base_pattern.nnz();
     if (filtering_active) {
-      const CsrMatrix g_pre =
-          compute_fsai_factor(a, result.extended_pattern, &result.factor_stats);
+      g_pre = compute_fsai_factor(a, result.extended_pattern,
+                                  &result.provisional_factor_stats, copts);
       FilterOptions fopts;
       fopts.filter = options.filter;
       fopts.only_added_entries = options.filter_only_added;
@@ -61,10 +63,17 @@ FsaiBuildResult build_fsai_preconditioner(const CsrMatrix& a, const Layout& layo
     }
   }
 
-  // Step 5: recompute values on the surviving pattern.
+  // Step 5: recompute values on the surviving pattern. When a provisional
+  // factor exists, rows whose pattern filtering left untouched are copied
+  // from it verbatim (each row solve depends only on that row's pattern, so
+  // the result is bit-identical to a full recompute).
   {
     ScopedPhase phase(trace, "factorization", "setup");
-    result.g = compute_fsai_factor(a, result.final_pattern, &result.factor_stats);
+    result.g = filtering_active && options.incremental_refactor
+                   ? refine_fsai_factor(a, g_pre, result.final_pattern,
+                                        &result.factor_stats, copts)
+                   : compute_fsai_factor(a, result.final_pattern,
+                                         &result.factor_stats, copts);
   }
 
   result.nnz_increase_pct =

@@ -26,6 +26,18 @@ class DenseMatrix {
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
 
+  /// Reshape to rows x cols with every entry reset to 0. Grow-only in terms
+  /// of capacity: shrinking or same-size reshapes reuse the existing
+  /// allocation, which is what lets the per-row FSAI/SPAI scratch matrices
+  /// amortize away per-row heap traffic.
+  void resize(index_t rows, index_t cols) {
+    FSAIC_REQUIRE(rows >= 0 && cols >= 0, "shape must be non-negative");
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                 0.0);
+  }
+
   [[nodiscard]] value_t& operator()(index_t i, index_t j) {
     return data_[static_cast<std::size_t>(j) * static_cast<std::size_t>(rows_) +
                  static_cast<std::size_t>(i)];

@@ -67,6 +67,23 @@ class Executor {
   virtual void allreduce_sum(std::span<value_t> partials, int width,
                              std::span<value_t> out) = 0;
 
+  /// Data-parallel loop over independent work items (the FSAI/SPAI setup row
+  /// solves): f(i, slot) for every i in [0, n), where `slot` identifies the
+  /// executing lane in [0, parallel_for_width()) so callers can index
+  /// per-thread scratch. Unlike parallel_ranks, the iteration space is not a
+  /// rank space: items are scheduled in chunks for load balance and the
+  /// assignment of items to slots is NOT deterministic — bodies must write
+  /// only item-private outputs and slot-private scratch. The sequential
+  /// executor runs the loop through OpenMP when compiled in (the historic
+  /// setup behaviour); the threaded executor runs it on the SPMD team, which
+  /// is what the OpenMP-free TSAN build races.
+  virtual void parallel_for(index_t n,
+                            const std::function<void(index_t, int)>& f) = 0;
+
+  /// Upper bound (exclusive) on the `slot` values parallel_for passes;
+  /// callers size per-thread scratch arrays with it.
+  [[nodiscard]] virtual int parallel_for_width() const = 0;
+
   [[nodiscard]] virtual ExecStats stats() const = 0;
 };
 
@@ -80,6 +97,9 @@ class SeqExecutor final : public Executor {
                       const std::function<void(rank_t)>& f) override;
   void allreduce_sum(std::span<value_t> partials, int width,
                      std::span<value_t> out) override;
+  void parallel_for(index_t n,
+                    const std::function<void(index_t, int)>& f) override;
+  [[nodiscard]] int parallel_for_width() const override;
   [[nodiscard]] ExecStats stats() const override;
 
  private:

@@ -1,5 +1,8 @@
 #include "exec/threaded_executor.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/error.hpp"
 
 namespace fsaic {
@@ -10,14 +13,22 @@ namespace {
 // from inside a superstep (e.g. a preconditioner that calls spmv from a rank
 // body) must not re-enter the engine — it would deadlock on the barriers —
 // so nested parallel regions degrade to an inline loop on the calling
-// thread.
+// thread. The worker slot is remembered alongside so a degraded
+// parallel_for still indexes that worker's private scratch.
 thread_local bool in_spmd_region = false;
+thread_local int spmd_worker_slot = 0;
 
 // RAII so the flag is restored even when a rank body throws (the engine
 // captures the exception and the worker thread lives on).
 struct SpmdRegionGuard {
-  SpmdRegionGuard() { in_spmd_region = true; }
-  ~SpmdRegionGuard() { in_spmd_region = false; }
+  explicit SpmdRegionGuard(int slot) {
+    in_spmd_region = true;
+    spmd_worker_slot = slot;
+  }
+  ~SpmdRegionGuard() {
+    in_spmd_region = false;
+    spmd_worker_slot = 0;
+  }
 };
 
 }  // namespace
@@ -37,12 +48,41 @@ void ThreadedExecutor::parallel_ranks(rank_t nranks,
     // Contiguous rank slice of thread t; empty when nranks < nthreads.
     const rank_t lo = static_cast<rank_t>(t) * nranks / nt;
     const rank_t hi = (static_cast<rank_t>(t) + 1) * nranks / nt;
-    const SpmdRegionGuard guard;
+    const SpmdRegionGuard guard(t);
     for (rank_t p = lo; p < hi; ++p) {
       f(p);
     }
   });
 }
+
+void ThreadedExecutor::parallel_for(index_t n,
+                                    const std::function<void(index_t, int)>& f) {
+  if (n <= 0) return;
+  if (in_spmd_region) {
+    const int slot = spmd_worker_slot;
+    for (index_t i = 0; i < n; ++i) f(i, slot);
+    return;
+  }
+  const auto nt = static_cast<index_t>(engine_.nthreads());
+  // Chunks sized for ~4 claims per worker, capped at 64 items (mirroring the
+  // dynamic,64 OpenMP schedule the setup row loops historically used).
+  const index_t chunk =
+      std::clamp<index_t>((n + 4 * nt - 1) / (4 * nt), 1, 64);
+  std::atomic<index_t> cursor{0};
+  engine_.run([&](int t) {
+    const SpmdRegionGuard guard(t);
+    for (;;) {
+      const index_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const index_t end = std::min<index_t>(n, begin + chunk);
+      for (index_t i = begin; i < end; ++i) {
+        f(i, t);
+      }
+    }
+  });
+}
+
+int ThreadedExecutor::parallel_for_width() const { return engine_.nthreads(); }
 
 void ThreadedExecutor::allreduce_sum(std::span<value_t> partials, int width,
                                      std::span<value_t> out) {

@@ -26,6 +26,12 @@ class ThreadedExecutor final : public Executor {
                       const std::function<void(rank_t)>& f) override;
   void allreduce_sum(std::span<value_t> partials, int width,
                      std::span<value_t> out) override;
+  /// Work items are claimed by the team in contiguous chunks off a shared
+  /// atomic cursor (the thread-team analogue of OpenMP's dynamic schedule),
+  /// so irregular per-row costs load-balance; `slot` is the worker id.
+  void parallel_for(index_t n,
+                    const std::function<void(index_t, int)>& f) override;
+  [[nodiscard]] int parallel_for_width() const override;
   [[nodiscard]] ExecStats stats() const override;
 
  private:

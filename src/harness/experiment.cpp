@@ -82,6 +82,8 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
   fopts.cache_line_bytes = config_.machine.l1.line_bytes;
   fopts.filter = method.filter;
   fopts.filter_strategy = method.strategy;
+  // The setup row loops run on the same executor as the solve.
+  fopts.exec = config_.solve.exec;
   using clock = std::chrono::steady_clock;
   const auto t_setup = clock::now();
   FsaiBuildResult build = build_fsai_preconditioner(sys.matrix, sys.layout, fopts);
@@ -133,12 +135,25 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
       std::chrono::duration<double>(t_solve - t_setup).count();
   rec->solve_seconds = std::chrono::duration<double>(t_done - t_solve).count();
 
+  const FsaiFactorStats& prov = build.provisional_factor_stats;
+  const FsaiFactorStats& fin = build.factor_stats;
+  rec->setup_rows_solved = prov.rows_solved + fin.rows_solved;
+  rec->setup_rows_reused = fin.rows_reused;
+  rec->setup_gram_entries = prov.gram_entries_gathered + fin.gram_entries_gathered;
+  rec->provisional_fallback_rows = prov.fallback_rows;
+  rec->provisional_degenerate_rows = prov.degenerate_rows;
+  rec->factor_fallback_rows = fin.fallback_rows;
+  rec->factor_degenerate_rows = fin.degenerate_rows;
+
   if (metrics_ != nullptr) {
     metrics_->add("runs", 1);
     metrics_->set("exec.threads",
                   resolve_executor(config_.solve.exec).nthreads());
     record_comm_stats(*metrics_, "solve", solve.comm);
     record_comm_stats(*metrics_, "setup", build.setup_comm);
+    metrics_->add("setup.rows_solved", rec->setup_rows_solved);
+    metrics_->add("setup.rows_reused", rec->setup_rows_reused);
+    metrics_->add("setup.gram_entries_gathered", rec->setup_gram_entries);
     metrics_->set("run.precond_gflops", rec->precond_gflops);
     metrics_->set("run.x_misses_per_gnnz", rec->x_misses_per_gnnz);
     metrics_->set("run.imbalance_g", rec->imbalance_g);
@@ -177,6 +192,13 @@ JsonValue run_record_to_json(const RunRecord& rec) {
   out["solve_neighbor_pairs"] = rec.solve_neighbor_pairs;
   out["setup_seconds"] = rec.setup_seconds;
   out["solve_seconds"] = rec.solve_seconds;
+  out["setup_rows_solved"] = rec.setup_rows_solved;
+  out["setup_rows_reused"] = rec.setup_rows_reused;
+  out["setup_gram_entries"] = rec.setup_gram_entries;
+  out["provisional_fallback_rows"] = rec.provisional_fallback_rows;
+  out["provisional_degenerate_rows"] = rec.provisional_degenerate_rows;
+  out["factor_fallback_rows"] = rec.factor_fallback_rows;
+  out["factor_degenerate_rows"] = rec.factor_degenerate_rows;
   return out;
 }
 
@@ -207,6 +229,13 @@ RunRecord run_record_from_json(const JsonValue& json) {
   rec.solve_neighbor_pairs = json.at("solve_neighbor_pairs").as_int();
   rec.setup_seconds = json.at("setup_seconds").as_double();
   rec.solve_seconds = json.at("solve_seconds").as_double();
+  rec.setup_rows_solved = json.at("setup_rows_solved").as_int();
+  rec.setup_rows_reused = json.at("setup_rows_reused").as_int();
+  rec.setup_gram_entries = json.at("setup_gram_entries").as_int();
+  rec.provisional_fallback_rows = json.at("provisional_fallback_rows").as_int();
+  rec.provisional_degenerate_rows = json.at("provisional_degenerate_rows").as_int();
+  rec.factor_fallback_rows = json.at("factor_fallback_rows").as_int();
+  rec.factor_degenerate_rows = json.at("factor_degenerate_rows").as_int();
   return rec;
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "dist/comm_scheme.hpp"
 #include "matgen/generators.hpp"
@@ -188,6 +190,92 @@ TEST(DriverTest, PartitionReducesHaloVersusNaiveBlocking) {
   const auto sys = partition_system(shuffled, 4);
   const auto smart_dist = DistCsr::distribute(sys.matrix, sys.layout);
   EXPECT_LT(smart_dist.halo_update_bytes(), naive_dist.halo_update_bytes());
+}
+
+void expect_same_factor(const CsrMatrix& x, const CsrMatrix& y) {
+  ASSERT_EQ(x.nnz(), y.nnz());
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const auto xc = x.row_cols(i);
+    const auto yc = y.row_cols(i);
+    ASSERT_TRUE(std::equal(xc.begin(), xc.end(), yc.begin(), yc.end()))
+        << "pattern row " << i;
+    const auto xv = x.row_vals(i);
+    const auto yv = y.row_vals(i);
+    for (std::size_t k = 0; k < xv.size(); ++k) {
+      EXPECT_EQ(xv[k], yv[k]) << "row " << i << " entry " << k;
+    }
+  }
+}
+
+class DriverIncrementalProperty
+    : public ::testing::TestWithParam<FilterStrategy> {};
+
+TEST_P(DriverIncrementalProperty, IncrementalRefactorIsBitIdentical) {
+  const auto a = poisson2d(20, 20);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  FsaiOptions opts;
+  opts.extension = ExtensionMode::CommAware;
+  opts.cache_line_bytes = 256;
+  opts.filter = 0.05;
+  opts.filter_strategy = GetParam();
+
+  opts.incremental_refactor = false;
+  const auto full = build_fsai_preconditioner(a, l, opts);
+  opts.incremental_refactor = true;
+  const auto incr = build_fsai_preconditioner(a, l, opts);
+
+  expect_same_factor(full.g, incr.g);
+  // Filtering removed entries, so some rows shrank (re-solved) and some
+  // survived untouched (reused) — and every row is accounted for.
+  ASSERT_LT(incr.final_pattern.nnz(), incr.extended_pattern.nnz());
+  EXPECT_GT(incr.factor_stats.rows_reused, 0);
+  EXPECT_EQ(incr.factor_stats.rows_solved + incr.factor_stats.rows_reused,
+            a.rows());
+  // The full recompute solves everything and reuses nothing.
+  EXPECT_EQ(full.factor_stats.rows_reused, 0);
+  EXPECT_EQ(full.factor_stats.rows_solved, a.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, DriverIncrementalProperty,
+                         ::testing::Values(FilterStrategy::Static,
+                                           FilterStrategy::Dynamic));
+
+TEST(DriverTest, ProvisionalStatsAreKeptSeparateFromFinalStats) {
+  const auto a = poisson2d(16, 16);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  FsaiOptions opts;
+  opts.extension = ExtensionMode::CommAware;
+  opts.cache_line_bytes = 256;
+  opts.filter = 0.05;
+  const auto build = build_fsai_preconditioner(a, l, opts);
+
+  // Step 4 solved every row of the extended pattern; step 5's stats no
+  // longer overwrite that record.
+  EXPECT_EQ(build.provisional_factor_stats.rows_solved, a.rows());
+  EXPECT_EQ(build.provisional_factor_stats.rows_reused, 0);
+  EXPECT_EQ(build.factor_stats.rows_solved + build.factor_stats.rows_reused,
+            a.rows());
+
+  // Without filtering there is no provisional factorization at all.
+  FsaiOptions plain;
+  const auto base = build_fsai_preconditioner(a, l, plain);
+  EXPECT_EQ(base.provisional_factor_stats.rows_solved, 0);
+  EXPECT_EQ(base.factor_stats.rows_solved, a.rows());
+}
+
+TEST(DriverTest, ReferenceAssemblyBuildMatchesGatherBuild) {
+  const auto a = poisson2d(14, 14);
+  const Layout l = Layout::blocked(a.rows(), 4);
+  FsaiOptions opts;
+  opts.extension = ExtensionMode::CommAware;
+  opts.cache_line_bytes = 256;
+  opts.filter = 0.05;
+
+  opts.assembly = GramAssembly::Gather;
+  const auto gather = build_fsai_preconditioner(a, l, opts);
+  opts.assembly = GramAssembly::Reference;
+  const auto ref = build_fsai_preconditioner(a, l, opts);
+  expect_same_factor(ref.g, gather.g);
 }
 
 class DriverModeProperty : public ::testing::TestWithParam<ExtensionMode> {};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "matgen/generators.hpp"
@@ -110,6 +111,124 @@ TEST(FsaiTest, DegenerateRowFallsBackToJacobiScaling) {
   // Degenerate row degrades to 1/sqrt(a_ii).
   EXPECT_NEAR(g.at(1, 1), 1.0, 1e-14);
   EXPECT_NEAR(g.at(1, 0), 0.0, 1e-14);
+}
+
+/// EXPECT_EQ on every stored value: the gather assembly must be bit-identical
+/// to the reference path, not merely close.
+void expect_factors_bit_identical(const CsrMatrix& ref, const CsrMatrix& test) {
+  ASSERT_EQ(ref.rows(), test.rows());
+  ASSERT_EQ(ref.nnz(), test.nnz());
+  for (index_t i = 0; i < ref.rows(); ++i) {
+    const auto rc = ref.row_cols(i);
+    const auto tc = test.row_cols(i);
+    ASSERT_TRUE(std::equal(rc.begin(), rc.end(), tc.begin(), tc.end()))
+        << "pattern row " << i;
+    const auto rv = ref.row_vals(i);
+    const auto tv = test.row_vals(i);
+    for (std::size_t k = 0; k < rv.size(); ++k) {
+      EXPECT_EQ(rv[k], tv[k]) << "row " << i << " entry " << k;
+    }
+  }
+}
+
+TEST(FsaiGatherTest, BitIdenticalToReferenceAcrossPatternLevels) {
+  const auto a = poisson2d(12, 12);
+  for (int level = 1; level <= 3; ++level) {
+    const auto s = fsai_base_pattern(a, level, 0.0);
+    FsaiFactorStats ref_stats;
+    FsaiFactorStats gather_stats;
+    const auto g_ref = compute_fsai_factor(
+        a, s, &ref_stats, {.assembly = GramAssembly::Reference});
+    const auto g_gather = compute_fsai_factor(
+        a, s, &gather_stats, {.assembly = GramAssembly::Gather});
+    expect_factors_bit_identical(g_ref, g_gather);
+    EXPECT_EQ(ref_stats.fallback_rows, gather_stats.fallback_rows);
+    EXPECT_EQ(ref_stats.degenerate_rows, gather_stats.degenerate_rows);
+  }
+}
+
+TEST(FsaiGatherTest, BitIdenticalToReferenceOn3dStencil) {
+  const auto a = stencil27(5, 5, 5);
+  const auto s = fsai_base_pattern(a, 2, 0.0);
+  const auto g_ref = compute_fsai_factor(
+      a, s, nullptr, {.assembly = GramAssembly::Reference});
+  const auto g_gather = compute_fsai_factor(
+      a, s, nullptr, {.assembly = GramAssembly::Gather});
+  expect_factors_bit_identical(g_ref, g_gather);
+}
+
+TEST(FsaiGatherTest, BitIdenticalToReferenceOnRandomSpd) {
+  for (const std::uint64_t seed : {1u, 7u, 21u}) {
+    const auto a = random_spd(40, 5, seed);
+    const auto s = fsai_base_pattern(a, 2, 0.0);
+    const auto g_ref = compute_fsai_factor(
+        a, s, nullptr, {.assembly = GramAssembly::Reference});
+    const auto g_gather = compute_fsai_factor(
+        a, s, nullptr, {.assembly = GramAssembly::Gather});
+    expect_factors_bit_identical(g_ref, g_gather);
+  }
+}
+
+TEST(FsaiGatherTest, BitIdenticalOnDegenerateJacobiFallback) {
+  // The singular [[1,1],[1,1]] system exercises the Cholesky-failure +
+  // Jacobi-degrade path in both assemblies (the gather path re-gathers the
+  // full matrix for the fallback solve).
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add_symmetric(1, 0, 1.0);
+  b.add(1, 1, 1.0);
+  const auto a = b.to_csr();
+  FsaiFactorStats ref_stats;
+  FsaiFactorStats gather_stats;
+  const auto g_ref = compute_fsai_factor(
+      a, full_lower(2), &ref_stats, {.assembly = GramAssembly::Reference});
+  const auto g_gather = compute_fsai_factor(
+      a, full_lower(2), &gather_stats, {.assembly = GramAssembly::Gather});
+  expect_factors_bit_identical(g_ref, g_gather);
+  EXPECT_EQ(gather_stats.degenerate_rows, 1);
+  // Same solve outcomes; only the gather counter differs by construction.
+  EXPECT_EQ(ref_stats.fallback_rows, gather_stats.fallback_rows);
+  EXPECT_EQ(ref_stats.degenerate_rows, gather_stats.degenerate_rows);
+  EXPECT_EQ(ref_stats.rows_solved, gather_stats.rows_solved);
+}
+
+TEST(FsaiGatherTest, StatsAccountRowsAndGatheredEntries) {
+  const auto a = poisson2d(8, 8);
+  const auto s = fsai_base_pattern(a, 2, 0.0);
+  FsaiFactorStats stats;
+  (void)compute_fsai_factor(a, s, &stats, {.assembly = GramAssembly::Gather});
+  EXPECT_EQ(stats.rows_solved, a.rows());
+  EXPECT_EQ(stats.rows_reused, 0);
+  EXPECT_GT(stats.gram_entries_gathered, 0);
+  // The reference path performs no gathers.
+  FsaiFactorStats ref_stats;
+  (void)compute_fsai_factor(a, s, &ref_stats,
+                            {.assembly = GramAssembly::Reference});
+  EXPECT_EQ(ref_stats.gram_entries_gathered, 0);
+}
+
+TEST(FsaiRefineTest, RefineEqualsFullRecomputeAndReusesUnchangedRows) {
+  const auto a = poisson2d(10, 10);
+  const auto s_ext = fsai_base_pattern(a, 2, 0.0);
+  const auto s_final = fsai_base_pattern(a, 1, 0.0);  // strict subset pattern
+  const auto g_pre = compute_fsai_factor(a, s_ext);
+  FsaiFactorStats stats;
+  const auto g_refined = refine_fsai_factor(a, g_pre, s_final, &stats);
+  const auto g_full = compute_fsai_factor(a, s_final);
+  expect_factors_bit_identical(g_full, g_refined);
+  // Every final row either got reused or re-solved.
+  EXPECT_EQ(stats.rows_solved + stats.rows_reused, a.rows());
+}
+
+TEST(FsaiRefineTest, IdenticalPatternReusesEveryRow) {
+  const auto a = poisson2d(6, 6);
+  const auto s = fsai_base_pattern(a, 1, 0.0);
+  const auto g_pre = compute_fsai_factor(a, s);
+  FsaiFactorStats stats;
+  const auto g = refine_fsai_factor(a, g_pre, s, &stats);
+  expect_factors_bit_identical(g_pre, g);
+  EXPECT_EQ(stats.rows_reused, a.rows());
+  EXPECT_EQ(stats.rows_solved, 0);
 }
 
 class FsaiSpdProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <thread>
@@ -8,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/fsai_driver.hpp"
+#include "core/spai.hpp"
 #include "dist/dist_csr.hpp"
 #include "exec/barrier.hpp"
 #include "exec/exec_policy.hpp"
@@ -136,6 +138,140 @@ TEST(ExecutorTest, ExceptionsInRankBodiesPropagateToTheCaller) {
   std::atomic<int> count{0};
   exec.parallel_ranks(8, [&](rank_t) { ++count; });
   EXPECT_EQ(count.load(), 8);
+}
+
+// ---- parallel_for -------------------------------------------------------
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnceOnBothExecutors) {
+  SeqExecutor seq;
+  ThreadedExecutor thr(4);
+  for (Executor* exec : {static_cast<Executor*>(&seq),
+                         static_cast<Executor*>(&thr)}) {
+    constexpr index_t kItems = 1000;
+    const int width = std::max(1, exec->parallel_for_width());
+    std::vector<std::atomic<int>> visits(kItems);
+    std::atomic<bool> slot_ok{true};
+    exec->parallel_for(kItems, [&](index_t i, int slot) {
+      if (slot < 0 || slot >= width) slot_ok = false;
+      ++visits[static_cast<std::size_t>(i)];
+    });
+    EXPECT_TRUE(slot_ok.load());
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyAndTinyLoopsWork) {
+  ThreadedExecutor exec(3);
+  std::atomic<int> count{0};
+  exec.parallel_for(0, [&](index_t, int) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  exec.parallel_for(1, [&](index_t, int) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, SlotPrivateAccumulatorsCoverTheWholeSum) {
+  ThreadedExecutor exec(4);
+  constexpr index_t kItems = 5000;
+  std::vector<std::int64_t> partial(
+      static_cast<std::size_t>(exec.parallel_for_width()), 0);
+  exec.parallel_for(kItems, [&](index_t i, int slot) {
+    partial[static_cast<std::size_t>(slot)] += i;
+  });
+  std::int64_t total = 0;
+  for (const auto p : partial) total += p;
+  EXPECT_EQ(total, static_cast<std::int64_t>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(ParallelForTest, NestedInsideRankBodyDegradesToInlineLoop) {
+  ThreadedExecutor exec(2);
+  std::vector<std::atomic<int>> visits(16);
+  exec.parallel_ranks(1, [&](rank_t) {
+    // Must not deadlock on the team barriers, and must pass the calling
+    // worker's slot so scratch indexing stays valid.
+    exec.parallel_for(16, [&](index_t i, int slot) {
+      EXPECT_GE(slot, 0);
+      EXPECT_LT(slot, exec.parallel_for_width());
+      ++visits[static_cast<std::size_t>(i)];
+    });
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+// ---- setup determinism across executors ---------------------------------
+
+void expect_same_factor_bits(const CsrMatrix& x, const CsrMatrix& y) {
+  ASSERT_EQ(x.nnz(), y.nnz());
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const auto xv = x.row_vals(i);
+    const auto yv = y.row_vals(i);
+    ASSERT_EQ(xv.size(), yv.size()) << "row " << i;
+    for (std::size_t k = 0; k < xv.size(); ++k) {
+      EXPECT_EQ(xv[k], yv[k]) << "row " << i << " entry " << k;
+    }
+  }
+}
+
+TEST(ExecSetupTest, FsaiFactorIsBitIdenticalAcrossExecutors) {
+  const auto a = poisson2d(15, 15);
+  const auto s = fsai_base_pattern(a, 2, 0.0);
+
+  SeqExecutor seq;
+  FsaiComputeOptions opts;
+  opts.exec = &seq;
+  const auto g_seq = compute_fsai_factor(a, s, nullptr, opts);
+
+  for (const int nthreads : {2, 5}) {
+    ThreadedExecutor thr(nthreads);
+    opts.exec = &thr;
+    const auto g_thr = compute_fsai_factor(a, s, nullptr, opts);
+    expect_same_factor_bits(g_seq, g_thr);
+  }
+}
+
+TEST(ExecSetupTest, FilteredBuildIsBitIdenticalAcrossExecutors) {
+  const auto a = poisson2d(14, 14);
+  const Layout layout = Layout::blocked(a.rows(), 4);
+  FsaiOptions fopts;
+  fopts.extension = ExtensionMode::CommAware;
+  fopts.cache_line_bytes = 256;
+  fopts.filter = 0.05;
+
+  SeqExecutor seq;
+  fopts.exec = &seq;
+  const auto build_seq = build_fsai_preconditioner(a, layout, fopts);
+
+  for (const int nthreads : {2, 5}) {
+    ThreadedExecutor thr(nthreads);
+    fopts.exec = &thr;
+    const auto build_thr = build_fsai_preconditioner(a, layout, fopts);
+    expect_same_factor_bits(build_seq.g, build_thr.g);
+    // The incremental row accounting is schedule-independent too.
+    EXPECT_EQ(build_seq.factor_stats.rows_solved,
+              build_thr.factor_stats.rows_solved);
+    EXPECT_EQ(build_seq.factor_stats.rows_reused,
+              build_thr.factor_stats.rows_reused);
+    EXPECT_EQ(build_seq.provisional_factor_stats.rows_solved,
+              build_thr.provisional_factor_stats.rows_solved);
+  }
+}
+
+TEST(ExecSetupTest, SpaiIsBitIdenticalAcrossExecutorsAndAssemblies) {
+  const auto a = poisson2d(10, 10);
+  const auto s = a.pattern();
+
+  SpaiComputeOptions opts;
+  SeqExecutor seq;
+  opts.exec = &seq;
+  opts.assembly = GramAssembly::Reference;
+  const auto m_ref = compute_spai(a, s, opts);
+  opts.assembly = GramAssembly::Gather;
+  const auto m_seq = compute_spai(a, s, opts);
+  expect_same_factor_bits(m_ref, m_seq);
+
+  ThreadedExecutor thr(3);
+  opts.exec = &thr;
+  const auto m_thr = compute_spai(a, s, opts);
+  expect_same_factor_bits(m_seq, m_thr);
 }
 
 // ---- ExecPolicy ---------------------------------------------------------

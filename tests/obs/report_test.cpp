@@ -122,6 +122,13 @@ TEST(ReportTest, RunRecordRoundTripsThroughJsonl) {
   rec.solve_neighbor_pairs = 22;
   rec.setup_seconds = 0.03125;
   rec.solve_seconds = 0.015625;
+  rec.setup_rows_solved = 6144;
+  rec.setup_rows_reused = 2048;
+  rec.setup_gram_entries = (std::int64_t{1} << 40) + 3;
+  rec.provisional_fallback_rows = 2;
+  rec.provisional_degenerate_rows = 1;
+  rec.factor_fallback_rows = 3;
+  rec.factor_degenerate_rows = 0;
 
   // Through the writer and parser, as the bench artifacts travel.
   std::ostringstream out;
@@ -158,6 +165,13 @@ TEST(ReportTest, RunRecordRoundTripsThroughJsonl) {
   EXPECT_EQ(back.solve_neighbor_pairs, rec.solve_neighbor_pairs);
   EXPECT_DOUBLE_EQ(back.setup_seconds, rec.setup_seconds);
   EXPECT_DOUBLE_EQ(back.solve_seconds, rec.solve_seconds);
+  EXPECT_EQ(back.setup_rows_solved, rec.setup_rows_solved);
+  EXPECT_EQ(back.setup_rows_reused, rec.setup_rows_reused);
+  EXPECT_EQ(back.setup_gram_entries, rec.setup_gram_entries);
+  EXPECT_EQ(back.provisional_fallback_rows, rec.provisional_fallback_rows);
+  EXPECT_EQ(back.provisional_degenerate_rows, rec.provisional_degenerate_rows);
+  EXPECT_EQ(back.factor_fallback_rows, rec.factor_fallback_rows);
+  EXPECT_EQ(back.factor_degenerate_rows, rec.factor_degenerate_rows);
 }
 
 }  // namespace

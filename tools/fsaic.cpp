@@ -210,6 +210,9 @@ int cmd_solve(const Args& args) {
   std::unique_ptr<Preconditioner> precond;
   const CostModel cost(machine, {.threads_per_rank = threads});
   double apply_cost = 0.0;
+  // Setup accounting of the factorized build, attached to the report's run
+  // record (stays null for the non-FSAI methods and loaded factors).
+  JsonValue setup_json;
   if (method == "none") {
     precond = std::make_unique<IdentityPreconditioner>();
   } else if (method == "jacobi") {
@@ -228,6 +231,7 @@ int cmd_solve(const Args& args) {
   } else {
     FsaiOptions opts;
     opts.cache_line_bytes = machine.l1.line_bytes;
+    opts.exec = exec.get();
     opts.trace = trace;
     opts.filter = filter;
     opts.filter_strategy =
@@ -268,6 +272,22 @@ int cmd_solve(const Args& args) {
         save_factor(args.get("save-factor", ""), build.g, sys.layout);
         std::cout << "factor saved to " << args.get("save-factor", "") << "\n";
       }
+      setup_json = JsonValue::object();
+      setup_json["g_nnz"] = build.g.nnz();
+      setup_json["rows_solved"] =
+          static_cast<std::int64_t>(build.provisional_factor_stats.rows_solved) +
+          static_cast<std::int64_t>(build.factor_stats.rows_solved);
+      setup_json["rows_reused"] =
+          static_cast<std::int64_t>(build.factor_stats.rows_reused);
+      setup_json["gram_entries_gathered"] =
+          build.provisional_factor_stats.gram_entries_gathered +
+          build.factor_stats.gram_entries_gathered;
+      setup_json["provisional_fallback_rows"] =
+          build.provisional_factor_stats.fallback_rows;
+      setup_json["provisional_degenerate_rows"] =
+          build.provisional_factor_stats.degenerate_rows;
+      setup_json["fallback_rows"] = build.factor_stats.fallback_rows;
+      setup_json["degenerate_rows"] = build.factor_stats.degenerate_rows;
       apply_cost = cost.spmv_cost(build.g_dist).total() +
                    cost.spmv_cost(build.gt_dist).total();
       precond = std::make_unique<FactorizedPreconditioner>(
@@ -338,6 +358,7 @@ int cmd_solve(const Args& args) {
     rec["initial_residual"] = static_cast<double>(r.initial_residual);
     rec["final_residual"] = static_cast<double>(r.final_residual);
     rec["comm"] = comm_stats_to_json(r.comm);
+    if (!setup_json.is_null()) rec["setup"] = setup_json;
     report->write(rec);
     for (const auto& s : sink.samples()) {
       JsonValue line;
