@@ -10,7 +10,8 @@ namespace fsaic {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'S', 'A', 'I', 'C', 'F', '1', '\0'};
+constexpr char kMagicV1[8] = {'F', 'S', 'A', 'I', 'C', 'F', '1', '\0'};
+constexpr char kMagicV2[8] = {'F', 'S', 'A', 'I', 'C', 'F', '2', '\0'};
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -43,16 +44,24 @@ std::vector<T> read_vector(std::istream& in, std::size_t count) {
 }  // namespace
 
 void save_factor(const std::string& path, const CsrMatrix& g,
-                 const Layout& layout) {
+                 const Layout& layout,
+                 std::optional<MatrixFingerprint> built_for) {
   FSAIC_REQUIRE(g.rows() == layout.global_size(),
                 "factor and layout sizes must agree");
   std::ofstream out(path, std::ios::binary);
   FSAIC_REQUIRE(out.good(), "cannot open for writing: " + path);
-  out.write(kMagic, sizeof(kMagic));
+  out.write(kMagicV2, sizeof(kMagicV2));
   write_pod(out, layout.nranks());
   for (rank_t p = 0; p <= layout.nranks(); ++p) {
     const index_t begin = p < layout.nranks() ? layout.begin(p) : layout.global_size();
     write_pod(out, begin);
+  }
+  write_pod(out, static_cast<std::int32_t>(built_for.has_value() ? 1 : 0));
+  if (built_for.has_value()) {
+    write_pod(out, built_for->rows);
+    write_pod(out, built_for->cols);
+    write_pod(out, built_for->nnz);
+    write_pod(out, built_for->content_hash);
   }
   write_pod(out, g.rows());
   write_pod(out, g.cols());
@@ -68,13 +77,29 @@ SavedFactor load_factor(const std::string& path) {
   FSAIC_REQUIRE(in.good(), "cannot open: " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  FSAIC_REQUIRE(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                "not a FSAIC factor file: " + path);
+  const bool v2 =
+      in.good() && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0;
+  const bool v1 =
+      in.good() && std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0;
+  FSAIC_REQUIRE(v1 || v2, "not a FSAIC factor file: " + path);
   const auto nranks = read_pod<rank_t>(in);
   FSAIC_REQUIRE(nranks >= 1 && nranks < (1 << 24), "implausible rank count");
   std::vector<index_t> begin(static_cast<std::size_t>(nranks) + 1);
   for (auto& b : begin) {
     b = read_pod<index_t>(in);
+  }
+  std::optional<MatrixFingerprint> built_for;
+  if (v2) {
+    const auto has_fp = read_pod<std::int32_t>(in);
+    FSAIC_REQUIRE(has_fp == 0 || has_fp == 1, "corrupt fingerprint flag");
+    if (has_fp == 1) {
+      MatrixFingerprint fp;
+      fp.rows = read_pod<index_t>(in);
+      fp.cols = read_pod<index_t>(in);
+      fp.nnz = read_pod<offset_t>(in);
+      fp.content_hash = read_pod<std::uint64_t>(in);
+      built_for = fp;
+    }
   }
   const auto rows = read_pod<index_t>(in);
   const auto cols = read_pod<index_t>(in);
@@ -85,10 +110,21 @@ SavedFactor load_factor(const std::string& path) {
   auto values = read_vector<value_t>(in, static_cast<std::size_t>(nnz));
   SavedFactor out{CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
                             std::move(values)),
-                  Layout(std::move(begin))};
+                  Layout(std::move(begin)), built_for};
   FSAIC_REQUIRE(out.layout.global_size() == out.g.rows(),
                 "factor/layout mismatch in file");
   return out;
+}
+
+void require_factor_matches(const SavedFactor& saved, const CsrMatrix& a) {
+  if (!saved.built_for.has_value()) return;
+  const MatrixFingerprint actual = fingerprint_of(a);
+  if (actual == *saved.built_for) return;
+  throw Error(
+      "saved factor was built for a different matrix: factor file records (" +
+      saved.built_for->to_string() + ") but the loaded system is (" +
+      actual.to_string() +
+      "); rebuild the factor or pass the matrix it was saved from");
 }
 
 }  // namespace fsaic

@@ -6,30 +6,52 @@
 // for, so a reload reconstructs the distributed G / G^T pair exactly.
 //
 // Layout (little-endian, fixed-width):
-//   magic   "FSAICF1\0"             8 bytes
+//   magic   "FSAICF2\0"             8 bytes
 //   nranks  int32
 //   rank_begin[nranks+1]            int32 each
+//   has_fp  int32                   1 when a build-matrix fingerprint follows
+//   fp.rows, fp.cols                int32 each    (has_fp == 1 only)
+//   fp.nnz                          int64
+//   fp.content_hash                 uint64
 //   rows, cols                      int32 each
 //   nnz                             int64
 //   row_ptr[rows+1]                 int64 each
 //   col_idx[nnz]                    int32 each
 //   values[nnz]                     float64 each
+//
+// Version 1 files ("FSAICF1\0", no fingerprint block) still load; their
+// SavedFactor carries no fingerprint and skips the ownership check.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "dist/layout.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/fingerprint.hpp"
 
 namespace fsaic {
 
 struct SavedFactor {
   CsrMatrix g;
   Layout layout;
+  /// Fingerprint of the system matrix the factor was built for (absent in
+  /// version-1 files).
+  std::optional<MatrixFingerprint> built_for;
 };
 
-void save_factor(const std::string& path, const CsrMatrix& g, const Layout& layout);
+/// Serialize factor G. `built_for` should be the fingerprint of the
+/// (partition-permuted) system matrix the factor preconditions, so a later
+/// load can verify the factor belongs to the matrix it is applied to.
+void save_factor(const std::string& path, const CsrMatrix& g,
+                 const Layout& layout,
+                 std::optional<MatrixFingerprint> built_for = std::nullopt);
 
 [[nodiscard]] SavedFactor load_factor(const std::string& path);
+
+/// Throw fsaic::Error with a descriptive message when `saved` carries a
+/// fingerprint that does not match matrix `a` (dims, nnz or content hash).
+/// Fingerprint-less (version-1) factors pass the check unchallenged.
+void require_factor_matches(const SavedFactor& saved, const CsrMatrix& a);
 
 }  // namespace fsaic

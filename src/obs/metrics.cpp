@@ -1,6 +1,55 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace fsaic {
+
+void HistogramData::observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  int b = 0;
+  if (value >= 1.0) {
+    b = std::min(kBuckets - 1, 1 + std::ilogb(value));
+  }
+  ++buckets[static_cast<std::size_t>(b)];
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count)));
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      // Upper edge of bucket b, clipped to the observed extrema.
+      const double edge = b == 0 ? 1.0 : std::ldexp(1.0, b);
+      return std::clamp(edge, min, max);
+    }
+  }
+  return max;
+}
+
+JsonValue HistogramData::to_json() const {
+  JsonValue out = JsonValue::object();
+  out["count"] = count;
+  out["sum"] = sum;
+  out["min"] = min;
+  out["max"] = max;
+  out["mean"] = mean();
+  out["p50"] = quantile(0.50);
+  out["p95"] = quantile(0.95);
+  out["p99"] = quantile(0.99);
+  return out;
+}
 
 std::string MetricsRegistry::key(std::string_view name, rank_t rank) {
   std::string k(name);
@@ -34,9 +83,22 @@ double MetricsRegistry::gauge(std::string_view name, rank_t rank) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+void MetricsRegistry::observe(std::string_view name, double value,
+                              rank_t rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[key(name, rank)].observe(value);
+}
+
+HistogramData MetricsRegistry::histogram(std::string_view name,
+                                         rank_t rank) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(key(name, rank));
+  return it == histograms_.end() ? HistogramData{} : it->second;
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return {counters_, gauges_};
+  return {counters_, gauges_, histograms_};
 }
 
 JsonValue MetricsRegistry::to_json() const {
@@ -48,6 +110,11 @@ JsonValue MetricsRegistry::to_json() const {
   for (const auto& [k, v] : snap.gauges) gauges[k] = v;
   out["counters"] = std::move(counters);
   out["gauges"] = std::move(gauges);
+  if (!snap.histograms.empty()) {
+    JsonValue hists = JsonValue::object();
+    for (const auto& [k, v] : snap.histograms) hists[k] = v.to_json();
+    out["histograms"] = std::move(hists);
+  }
   return out;
 }
 
@@ -55,6 +122,7 @@ void MetricsRegistry::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 void record_comm_stats(MetricsRegistry& metrics, std::string_view prefix,

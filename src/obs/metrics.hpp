@@ -1,8 +1,10 @@
-// Thread-safe registry of named counters and gauges with an optional
-// per-rank dimension.
+// Thread-safe registry of named counters, gauges and latency histograms
+// with an optional per-rank dimension.
 //
 // Counters are monotonic int64 accumulators (bytes, messages, runs); gauges
-// are last-written doubles (GFLOP/s, misses/nnz, imbalance). A metric can be
+// are last-written doubles (GFLOP/s, misses/nnz, imbalance); histograms are
+// log2-bucketed distributions of observed values (the solve service feeds
+// its per-request queue-wait/setup/solve latencies here). A metric can be
 // recorded globally (rank = kGlobal) or per simulated rank — the flattened
 // key "name.rank<p>" keeps snapshots and JSON exports flat and greppable.
 // CommStats feeds in through record_comm_stats(); the experiment runner and
@@ -14,12 +16,35 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "dist/comm_stats.hpp"
 #include "obs/json.hpp"
 
 namespace fsaic {
+
+/// Log2-bucketed distribution: bucket i counts observations in
+/// [2^(i-1), 2^i) (bucket 0 holds everything below 1.0). 64 buckets cover
+/// the full double range that matters for latencies in microseconds.
+struct HistogramData {
+  static constexpr int kBuckets = 64;
+  std::vector<std::int64_t> buckets = std::vector<std::int64_t>(kBuckets, 0);
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void observe(double value);
+  [[nodiscard]] double mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Upper edge of the bucket containing the q-quantile (q in [0, 1]) — a
+  /// conservative estimate good to a factor of 2, which is what log-scale
+  /// latency reporting needs.
+  [[nodiscard]] double quantile(double q) const;
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,
+  ///  "p99":..}
+  [[nodiscard]] JsonValue to_json() const;
+};
 
 class MetricsRegistry {
  public:
@@ -39,9 +64,17 @@ class MetricsRegistry {
   /// Current gauge value (0.0 if never set).
   [[nodiscard]] double gauge(std::string_view name, rank_t rank = kGlobal) const;
 
+  /// Record one observation into a histogram.
+  void observe(std::string_view name, double value, rank_t rank = kGlobal);
+
+  /// Copy of a histogram's current state (empty/default if never observed).
+  [[nodiscard]] HistogramData histogram(std::string_view name,
+                                        rank_t rank = kGlobal) const;
+
   struct Snapshot {
     std::map<std::string, std::int64_t> counters;  ///< by flattened key
     std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
   };
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -57,6 +90,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
 };
 
 /// Fold a CommStats block into the registry under `prefix`: global counters

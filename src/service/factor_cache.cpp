@@ -1,0 +1,57 @@
+#include "service/factor_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace fsaic {
+
+std::shared_ptr<const CachedFactor> FactorCache::get(const Key& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.factor;
+}
+
+void FactorCache::put(const Key& key,
+                      std::shared_ptr<const CachedFactor> factor) {
+  FSAIC_REQUIRE(factor != nullptr, "cannot cache a null factor");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.factor = std::move(factor);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Key& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(factor), lru_.begin()});
+  ++stats_.insertions;
+}
+
+FactorCacheStats FactorCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t FactorCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void FactorCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace fsaic

@@ -1,0 +1,89 @@
+// LRU cache of built FSAI factors, keyed by matrix content.
+//
+// Setup is the expensive phase of the FSAI family (see bench/amortization
+// and bench/setup_speed); a serving workload that sees the same operator
+// for many right-hand sides should pay it once. The key combines the
+// matrix fingerprint (dims + nnz + content hash of the partition-permuted
+// system) with a build-configuration string (method, filter, strategy,
+// rank count), so same-shape matrices with different values, or the same
+// matrix built with different options, occupy distinct slots. Entries are
+// shared_ptr so an evicted factor stays alive while an in-flight batch is
+// still solving with it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dist/layout.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/fingerprint.hpp"
+
+namespace fsaic {
+
+/// A built factor ready for reuse: distribute g over `layout` to recover the
+/// G / G^T pair the preconditioner applies.
+struct CachedFactor {
+  CsrMatrix g;
+  Layout layout;
+  double build_seconds = 0.0;  ///< wall time of the original build
+};
+
+struct FactorCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+};
+
+class FactorCache {
+ public:
+  /// `capacity` = maximum number of resident factors; 0 disables caching
+  /// (every get misses, puts are dropped).
+  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Key {
+    MatrixFingerprint fingerprint;
+    std::string config;  ///< build options, e.g. "fsaie-comm|0.01|dynamic|8"
+
+    bool operator==(const Key&) const = default;
+    bool operator<(const Key& o) const {
+      const auto tie = [](const Key& k) {
+        return std::tie(k.config, k.fingerprint.rows, k.fingerprint.cols,
+                        k.fingerprint.nnz, k.fingerprint.content_hash);
+      };
+      return tie(*this) < tie(o);
+    }
+  };
+
+  /// Look up a factor; null on miss. A hit moves the entry to
+  /// most-recently-used. Counts into stats either way.
+  [[nodiscard]] std::shared_ptr<const CachedFactor> get(const Key& key);
+
+  /// Insert (or refresh) a factor; evicts the least-recently-used entry
+  /// when at capacity.
+  void put(const Key& key, std::shared_ptr<const CachedFactor> factor);
+
+  [[nodiscard]] FactorCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedFactor> factor;
+    std::list<Key>::iterator lru_pos;  ///< position in lru_ (front = newest)
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Key> lru_;
+  std::map<Key, Entry> entries_;
+  FactorCacheStats stats_;
+};
+
+}  // namespace fsaic

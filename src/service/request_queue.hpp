@@ -1,0 +1,90 @@
+// Bounded MPMC queue: the admission boundary of the solve service.
+//
+// Producers (SolveService::submit) use try_push, which fails immediately
+// when the queue is at capacity — admission control turns that failure into
+// a reject-with-reason response instead of blocking the caller (the
+// backpressure contract of the service). Consumers (the worker pool) block
+// in pop until an item arrives or the queue is closed. drain_if lets a
+// worker that just dequeued a request also collect every queued request
+// with the same batch key, which is how the multi-RHS batcher coalesces
+// work without a separate scheduler thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace fsaic {
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking enqueue; false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; empty optional once the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Remove and return every queued item satisfying `pred`, preserving
+  /// arrival order; items not matching stay queued in order.
+  template <typename Pred>
+  std::vector<T> drain_if(Pred pred) {
+    std::vector<T> out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<T> keep;
+    for (auto& item : items_) {
+      if (pred(item)) {
+        out.push_back(std::move(item));
+      } else {
+        keep.push_back(std::move(item));
+      }
+    }
+    items_.swap(keep);
+    return out;
+  }
+
+  /// Wake all blocked consumers; subsequent pushes fail. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace fsaic

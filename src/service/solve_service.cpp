@@ -1,0 +1,487 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/rng.hpp"
+#include "core/fsai_driver.hpp"
+#include "exec/exec_policy.hpp"
+#include "matgen/suite.hpp"
+#include "solver/pcg.hpp"
+#include "solver/pipelined_cg.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/ops.hpp"
+
+namespace fsaic {
+
+namespace {
+
+double us_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+ExtensionMode extension_of(const std::string& method) {
+  if (method == "fsai") return ExtensionMode::None;
+  if (method == "fsaie") return ExtensionMode::LocalOnly;
+  if (method == "fsaie-comm") return ExtensionMode::CommAware;
+  FSAIC_CHECK(method == "fsaie-full", "unexpected method " + method);
+  return ExtensionMode::FullHalo;
+}
+
+/// The paper's synthesized right-hand side (the exact sequence `fsaic
+/// solve` uses), permuted into the partitioned numbering.
+std::vector<value_t> synthesize_rhs(std::uint64_t seed, index_t n) {
+  Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.next_uniform(-1.0, 1.0);
+  return b;
+}
+
+std::vector<value_t> permute_rhs(std::span<const value_t> global,
+                                 std::span<const index_t> perm) {
+  std::vector<value_t> out(global.size());
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    out[static_cast<std::size_t>(perm[i])] = global[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+SolveService::SolveService(ServiceOptions options, ResponseHandler on_response)
+    : options_(options),
+      on_response_(std::move(on_response)),
+      queue_(options.queue_capacity),
+      cache_(options.cache_capacity) {
+  FSAIC_REQUIRE(options_.workers >= 1, "service needs at least one worker");
+  FSAIC_REQUIRE(options_.solver_threads >= 1, "solver_threads must be >= 1");
+  FSAIC_REQUIRE(on_response_ != nullptr, "service needs a response handler");
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SolveService::~SolveService() {
+  queue_.close();
+  for (auto& t : workers_) t.join();
+}
+
+bool SolveService::deadline_expired(
+    const Pending& p, std::chrono::steady_clock::time_point now) {
+  if (p.request.deadline_ms < 0.0) return false;
+  return us_between(p.submitted_at, now) >= p.request.deadline_ms * 1000.0;
+}
+
+bool SolveService::submit(SolveRequest request) {
+  const auto now = std::chrono::steady_clock::now();
+  Pending p{std::move(request), "", now};
+  p.batch_key = p.request.batch_key();
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  if (options_.metrics != nullptr) options_.metrics->add("service.submitted", 1);
+
+  // Admission control. A deadline of 0 ms is already due at submission —
+  // the deterministic way to exercise the rejection path.
+  if (deadline_expired(p, now)) {
+    SolveResponse r;
+    r.id = p.request.id;
+    r.status = "rejected";
+    r.reason = "deadline";
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_deadline;
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->add("service.rejected_deadline", 1);
+    }
+    deliver(r);
+    return false;
+  }
+  const std::string id = p.request.id;
+  if (!queue_.try_push(std::move(p))) {
+    SolveResponse r;
+    r.id = id;
+    r.status = "rejected";
+    r.reason = "queue_full";
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_queue_full;
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->add("service.rejected_queue_full", 1);
+    }
+    deliver(r);
+    return false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    ++accepted_;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->set("service.queue_depth",
+                          static_cast<double>(queue_.size()));
+  }
+  return true;
+}
+
+void SolveService::worker_loop() {
+  // Each worker owns its executor so concurrent solves never share one; the
+  // solve results do not depend on this choice.
+  const auto exec = make_executor(ExecPolicy{options_.solver_threads});
+  while (auto head = queue_.pop()) {
+    std::vector<Pending> batch;
+    batch.push_back(std::move(*head));
+    if (options_.batching) {
+      const std::string& key = batch.front().batch_key;
+      auto more = queue_.drain_if(
+          [&key](const Pending& p) { return p.batch_key == key; });
+      for (auto& p : more) batch.push_back(std::move(p));
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->set("service.queue_depth",
+                            static_cast<double>(queue_.size()));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.max_batch_size = std::max(stats_.max_batch_size,
+                                       static_cast<std::int64_t>(batch.size()));
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->add("service.batches", 1);
+      if (batch.size() > 1) {
+        options_.metrics->add("service.batched_requests",
+                              static_cast<std::int64_t>(batch.size()));
+      }
+      options_.metrics->set("service.in_flight",
+                            static_cast<double>(batch.size()));
+    }
+    process_batch(std::move(batch), exec.get());
+    if (options_.metrics != nullptr) {
+      options_.metrics->set("service.in_flight", 0.0);
+    }
+  }
+}
+
+void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
+  const auto t_dequeue = std::chrono::steady_clock::now();
+  TraceRecorder* const trace = options_.trace;
+
+  // Requests whose deadline lapsed while queued are rejected, not solved.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (!deadline_expired(p, t_dequeue)) {
+      live.push_back(std::move(p));
+      continue;
+    }
+    SolveResponse r;
+    r.id = p.request.id;
+    r.status = "rejected";
+    r.reason = "deadline";
+    r.queue_us = us_between(p.submitted_at, t_dequeue);
+    r.total_us = r.queue_us;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_deadline;
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->add("service.rejected_deadline", 1);
+    }
+    deliver(r);
+    finish_one();
+  }
+  if (live.empty()) return;
+
+  const auto fail_batch = [&](const std::string& reason) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const Pending& p : live) {
+      SolveResponse r;
+      r.id = p.request.id;
+      r.status = "error";
+      r.reason = reason;
+      r.queue_us = us_between(p.submitted_at, t_dequeue);
+      r.total_us = us_between(p.submitted_at, now);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.errors;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->add("service.errors", 1);
+      }
+      deliver(r);
+      finish_one();
+    }
+  };
+
+  // Shared batch setup: load + partition the operator, then acquire the
+  // factor — from the cache when the content fingerprint matches, freshly
+  // built otherwise. Everything downstream (halo scheme, distributed G /
+  // G^T, the preconditioner) is shared by the whole batch.
+  const SolveRequest& lead = live.front().request;
+  CsrMatrix a;
+  bool cache_hit = false;
+  std::string fingerprint_hex;
+  double setup_us = 0.0;
+  std::unique_ptr<FactorizedPreconditioner> precond;
+  std::unique_ptr<DistCsr> a_dist;
+  PartitionedSystem sys;
+  try {
+    a = lead.matrix_path.empty() ? suite_entry(lead.generate).generate()
+                                 : read_matrix_market_file(lead.matrix_path);
+    FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+    FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
+                  "matrix must be symmetric (CG requires SPD)");
+    sys = partition_system(a, lead.ranks);
+    a_dist = std::make_unique<DistCsr>(DistCsr::distribute(sys.matrix, sys.layout));
+
+    const auto t_setup = std::chrono::steady_clock::now();
+    const MatrixFingerprint fp = fingerprint_of(sys.matrix);
+    fingerprint_hex = strformat(
+        "%016llx", static_cast<unsigned long long>(fp.content_hash));
+    const FactorCache::Key key{
+        fp, lead.method + "|" +
+                strformat("%.17g", static_cast<double>(lead.filter)) + "|" +
+                lead.filter_strategy + "|" + std::to_string(lead.ranks)};
+    std::shared_ptr<const CachedFactor> factor = cache_.get(key);
+    cache_hit = factor != nullptr;
+    if (options_.metrics != nullptr) {
+      options_.metrics->add(cache_hit ? "service.cache_hits"
+                                      : "service.cache_misses",
+                            1);
+    }
+    if (cache_hit) {
+      const DistCsr g_dist = DistCsr::distribute(factor->g, factor->layout);
+      const DistCsr gt_dist =
+          DistCsr::distribute(transpose(factor->g), factor->layout);
+      precond = std::make_unique<FactorizedPreconditioner>(
+          g_dist, gt_dist, lead.method + "(cached)");
+    } else {
+      FsaiOptions opts;
+      opts.extension = extension_of(lead.method);
+      opts.filter = lead.method == "fsai" ? value_t{0} : lead.filter;
+      opts.filter_strategy = lead.filter_strategy == "static"
+                                 ? FilterStrategy::Static
+                                 : FilterStrategy::Dynamic;
+      opts.exec = exec;
+      opts.trace = trace;
+      FsaiBuildResult build =
+          build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      const double build_seconds =
+          us_between(t_setup, std::chrono::steady_clock::now()) * 1e-6;
+      precond = std::make_unique<FactorizedPreconditioner>(
+          build.g_dist, build.gt_dist, lead.method);
+      cache_.put(key, std::make_shared<CachedFactor>(CachedFactor{
+                          std::move(build.g), sys.layout, build_seconds}));
+    }
+    setup_us = us_between(t_setup, std::chrono::steady_clock::now());
+    if (trace != nullptr) {
+      trace->complete(("setup " + lead.id).c_str(), "service",
+                      trace->now_us() - setup_us, setup_us);
+    }
+  } catch (const std::exception& e) {
+    fail_batch(e.what());
+    return;
+  }
+
+  // Solve the batch's right-hand sides back-to-back against the shared
+  // operator and factor. Each request still gets its own residual history,
+  // bit-identical to a solo solve of the same request.
+  for (const Pending& p : live) {
+    const SolveRequest& req = p.request;
+    SolveResponse r;
+    r.id = req.id;
+    r.queue_us = us_between(p.submitted_at, t_dequeue);
+    r.cache = cache_hit ? "hit" : "miss";
+    r.batch_size = static_cast<int>(live.size());
+    r.fingerprint = fingerprint_hex;
+    r.setup_us = setup_us;
+    try {
+      std::vector<value_t> b_global;
+      if (req.rhs_path.empty()) {
+        b_global = synthesize_rhs(req.rhs_seed, a.rows());
+      } else {
+        b_global = read_matrix_market_vector_file(req.rhs_path);
+        FSAIC_REQUIRE(
+            b_global.size() == static_cast<std::size_t>(a.rows()),
+            "right-hand side length " + std::to_string(b_global.size()) +
+                " does not match matrix rows " + std::to_string(a.rows()));
+      }
+      const DistVector b(sys.layout, permute_rhs(b_global, sys.perm));
+      DistVector x(sys.layout);
+      const SolveOptions solve_opts{.rel_tol = req.tol,
+                                    .max_iterations = req.max_iterations,
+                                    .track_residual_history = req.want_history,
+                                    .exec = exec};
+      const auto t_solve = std::chrono::steady_clock::now();
+      const SolveResult result =
+          req.solver == "pipelined-cg"
+              ? pcg_solve_pipelined(*a_dist, b, x, *precond, solve_opts)
+              : pcg_solve(*a_dist, b, x, *precond, solve_opts);
+      const auto t_done = std::chrono::steady_clock::now();
+      r.status = "ok";
+      r.converged = result.converged;
+      r.iterations = result.iterations;
+      r.initial_residual = static_cast<double>(result.initial_residual);
+      r.final_residual = static_cast<double>(result.final_residual);
+      r.solve_us = us_between(t_solve, t_done);
+      r.total_us = us_between(p.submitted_at, t_done);
+      if (req.want_history) {
+        r.residuals.assign(result.residual_history.begin(),
+                           result.residual_history.end());
+      }
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->add("service.completed", 1);
+        options_.metrics->observe("service.queue_us", r.queue_us);
+        options_.metrics->observe("service.setup_us", r.setup_us);
+        options_.metrics->observe("service.solve_us", r.solve_us);
+      }
+      if (trace != nullptr) {
+        const double now_us = trace->now_us();
+        trace->complete(("queue " + req.id).c_str(), "service",
+                        now_us - r.total_us, r.queue_us);
+        trace->complete(("solve " + req.id).c_str(), "service",
+                        now_us - r.solve_us, r.solve_us);
+      }
+    } catch (const std::exception& e) {
+      r.status = "error";
+      r.reason = e.what();
+      r.total_us =
+          us_between(p.submitted_at, std::chrono::steady_clock::now());
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.errors;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->add("service.errors", 1);
+      }
+    }
+    deliver(r);
+    finish_one();
+  }
+}
+
+void SolveService::deliver(const SolveResponse& response) {
+  const std::lock_guard<std::mutex> lock(deliver_mutex_);
+  on_response_(response);
+}
+
+void SolveService::finish_one() {
+  {
+    const std::lock_guard<std::mutex> lock(drain_mutex_);
+    ++answered_;
+  }
+  drained_.notify_all();
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] { return answered_ >= accepted_; });
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  out.cache = cache_.stats();
+  return out;
+}
+
+ServiceStats serve_requests(const ServiceOptions& options, std::istream& in,
+                            std::ostream& out) {
+  std::mutex out_mutex;
+  ServiceStats stats;
+  {
+    SolveService service(options, [&](const SolveResponse& r) {
+      const std::lock_guard<std::mutex> lock(out_mutex);
+      out << to_json(r).dump() << '\n';
+      out.flush();
+    });
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      try {
+        service.submit(parse_request(JsonValue::parse(line)));
+      } catch (const std::exception& e) {
+        // A malformed line still yields exactly one response so replays
+        // stay aligned with their request files.
+        SolveResponse r;
+        const JsonValue* id = nullptr;
+        try {
+          const JsonValue v = JsonValue::parse(line);
+          id = v.find("id");
+          if (id != nullptr && id->is_string()) r.id = id->as_string();
+        } catch (const std::exception&) {
+        }
+        if (r.id.empty()) r.id = "line" + std::to_string(lineno);
+        r.status = "error";
+        r.reason = e.what();
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        out << to_json(r).dump() << '\n';
+        out.flush();
+      }
+    }
+    service.drain();
+    stats = service.stats();
+  }
+  return stats;
+}
+
+int process_watch_directory(const ServiceOptions& options,
+                            const std::string& dir) {
+  namespace fs = std::filesystem;
+  FSAIC_REQUIRE(fs::is_directory(dir), "not a directory: " + dir);
+  int processed = 0;
+  std::vector<fs::path> pending;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    const std::string name = path.filename().string();
+    if (name.size() < 6 || name.substr(name.size() - 6) != ".jsonl") continue;
+    if (name.size() >= 10 && name.substr(name.size() - 10) == ".out.jsonl") {
+      continue;
+    }
+    fs::path out_path = path;
+    out_path.replace_extension(".out.jsonl");
+    if (fs::exists(out_path)) continue;  // already served
+    pending.push_back(path);
+  }
+  std::sort(pending.begin(), pending.end());
+  for (const fs::path& path : pending) {
+    fs::path out_path = path;
+    out_path.replace_extension(".out.jsonl");
+    // Write to a temp name first so a crash mid-file never leaves a
+    // half-written response file that would mark the input as served.
+    const fs::path tmp_path = out_path.string() + ".tmp";
+    std::ifstream in(path);
+    FSAIC_REQUIRE(in.good(), "cannot open request file: " + path.string());
+    {
+      std::ofstream out(tmp_path);
+      FSAIC_REQUIRE(out.good(),
+                    "cannot open response file: " + tmp_path.string());
+      serve_requests(options, in, out);
+    }
+    fs::rename(tmp_path, out_path);
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace fsaic

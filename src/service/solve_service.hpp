@@ -1,0 +1,147 @@
+// In-process solve server: persistent workers, factor cache, multi-RHS
+// batching and admission control.
+//
+// The library's one-shot entry points rebuild the preconditioner on every
+// run even though FSAI setup amortizes across solves — exactly the regime
+// the paper targets. SolveService keeps the expensive state alive: requests
+// enter a bounded queue (admission control rejects with a reason when the
+// queue is full or a request's deadline has already passed), a pool of
+// worker threads pops them, and a worker that dequeues a request also
+// drains every queued request with the same batch key (operator + build
+// configuration). The batch shares one setup — matrix load, partition,
+// factor acquisition, halo scheme — and solves its right-hand sides
+// back-to-back, so per-request results are bit-identical whether a request
+// was solved alone or inside a batch, with a cold or a cached factor, and
+// across any worker count.
+//
+// Factors come from a content-addressed LRU FactorCache; repeated solves
+// against the same operator skip setup entirely. Observability: queue
+// depth / in-flight gauges, cache and rejection counters, and per-request
+// queue/setup/solve latency histograms land in an attached MetricsRegistry;
+// an attached TraceRecorder gets one queue/setup/solve slice triple per
+// request.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/factor_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/request_queue.hpp"
+
+namespace fsaic {
+
+class Executor;
+
+struct ServiceOptions {
+  /// Worker threads solving requests (results are identical for any count).
+  int workers = 1;
+  /// Bounded request queue; submissions beyond this are rejected
+  /// ("queue_full") instead of blocking the producer.
+  std::size_t queue_capacity = 64;
+  /// Resident factors in the LRU cache (0 disables factor reuse).
+  std::size_t cache_capacity = 8;
+  /// Coalesce queued same-operator requests into one batched solve.
+  bool batching = true;
+  /// Executor threads per worker for the solves themselves (1 = sequential;
+  /// results are bit-identical either way).
+  int solver_threads = 1;
+  /// Borrowed observability attachments; both optional.
+  MetricsRegistry* metrics = nullptr;
+  TraceRecorder* trace = nullptr;
+};
+
+/// Aggregate serving counters (also mirrored into the MetricsRegistry).
+struct ServiceStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;  ///< responses with status "ok"
+  std::int64_t errors = 0;
+  std::int64_t rejected_queue_full = 0;
+  std::int64_t rejected_deadline = 0;
+  std::int64_t batches = 0;
+  std::int64_t max_batch_size = 0;
+  FactorCacheStats cache;
+};
+
+class SolveService {
+ public:
+  /// `on_response` receives exactly one SolveResponse per submitted request
+  /// — immediately (from submit) for admission rejections, from a worker
+  /// thread otherwise. Calls are serialized by the service.
+  using ResponseHandler = std::function<void(const SolveResponse&)>;
+
+  SolveService(ServiceOptions options, ResponseHandler on_response);
+
+  /// Drains the queue (all accepted requests are answered) and joins the
+  /// workers.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admission control: enqueue the request, or deliver a rejection
+  /// response ("queue_full" / "deadline") through the handler right away.
+  /// Returns true when the request was accepted into the queue.
+  bool submit(SolveRequest request);
+
+  /// Block until every accepted request has been answered.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const FactorCache& cache() const { return cache_; }
+
+ private:
+  struct Pending {
+    SolveRequest request;
+    std::string batch_key;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Pending> batch, Executor* exec);
+  void deliver(const SolveResponse& response);
+  void finish_one();
+  [[nodiscard]] static bool deadline_expired(
+      const Pending& p, std::chrono::steady_clock::time_point now);
+
+  ServiceOptions options_;
+  ResponseHandler on_response_;
+  RequestQueue<Pending> queue_;
+  FactorCache cache_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::int64_t accepted_ = 0;
+  std::int64_t answered_ = 0;
+
+  std::mutex deliver_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// Run a JSONL request stream end to end: parse every line of `in`, submit
+/// it (malformed lines get an "error" response with the parse message),
+/// drain, and write one JSONL response per request to `out` in completion
+/// order. Returns the final stats.
+ServiceStats serve_requests(const ServiceOptions& options, std::istream& in,
+                            std::ostream& out);
+
+/// One pass of `fsaic serve --watch`: process every "*.jsonl" file in `dir`
+/// that has no "<stem>.out.jsonl" yet, writing responses next to it.
+/// Returns the number of request files processed.
+int process_watch_directory(const ServiceOptions& options,
+                            const std::string& dir);
+
+}  // namespace fsaic

@@ -1,0 +1,38 @@
+#include "sparse/fingerprint.hpp"
+
+#include "common/format.hpp"
+
+namespace fsaic {
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string MatrixFingerprint::to_string() const {
+  return strformat("%d x %d, %lld nnz, hash %016llx", rows, cols,
+                   static_cast<long long>(nnz),
+                   static_cast<unsigned long long>(content_hash));
+}
+
+MatrixFingerprint fingerprint_of(const CsrMatrix& a) {
+  MatrixFingerprint fp;
+  fp.rows = a.rows();
+  fp.cols = a.cols();
+  fp.nnz = a.nnz();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto vals = a.values();
+  std::uint64_t h = fnv1a64(rp.data(), rp.size_bytes());
+  h = fnv1a64(ci.data(), ci.size_bytes(), h);
+  h = fnv1a64(vals.data(), vals.size_bytes(), h);
+  fp.content_hash = h;
+  return fp;
+}
+
+}  // namespace fsaic

@@ -1,0 +1,41 @@
+// Content identity of a sparse matrix: dimensions, nonzero count and a
+// 64-bit hash over the CSR arrays (structure *and* values).
+//
+// Two consumers key off this identity. The factor files written by
+// core/factor_io embed the fingerprint of the matrix a factor was built
+// for, so `--load-factor` can refuse a factor that does not belong to the
+// loaded system instead of silently producing garbage. The serve-mode
+// FactorCache uses it as the cache key, so repeated solves against the
+// same operator reuse the built factor while same-shape matrices with
+// different values miss the cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace fsaic {
+
+struct MatrixFingerprint {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+  std::uint64_t content_hash = 0;  ///< FNV-1a over row_ptr, col_idx, values
+
+  bool operator==(const MatrixFingerprint&) const = default;
+
+  /// "rows x cols, nnz nnz, hash 0123456789abcdef" for error messages.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a 64-bit over a byte range, resumable via `seed` chaining.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Fingerprint of a CSR matrix. The hash covers the exact bytes of the CSR
+/// arrays, so it is sensitive to value bit patterns (0.0 vs -0.0 differ) and
+/// identical across runs and machines of the same endianness.
+[[nodiscard]] MatrixFingerprint fingerprint_of(const CsrMatrix& a);
+
+}  // namespace fsaic

@@ -73,6 +73,80 @@ CsrMatrix read_matrix_market_file(const std::string& path) {
   return read_matrix_market(in);
 }
 
+std::vector<value_t> read_matrix_market_vector(std::istream& in) {
+  std::string line;
+  FSAIC_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  FSAIC_REQUIRE(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  FSAIC_REQUIRE(lowercase(object) == "matrix" || lowercase(object) == "vector",
+                "only matrix/vector objects supported");
+  const std::string fmt = lowercase(format);
+  FSAIC_REQUIRE(fmt == "array" || fmt == "coordinate",
+                "only array/coordinate vectors supported");
+  const std::string fld = lowercase(field);
+  FSAIC_REQUIRE(fld == "real" || fld == "integer",
+                "only real/integer vectors supported");
+  FSAIC_REQUIRE(lowercase(symmetry) == "general",
+                "vectors must be declared general");
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols;
+  FSAIC_REQUIRE(rows > 0 && cols == 1, "right-hand side must have one column");
+  std::vector<value_t> v(static_cast<std::size_t>(rows), 0.0);
+  if (fmt == "array") {
+    for (long long k = 0; k < rows; ++k) {
+      FSAIC_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "truncated vector entries");
+      std::istringstream entry(line);
+      FSAIC_REQUIRE(
+          static_cast<bool>(entry >> v[static_cast<std::size_t>(k)]),
+          "malformed vector entry");
+    }
+  } else {
+    sizes >> nnz;
+    FSAIC_REQUIRE(nnz >= 0 && nnz <= rows, "bad coordinate vector size line");
+    for (long long k = 0; k < nnz; ++k) {
+      FSAIC_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                    "truncated vector entries");
+      std::istringstream entry(line);
+      long long i = 0, j = 0;
+      value_t x = 0.0;
+      FSAIC_REQUIRE(static_cast<bool>(entry >> i >> j >> x),
+                    "malformed vector entry");
+      FSAIC_REQUIRE(i >= 1 && i <= rows && j == 1,
+                    "vector entry index out of range");
+      v[static_cast<std::size_t>(i - 1)] = x;
+    }
+  }
+  return v;
+}
+
+std::vector<value_t> read_matrix_market_vector_file(const std::string& path) {
+  std::ifstream in(path);
+  FSAIC_REQUIRE(in.good(), "cannot open file: " + path);
+  return read_matrix_market_vector(in);
+}
+
+void write_matrix_market_vector(std::ostream& out, std::span<const value_t> v) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << v.size() << " 1\n";
+  out.precision(17);
+  for (const value_t x : v) out << x << '\n';
+}
+
+void write_matrix_market_vector_file(const std::string& path,
+                                     std::span<const value_t> v) {
+  std::ofstream out(path);
+  FSAIC_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market_vector(out, v);
+}
+
 void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
   out << "%%MatrixMarket matrix coordinate real general\n";
   out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';

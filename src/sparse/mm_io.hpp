@@ -5,7 +5,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "sparse/csr.hpp"
 
@@ -19,5 +21,18 @@ namespace fsaic {
 /// Write in "coordinate real general" format (1-based indices).
 void write_matrix_market(std::ostream& out, const CsrMatrix& a);
 void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+/// Read a dense vector (a right-hand side): either "array real general" with
+/// a single column, or a single-column "coordinate" file whose unlisted
+/// entries are zero. This is the format SuiteSparse distributes `b` vectors
+/// in next to their matrices.
+[[nodiscard]] std::vector<value_t> read_matrix_market_vector(std::istream& in);
+[[nodiscard]] std::vector<value_t> read_matrix_market_vector_file(
+    const std::string& path);
+
+/// Write a dense vector in "array real general" format (n rows, 1 column).
+void write_matrix_market_vector(std::ostream& out, std::span<const value_t> v);
+void write_matrix_market_vector_file(const std::string& path,
+                                     std::span<const value_t> v);
 
 }  // namespace fsaic

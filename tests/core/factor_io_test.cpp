@@ -87,5 +87,77 @@ TEST_F(FactorIoTest, LayoutSizeMismatchRejectedOnSave) {
   EXPECT_THROW(save_factor(path_, build.g, Layout::blocked(99, 2)), Error);
 }
 
+TEST_F(FactorIoTest, FingerprintRoundTripsAndGuardsTheMatrix) {
+  const auto a = poisson2d(8, 8);
+  const Layout layout = Layout::blocked(a.rows(), 2);
+  const auto build = build_fsai_preconditioner(a, layout, FsaiOptions{});
+  save_factor(path_, build.g, layout, fingerprint_of(a));
+
+  const SavedFactor loaded = load_factor(path_);
+  ASSERT_TRUE(loaded.built_for.has_value());
+  EXPECT_EQ(*loaded.built_for, fingerprint_of(a));
+  EXPECT_NO_THROW(require_factor_matches(loaded, a));
+
+  // Same shape, same pattern, one perturbed value: must be rejected.
+  auto b = poisson2d(8, 8);
+  b.values()[0] += 1e-12;
+  try {
+    require_factor_matches(loaded, b);
+    FAIL() << "expected mismatch to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("different matrix"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FactorIoTest, SavingWithoutFingerprintSkipsTheCheck) {
+  const auto a = poisson2d(6, 6);
+  const Layout layout = Layout::blocked(a.rows(), 2);
+  const auto build = build_fsai_preconditioner(a, layout, FsaiOptions{});
+  save_factor(path_, build.g, layout);  // no fingerprint recorded
+
+  const SavedFactor loaded = load_factor(path_);
+  EXPECT_FALSE(loaded.built_for.has_value());
+  const auto unrelated = poisson2d(3, 3);
+  EXPECT_NO_THROW(require_factor_matches(loaded, unrelated))
+      << "without a recorded fingerprint the check is a no-op";
+}
+
+TEST_F(FactorIoTest, VersionOneFilesStillLoad) {
+  // Files written before the fingerprint header (magic FSAICF1) must keep
+  // loading, with built_for absent.
+  const auto a = poisson2d(5, 5);
+  const Layout layout = Layout::blocked(a.rows(), 2);
+  const auto build = build_fsai_preconditioner(a, layout, FsaiOptions{});
+  const CsrMatrix& g = build.g;
+  {
+    std::ofstream out(path_, std::ios::binary);
+    const char magic[8] = {'F', 'S', 'A', 'I', 'C', 'F', '1', '\0'};
+    out.write(magic, sizeof(magic));
+    const auto pod = [&out](const auto& v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    pod(layout.nranks());
+    for (rank_t p = 0; p < layout.nranks(); ++p) pod(layout.begin(p));
+    pod(layout.global_size());
+    pod(g.rows());
+    pod(g.cols());
+    pod(g.nnz());
+    out.write(reinterpret_cast<const char*>(g.row_ptr().data()),
+              static_cast<std::streamsize>(g.row_ptr().size_bytes()));
+    out.write(reinterpret_cast<const char*>(g.col_idx().data()),
+              static_cast<std::streamsize>(g.col_idx().size_bytes()));
+    out.write(reinterpret_cast<const char*>(g.values().data()),
+              static_cast<std::streamsize>(g.values().size_bytes()));
+  }
+  const SavedFactor loaded = load_factor(path_);
+  EXPECT_FALSE(loaded.built_for.has_value());
+  EXPECT_EQ(loaded.layout, layout);
+  EXPECT_EQ(loaded.g.pattern(), g.pattern());
+  for (std::size_t k = 0; k < g.values().size(); ++k) {
+    EXPECT_EQ(loaded.g.values()[k], g.values()[k]);
+  }
+}
+
 }  // namespace
 }  // namespace fsaic

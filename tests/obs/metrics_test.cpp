@@ -75,6 +75,67 @@ TEST(MetricsTest, SnapshotAndJsonAgree) {
   EXPECT_TRUE(metrics.snapshot().gauges.empty());
 }
 
+TEST(HistogramTest, TracksCountSumAndExtremes) {
+  HistogramData h;
+  h.observe(2.0);
+  h.observe(10.0);
+  h.observe(0.5);
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 12.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 10.0);
+  EXPECT_NEAR(h.mean(), 12.5 / 3.0, 1e-15);
+}
+
+TEST(HistogramTest, QuantilesAreBucketBoundsClampedToObservedRange) {
+  HistogramData h;
+  // 90 fast observations around 3us, 10 slow ones around 3000us.
+  for (int i = 0; i < 90; ++i) h.observe(3.0);
+  for (int i = 0; i < 10; ++i) h.observe(3000.0);
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, 3.0);
+  EXPECT_LT(p50, 8.0) << "median lands in the fast bucket";
+  EXPECT_GT(p99, 1000.0) << "tail quantile lands in the slow bucket";
+  EXPECT_LE(p99, 3000.0) << "quantile is clamped to the observed max";
+  EXPECT_EQ(h.quantile(0.0), h.min) << "quantiles clamp to the observed min";
+}
+
+TEST(HistogramTest, EmptyHistogramIsInert) {
+  const HistogramData h;
+  EXPECT_EQ(h.count, 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, RegistryObservationsLandInSnapshotsAndJson) {
+  MetricsRegistry metrics;
+  metrics.observe("latency_us", 4.0);
+  metrics.observe("latency_us", 100.0);
+  metrics.observe("latency_us", 7.5, 2);
+
+  const HistogramData global = metrics.histogram("latency_us");
+  EXPECT_EQ(global.count, 2);
+  EXPECT_DOUBLE_EQ(global.sum, 104.0);
+  EXPECT_EQ(metrics.histogram("latency_us", 2).count, 1);
+  EXPECT_EQ(metrics.histogram("missing").count, 0);
+
+  const auto snap = metrics.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms.at("latency_us").count, 2);
+  EXPECT_EQ(snap.histograms.at("latency_us.rank2").count, 1);
+
+  const JsonValue json = metrics.to_json();
+  const JsonValue& hist = json.at("histograms").at("latency_us");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 104.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 100.0);
+
+  metrics.clear();
+  EXPECT_TRUE(metrics.snapshot().histograms.empty());
+}
+
 TEST(MetricsTest, RecordCommStatsMatchesTotalsExactly) {
   CommStats stats;
   stats.record_halo_message(0, 1, 128);

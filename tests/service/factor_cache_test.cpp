@@ -1,0 +1,141 @@
+#include "service/factor_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/fingerprint.hpp"
+
+namespace fsaic {
+namespace {
+
+FactorCache::Key key_of(const CsrMatrix& a, const std::string& config) {
+  return FactorCache::Key{fingerprint_of(a), config};
+}
+
+std::shared_ptr<const CachedFactor> factor_for(const CsrMatrix& a) {
+  return std::make_shared<CachedFactor>(
+      CachedFactor{a, Layout::blocked(a.rows(), 2), 0.0});
+}
+
+TEST(FingerprintTest, IdenticalMatricesAgree) {
+  const auto a = poisson2d(8, 8);
+  const auto b = poisson2d(8, 8);
+  EXPECT_EQ(fingerprint_of(a), fingerprint_of(b));
+}
+
+TEST(FingerprintTest, SameShapeDifferentValuesDiffer) {
+  const auto a = poisson2d(8, 8);
+  auto b = poisson2d(8, 8);
+  b.values()[0] += 1e-14;  // same pattern, one value bit-flipped
+  const auto fa = fingerprint_of(a);
+  const auto fb = fingerprint_of(b);
+  EXPECT_EQ(fa.rows, fb.rows);
+  EXPECT_EQ(fa.nnz, fb.nnz);
+  EXPECT_NE(fa.content_hash, fb.content_hash);
+  EXPECT_NE(fa, fb);
+}
+
+TEST(FingerprintTest, ValueSignBitMatters) {
+  auto a = poisson2d(4, 4);
+  auto b = poisson2d(4, 4);
+  a.values()[0] = 0.0;
+  b.values()[0] = -0.0;  // equal as doubles, different bit patterns
+  EXPECT_NE(fingerprint_of(a).content_hash, fingerprint_of(b).content_hash);
+}
+
+TEST(FactorCacheTest, HitAfterPut) {
+  FactorCache cache(2);
+  const auto a = poisson2d(6, 6);
+  EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  const auto hit = cache.get(key_of(a, "cfg"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->g.nnz(), a.nnz());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(FactorCacheTest, EvictsLeastRecentlyUsed) {
+  FactorCache cache(2);
+  const auto a = poisson2d(4, 4);
+  const auto b = poisson2d(5, 5);
+  const auto c = poisson2d(6, 6);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  cache.put(key_of(b, "cfg"), factor_for(b));
+  // Touch a so b becomes the LRU victim.
+  ASSERT_NE(cache.get(key_of(a, "cfg")), nullptr);
+  cache.put(key_of(c, "cfg"), factor_for(c));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_NE(cache.get(key_of(a, "cfg")), nullptr);
+  EXPECT_EQ(cache.get(key_of(b, "cfg")), nullptr) << "b was evicted";
+  EXPECT_NE(cache.get(key_of(c, "cfg")), nullptr);
+}
+
+TEST(FactorCacheTest, SameMatrixDifferentConfigOccupiesTwoSlots) {
+  FactorCache cache(4);
+  const auto a = poisson2d(6, 6);
+  cache.put(key_of(a, "fsai|0|static|4"), factor_for(a));
+  cache.put(key_of(a, "fsaie-comm|0.01|dynamic|4"), factor_for(a));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.get(key_of(a, "fsai|0|static|4")), nullptr);
+  EXPECT_NE(cache.get(key_of(a, "fsaie-comm|0.01|dynamic|4")), nullptr);
+}
+
+TEST(FactorCacheTest, SameShapeDifferentValuesMiss) {
+  // The collision case the fingerprint exists to prevent: two operators
+  // with identical sparsity but different values must not share a factor.
+  FactorCache cache(4);
+  const auto a = poisson2d(6, 6);
+  auto b = poisson2d(6, 6);
+  for (auto& v : b.values()) v *= 2.0;
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  EXPECT_EQ(cache.get(key_of(b, "cfg")), nullptr)
+      << "same-shape different-value matrix must miss";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FactorCacheTest, RefreshingAKeyDoesNotGrowOrEvict) {
+  FactorCache cache(2);
+  const auto a = poisson2d(4, 4);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(FactorCacheTest, CapacityZeroDisablesCaching) {
+  FactorCache cache(0);
+  const auto a = poisson2d(4, 4);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+}
+
+TEST(FactorCacheTest, EvictedEntrySurvivesWhileHeld) {
+  FactorCache cache(1);
+  const auto a = poisson2d(4, 4);
+  const auto b = poisson2d(5, 5);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  const auto held = cache.get(key_of(a, "cfg"));
+  cache.put(key_of(b, "cfg"), factor_for(b));  // evicts a
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->g.rows(), a.rows()) << "in-flight factor must stay usable";
+}
+
+TEST(FactorCacheTest, ClearEmptiesTheCache) {
+  FactorCache cache(4);
+  const auto a = poisson2d(4, 4);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+}
+
+}  // namespace
+}  // namespace fsaic

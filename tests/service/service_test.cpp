@@ -1,0 +1,469 @@
+#include "service/solve_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "matgen/generators.hpp"
+#include "obs/report.hpp"
+#include "service/request_queue.hpp"
+#include "sparse/mm_io.hpp"
+
+namespace fsaic {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- queue --
+
+TEST(RequestQueueTest, RejectsWhenFull) {
+  RequestQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)) << "bounded queue must reject at capacity";
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueueTest, PopDrainsInOrderThenBlocksUntilClose) {
+  RequestQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  q.close();
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_FALSE(q.try_push(9)) << "closed queue rejects pushes";
+}
+
+TEST(RequestQueueTest, DrainIfTakesOnlyMatchesAndPreservesOrder) {
+  RequestQueue<int> q(8);
+  for (int i = 1; i <= 6; ++i) q.try_push(i);
+  const auto evens = q.drain_if([](int i) { return i % 2 == 0; });
+  EXPECT_EQ(evens, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 5);
+}
+
+// ------------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, RequestRoundTripsThroughJson) {
+  SolveRequest req;
+  req.id = "r42";
+  req.matrix_path = "m.mtx";
+  req.method = "fsaie";
+  req.filter = 0.05;
+  req.filter_strategy = "static";
+  req.ranks = 4;
+  req.solver = "pipelined-cg";
+  req.tol = 1e-6;
+  req.max_iterations = 500;
+  req.rhs_path = "b.mtx";
+  req.rhs_seed = 7;
+  req.deadline_ms = 250.0;
+  req.want_history = true;
+
+  const SolveRequest back = parse_request(to_json(req));
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.matrix_path, req.matrix_path);
+  EXPECT_EQ(back.method, req.method);
+  EXPECT_EQ(back.filter, req.filter);
+  EXPECT_EQ(back.filter_strategy, req.filter_strategy);
+  EXPECT_EQ(back.ranks, req.ranks);
+  EXPECT_EQ(back.solver, req.solver);
+  EXPECT_EQ(back.tol, req.tol);
+  EXPECT_EQ(back.max_iterations, req.max_iterations);
+  EXPECT_EQ(back.rhs_path, req.rhs_path);
+  EXPECT_EQ(back.rhs_seed, req.rhs_seed);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.want_history, req.want_history);
+}
+
+TEST(ProtocolTest, RejectsInvalidRequests) {
+  const auto parse = [](const std::string& json) {
+    return parse_request(JsonValue::parse(json));
+  };
+  EXPECT_THROW(parse(R"({"matrix":"m.mtx"})"), Error) << "missing id";
+  EXPECT_THROW(parse(R"({"id":"a"})"), Error) << "no matrix source";
+  EXPECT_THROW(parse(R"({"id":"a","matrix":"m","generate":"g"})"), Error)
+      << "both matrix sources";
+  EXPECT_THROW(parse(R"({"id":"a","matrix":"m","method":"schwarz"})"), Error)
+      << "unsupported method";
+  EXPECT_THROW(parse(R"({"id":"a","matrix":"m","solver":"gmres"})"), Error)
+      << "unsupported solver";
+  EXPECT_THROW(parse(R"({"id":"a","matrix":"m","ranks":0})"), Error);
+  EXPECT_THROW(parse(R"({"id":"a","matrix":"m","tol":-1.0})"), Error);
+}
+
+TEST(ProtocolTest, BatchKeyIgnoresSolveOnlyFields) {
+  SolveRequest a;
+  a.id = "a";
+  a.matrix_path = "m.mtx";
+  SolveRequest b = a;
+  b.id = "b";
+  b.rhs_seed = 99;
+  b.tol = 1e-4;
+  b.want_history = true;
+  EXPECT_EQ(a.batch_key(), b.batch_key());
+  b.filter = 0.2;
+  EXPECT_NE(a.batch_key(), b.batch_key());
+}
+
+// -------------------------------------------------------------- service --
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fsaic_service_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+    matrix_path_ = (dir_ / "poisson.mtx").string();
+    write_matrix_market_file(matrix_path_, poisson2d(12, 12));
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] SolveRequest request(const std::string& id) const {
+    SolveRequest req;
+    req.id = id;
+    req.matrix_path = matrix_path_;
+    req.ranks = 4;
+    req.want_history = true;
+    return req;
+  }
+
+  fs::path dir_;
+  std::string matrix_path_;
+};
+
+/// Collects responses by id (handler calls are serialized by the service).
+struct Collector {
+  std::map<std::string, SolveResponse> by_id;
+  SolveService::ResponseHandler handler() {
+    return [this](const SolveResponse& r) { by_id[r.id] = r; };
+  }
+};
+
+TEST_F(ServiceTest, SolvesARequestAndReportsMiss) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    EXPECT_TRUE(service.submit(request("r1")));
+    service.drain();
+    EXPECT_EQ(service.stats().completed, 1);
+  }
+  ASSERT_EQ(col.by_id.size(), 1u);
+  const SolveResponse& r = col.by_id.at("r1");
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_EQ(r.cache, "miss");
+  EXPECT_EQ(r.batch_size, 1);
+  EXPECT_FALSE(r.fingerprint.empty());
+  EXPECT_EQ(r.residuals.size(), static_cast<std::size_t>(r.iterations) + 1)
+      << "history = initial residual + one entry per iteration";
+}
+
+TEST_F(ServiceTest, SecondSolveHitsTheCacheWithIdenticalResults) {
+  Collector col;
+  {
+    SolveService service({.workers = 1, .cache_capacity = 4}, col.handler());
+    EXPECT_TRUE(service.submit(request("cold")));
+    service.drain();
+    EXPECT_TRUE(service.submit(request("warm")));
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.misses, 1);
+    EXPECT_EQ(stats.cache.hits, 1);
+  }
+  const SolveResponse& cold = col.by_id.at("cold");
+  const SolveResponse& warm = col.by_id.at("warm");
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(warm.cache, "hit");
+  EXPECT_EQ(cold.iterations, warm.iterations);
+  ASSERT_EQ(cold.residuals.size(), warm.residuals.size());
+  for (std::size_t k = 0; k < cold.residuals.size(); ++k) {
+    EXPECT_EQ(cold.residuals[k], warm.residuals[k])
+        << "cached-factor solve must be bit-identical at iteration " << k;
+  }
+}
+
+TEST_F(ServiceTest, ZeroDeadlineIsRejectedAtAdmission) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    SolveRequest req = request("late");
+    req.deadline_ms = 0.0;
+    EXPECT_FALSE(service.submit(req));
+    service.drain();
+    EXPECT_EQ(service.stats().rejected_deadline, 1);
+    EXPECT_EQ(service.stats().completed, 0);
+  }
+  const SolveResponse& r = col.by_id.at("late");
+  EXPECT_EQ(r.status, "rejected");
+  EXPECT_EQ(r.reason, "deadline");
+}
+
+TEST_F(ServiceTest, FullQueueIsRejectedWithReason) {
+  Collector col;
+  {
+    SolveService service({.workers = 1, .queue_capacity = 2}, col.handler());
+    // Occupy the single worker, then fill the two queue slots; the next
+    // submission must bounce.
+    EXPECT_TRUE(service.submit(request("busy")));
+    while (service.stats().batches < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(service.submit(request("q1")));
+    EXPECT_TRUE(service.submit(request("q2")));
+    EXPECT_FALSE(service.submit(request("overflow")));
+    service.drain();
+    EXPECT_EQ(service.stats().rejected_queue_full, 1);
+  }
+  EXPECT_EQ(col.by_id.at("overflow").status, "rejected");
+  EXPECT_EQ(col.by_id.at("overflow").reason, "queue_full");
+  EXPECT_EQ(col.by_id.at("q1").status, "ok");
+  EXPECT_EQ(col.by_id.at("q2").status, "ok");
+}
+
+TEST_F(ServiceTest, QueuedSameOperatorRequestsBatch) {
+  Collector col;
+  {
+    SolveService service({.workers = 1, .cache_capacity = 4}, col.handler());
+    // Park the worker on a first request, then queue three same-key
+    // requests; the worker must coalesce them into one batch.
+    EXPECT_TRUE(service.submit(request("head")));
+    while (service.stats().batches < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SolveRequest a = request("b1");
+    SolveRequest b = request("b2");
+    b.rhs_seed = 99;  // different RHS, same operator -> same batch
+    SolveRequest c = request("b3");
+    c.rhs_seed = 123;
+    EXPECT_TRUE(service.submit(a));
+    EXPECT_TRUE(service.submit(b));
+    EXPECT_TRUE(service.submit(c));
+    service.drain();
+    EXPECT_EQ(service.stats().max_batch_size, 3);
+  }
+  EXPECT_EQ(col.by_id.at("b1").batch_size, 3);
+  EXPECT_EQ(col.by_id.at("b2").batch_size, 3);
+  EXPECT_EQ(col.by_id.at("b3").batch_size, 3);
+  EXPECT_EQ(col.by_id.at("b1").cache, "hit") << "head built the factor";
+  // Different seeds genuinely produce different solves.
+  EXPECT_NE(col.by_id.at("b1").residuals.back(),
+            col.by_id.at("b2").residuals.back());
+}
+
+TEST_F(ServiceTest, BatchedResultsMatchSoloResults) {
+  // The same three requests, once forced through a batch (1 worker, queued
+  // behind a head request) and once solved one-by-one with batching off,
+  // must produce bit-identical residual histories.
+  Collector batched;
+  {
+    SolveService service({.workers = 1}, batched.handler());
+    service.submit(request("head"));
+    while (service.stats().batches < 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    SolveRequest b = request("b");
+    b.rhs_seed = 99;
+    service.submit(request("a"));
+    service.submit(b);
+    service.drain();
+  }
+  Collector solo;
+  {
+    SolveService service({.workers = 1, .batching = false}, solo.handler());
+    SolveRequest b = request("b");
+    b.rhs_seed = 99;
+    service.submit(request("a"));
+    service.submit(b);
+    service.drain();
+  }
+  for (const std::string id : {"a", "b"}) {
+    const auto& x = batched.by_id.at(id);
+    const auto& y = solo.by_id.at(id);
+    EXPECT_EQ(x.iterations, y.iterations) << id;
+    ASSERT_EQ(x.residuals.size(), y.residuals.size()) << id;
+    for (std::size_t k = 0; k < x.residuals.size(); ++k) {
+      EXPECT_EQ(x.residuals[k], y.residuals[k]) << id << " iteration " << k;
+    }
+  }
+}
+
+TEST_F(ServiceTest, ErrorResponsesForBadInputs) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    SolveRequest missing = request("missing");
+    missing.matrix_path = (dir_ / "nope.mtx").string();
+    service.submit(missing);
+
+    SolveRequest badrhs = request("badrhs");
+    const std::string rhs_path = (dir_ / "short_rhs.mtx").string();
+    const std::vector<value_t> too_short(7, 1.0);
+    write_matrix_market_vector_file(rhs_path, too_short);
+    badrhs.rhs_path = rhs_path;
+    service.submit(badrhs);
+    service.drain();
+    EXPECT_EQ(service.stats().errors, 2);
+  }
+  EXPECT_EQ(col.by_id.at("missing").status, "error");
+  EXPECT_EQ(col.by_id.at("badrhs").status, "error");
+  EXPECT_NE(col.by_id.at("badrhs").reason.find("does not match matrix rows"),
+            std::string::npos)
+      << "got: " << col.by_id.at("badrhs").reason;
+}
+
+TEST_F(ServiceTest, FileRhsSolvesAndMatchesSeededRhs) {
+  // Writing the synthesized RHS to a file and solving --rhs-style must give
+  // the exact same history as the seeded path that generated it.
+  Rng rng(2022);
+  std::vector<value_t> b(static_cast<std::size_t>(12 * 12));
+  for (auto& v : b) v = rng.next_uniform(-1.0, 1.0);
+  const std::string rhs_path = (dir_ / "rhs.mtx").string();
+  write_matrix_market_vector_file(rhs_path, b);
+
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    SolveRequest from_file = request("file");
+    from_file.rhs_path = rhs_path;
+    SolveRequest seeded = request("seed");  // rhs_seed defaults to 2022
+    service.submit(from_file);
+    service.submit(seeded);
+    service.drain();
+  }
+  const auto& file = col.by_id.at("file");
+  const auto& seed = col.by_id.at("seed");
+  ASSERT_EQ(file.status, "ok");
+  ASSERT_EQ(file.residuals.size(), seed.residuals.size());
+  for (std::size_t k = 0; k < file.residuals.size(); ++k) {
+    EXPECT_EQ(file.residuals[k], seed.residuals[k]);
+  }
+}
+
+TEST_F(ServiceTest, MetricsAreWired) {
+  MetricsRegistry metrics;
+  Collector col;
+  {
+    SolveService service({.workers = 1, .metrics = &metrics}, col.handler());
+    service.submit(request("m1"));
+    service.drain();
+    service.submit(request("m2"));
+    service.drain();
+  }
+  EXPECT_EQ(metrics.counter("service.submitted"), 2);
+  EXPECT_EQ(metrics.counter("service.completed"), 2);
+  EXPECT_EQ(metrics.counter("service.cache_misses"), 1);
+  EXPECT_EQ(metrics.counter("service.cache_hits"), 1);
+  EXPECT_EQ(metrics.histogram("service.solve_us").count, 2);
+  EXPECT_EQ(metrics.histogram("service.queue_us").count, 2);
+  EXPECT_GT(metrics.histogram("service.setup_us").quantile(0.5), 0.0);
+}
+
+TEST_F(ServiceTest, TraceGetsPerRequestSlices) {
+  TraceRecorder trace;
+  Collector col;
+  {
+    SolveService service({.workers = 1, .trace = &trace}, col.handler());
+    service.submit(request("t1"));
+    service.drain();
+  }
+  bool saw_queue = false, saw_setup = false, saw_solve = false;
+  for (const auto& e : trace.events()) {
+    if (e.name == "queue t1") saw_queue = true;
+    if (e.name == "setup t1") saw_setup = true;
+    if (e.name == "solve t1") saw_solve = true;
+  }
+  EXPECT_TRUE(saw_queue && saw_setup && saw_solve);
+}
+
+// ------------------------------------------------------- JSONL frontend --
+
+using ResponseMap = std::map<std::string, JsonValue>;
+
+ResponseMap run_jsonl(const ServiceOptions& opts, const std::string& requests) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  serve_requests(opts, in, out);
+  std::istringstream lines(out.str());
+  ResponseMap by_id;
+  for (const JsonValue& v : read_jsonl(lines)) {
+    by_id[v.at("id").as_string()] = v;
+  }
+  return by_id;
+}
+
+TEST_F(ServiceTest, ServeRequestsAnswersEveryLine) {
+  const std::string requests =
+      R"({"id":"ok1","matrix":")" + matrix_path_ + R"(","history":true})" "\n"
+      R"(not even json)" "\n"
+      R"({"id":"noid")" "\n"
+      R"({"id":"late","matrix":")" + matrix_path_ + R"(","deadline_ms":0})" "\n";
+  const ResponseMap by_id = run_jsonl({.workers = 2}, requests);
+  ASSERT_EQ(by_id.size(), 4u);
+  EXPECT_EQ(by_id.at("ok1").at("status").as_string(), "ok");
+  EXPECT_EQ(by_id.at("line2").at("status").as_string(), "error");
+  EXPECT_EQ(by_id.at("line3").at("status").as_string(), "error");
+  EXPECT_EQ(by_id.at("late").at("status").as_string(), "rejected");
+  EXPECT_EQ(by_id.at("late").at("reason").as_string(), "deadline");
+}
+
+TEST_F(ServiceTest, WorkerCountDoesNotChangeResults) {
+  std::string requests;
+  for (int i = 0; i < 6; ++i) {
+    SolveRequest req = request("r" + std::to_string(i));
+    req.rhs_seed = static_cast<std::uint64_t>(1000 + i);
+    requests += to_json(req).dump() + "\n";
+  }
+  const ResponseMap one = run_jsonl({.workers = 1}, requests);
+  const ResponseMap four = run_jsonl({.workers = 4}, requests);
+  ASSERT_EQ(one.size(), 6u);
+  ASSERT_EQ(four.size(), 6u);
+  for (const auto& [id, resp1] : one) {
+    const JsonValue& resp4 = four.at(id);
+    EXPECT_EQ(resp1.at("iterations").as_int(), resp4.at("iterations").as_int());
+    const auto& h1 = resp1.at("residuals").as_array();
+    const auto& h4 = resp4.at("residuals").as_array();
+    ASSERT_EQ(h1.size(), h4.size()) << id;
+    for (std::size_t k = 0; k < h1.size(); ++k) {
+      EXPECT_EQ(h1[k].as_double(), h4[k].as_double())
+          << id << " iteration " << k;
+    }
+  }
+}
+
+TEST_F(ServiceTest, WatchDirectoryServesDroppedFilesOnce) {
+  const fs::path watch_dir = dir_ / "inbox";
+  fs::create_directories(watch_dir);
+  {
+    std::ofstream req(watch_dir / "job.jsonl");
+    req << to_json(request("w1")).dump() << "\n"
+        << to_json(request("w2")).dump() << "\n";
+  }
+  EXPECT_EQ(process_watch_directory({.workers = 1}, watch_dir.string()), 1);
+  std::ifstream out(watch_dir / "job.out.jsonl");
+  ASSERT_TRUE(out.good());
+  const auto responses = read_jsonl(out);
+  ASSERT_EQ(responses.size(), 2u);
+  for (const auto& r : responses) {
+    EXPECT_EQ(r.at("status").as_string(), "ok");
+  }
+  EXPECT_EQ(process_watch_directory({.workers = 1}, watch_dir.string()), 0)
+      << "already-served files must not be reprocessed";
+}
+
+}  // namespace
+}  // namespace fsaic

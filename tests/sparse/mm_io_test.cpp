@@ -76,5 +76,47 @@ TEST(MmIoTest, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), Error);
 }
 
+TEST(MmIoVectorTest, ArrayVectorRoundTripsBitExactly) {
+  std::vector<value_t> v = {1.0, -2.5, 3.0e-17, 0.0, 123456.789};
+  std::stringstream ss;
+  write_matrix_market_vector(ss, v);
+  const auto back = read_matrix_market_vector(ss);
+  ASSERT_EQ(back.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(back[i], v[i]) << "entry " << i;
+  }
+}
+
+TEST(MmIoVectorTest, CoordinateVectorFillsMissingEntriesWithZero) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real general\n"
+     << "4 1 2\n"
+     << "1 1 5.0\n"
+     << "3 1 -2.0\n";
+  const auto v = read_matrix_market_vector(ss);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 5.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], -2.0);
+  EXPECT_DOUBLE_EQ(v[3], 0.0);
+}
+
+TEST(MmIoVectorTest, RejectsMultiColumnObject) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix array real general\n"
+     << "2 2\n1.0\n2.0\n3.0\n4.0\n";
+  EXPECT_THROW(read_matrix_market_vector(ss), Error);
+}
+
+TEST(MmIoVectorTest, RejectsBadVectorBanner) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix array complex general\n2 1\n1.0\n2.0\n";
+  EXPECT_THROW(read_matrix_market_vector(ss), Error);
+}
+
+TEST(MmIoVectorTest, MissingVectorFileThrows) {
+  EXPECT_THROW(read_matrix_market_vector_file("/nonexistent/b.mtx"), Error);
+}
+
 }  // namespace
 }  // namespace fsaic

@@ -19,22 +19,43 @@
 //         --pipelined         Chronopoulos-Gear CG (1 allreduce/iter)
 //         --gmres             restarted GMRES(50) instead of CG
 //         --rcm               apply RCM reordering before partitioning
-//         --save-factor PATH  serialize the computed G factor
-//         --load-factor PATH  reuse a previously saved factor
+//         --rhs PATH          load the right-hand side from a MatrixMarket
+//                             vector file instead of synthesizing one
+//         --save-factor PATH  serialize the computed G factor (records the
+//                             system fingerprint for load-time validation)
+//         --load-factor PATH  reuse a previously saved factor; fails if it
+//                             was built for a different matrix
 //         --trace PATH        Chrome trace_event JSON of setup + solve phases
 //         --report PATH       JSONL run report (one run line + per-iteration)
 //   fsaic bench    [small|large] [--machine M] [--threads T] [--filter F]
 //                  [--report PATH]
 //       Run a suite through the experiment harness: FSAI baseline vs
 //       FSAIE-Comm per matrix, plus a metrics summary.
+//   fsaic serve    --requests in.jsonl --report out.jsonl [options]
+//       Long-lived solve service: bounded request queue, worker pool,
+//       content-addressed factor cache, multi-RHS batching, per-request
+//       deadlines with admission control (docs/service.md).
+//         --requests PATH     JSONL request file ("-" = stdin)
+//         --report PATH       JSONL response file ("-" = stdout, default)
+//         --workers N         worker threads              (default 1)
+//         --queue-capacity Q  admission bound             (default 64)
+//         --cache-capacity K  resident factors            (default 8)
+//         --solver-threads T  executor threads per worker (default 1)
+//         --no-batch          disable multi-RHS coalescing
+//         --metrics PATH      JSON metrics dump (queue/cache/latency)
+//         --watch DIR         serve request files dropped into DIR
+//         --poll-ms MS        watch poll interval         (default 200)
+//         --once              process the watch directory once and exit
 //   fsaic suite    [small|large]
 //       List the built-in synthetic suites.
 //   fsaic generate <entry-name> <out.mtx>
 //       Write one suite matrix to a MatrixMarket file.
+#include <chrono>
 #include <iostream>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/format.hpp"
@@ -52,6 +73,7 @@
 #include "obs/trace.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/setup_cost.hpp"
+#include "service/solve_service.hpp"
 #include "solver/ic0.hpp"
 #include "solver/gmres.hpp"
 #include "solver/pipelined_cg.hpp"
@@ -65,7 +87,7 @@ namespace {
 using namespace fsaic;
 
 int usage() {
-  std::cerr << "usage: fsaic <analyze|solve|bench|suite|generate> ...\n"
+  std::cerr << "usage: fsaic <analyze|solve|bench|serve|suite|generate> ...\n"
             << "       (see the header of tools/fsaic.cpp for options)\n";
   return 1;
 }
@@ -96,7 +118,8 @@ Args parse_args(int argc, char** argv, int first) {
     if (a.rfind("--", 0) == 0) {
       // Flags with values: everything except the boolean switches.
       const bool boolean = a == "--static" || a == "--pipelined" ||
-                           a == "--rcm" || a == "--gmres";
+                           a == "--rcm" || a == "--gmres" ||
+                           a == "--no-batch" || a == "--once";
       std::string value;
       if (!boolean && i + 1 < argc) {
         value = argv[++i];
@@ -197,10 +220,20 @@ int cmd_solve(const Args& args) {
             << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
             << ")\n";
 
-  // Right-hand side per the paper's setup.
-  Rng rng(2022);
-  std::vector<value_t> bg(static_cast<std::size_t>(a.rows()));
-  for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  // Right-hand side: loaded from a MatrixMarket vector file when --rhs is
+  // given, otherwise synthesized per the paper's setup.
+  std::vector<value_t> bg;
+  if (args.has("rhs")) {
+    bg = read_matrix_market_vector_file(args.get("rhs", ""));
+    FSAIC_REQUIRE(bg.size() == static_cast<std::size_t>(a.rows()),
+                  "right-hand side length " + std::to_string(bg.size()) +
+                      " does not match matrix rows " +
+                      std::to_string(a.rows()));
+  } else {
+    Rng rng(2022);
+    bg.resize(static_cast<std::size_t>(a.rows()));
+    for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
+  }
   std::vector<value_t> b_perm(bg.size());
   for (std::size_t i = 0; i < bg.size(); ++i) {
     b_perm[static_cast<std::size_t>(sys.perm[i])] = bg[i];
@@ -253,6 +286,7 @@ int cmd_solve(const Args& args) {
       const SavedFactor saved = load_factor(args.get("load-factor", ""));
       FSAIC_REQUIRE(saved.layout == sys.layout,
                     "saved factor was built for a different layout");
+      require_factor_matches(saved, sys.matrix);
       const DistCsr g_dist = DistCsr::distribute(saved.g, saved.layout);
       const DistCsr gt_dist =
           DistCsr::distribute(transpose(saved.g), saved.layout);
@@ -269,7 +303,8 @@ int cmd_solve(const Args& args) {
                             .time)
                 << " s (modeled)\n";
       if (args.has("save-factor")) {
-        save_factor(args.get("save-factor", ""), build.g, sys.layout);
+        save_factor(args.get("save-factor", ""), build.g, sys.layout,
+                    fingerprint_of(sys.matrix));
         std::cout << "factor saved to " << args.get("save-factor", "") << "\n";
       }
       setup_json = JsonValue::object();
@@ -434,6 +469,80 @@ int cmd_bench(const Args& args) {
   return 0;
 }
 
+// `fsaic serve`: drive the in-process solve service from a JSONL request
+// file (or a watched directory of them). See docs/service.md for the
+// protocol schema and backpressure semantics.
+int cmd_serve(const Args& args) {
+  ServiceOptions opts;
+  opts.workers = std::stoi(args.get("workers", "1"));
+  opts.queue_capacity =
+      static_cast<std::size_t>(std::stoul(args.get("queue-capacity", "64")));
+  opts.cache_capacity =
+      static_cast<std::size_t>(std::stoul(args.get("cache-capacity", "8")));
+  opts.solver_threads = std::stoi(args.get("solver-threads", "1"));
+  opts.batching = !args.has("no-batch");
+
+  MetricsRegistry metrics;
+  opts.metrics = &metrics;
+
+  const auto dump_metrics = [&] {
+    if (!args.has("metrics")) return;
+    std::ofstream out(args.get("metrics", ""));
+    FSAIC_REQUIRE(out.good(), "cannot open metrics output file: " +
+                                  args.get("metrics", ""));
+    out << metrics.to_json().dump() << "\n";
+    std::cout << "metrics -> " << args.get("metrics", "") << "\n";
+  };
+
+  if (args.has("watch")) {
+    const std::string dir = args.get("watch", "");
+    const int poll_ms = std::stoi(args.get("poll-ms", "200"));
+    std::cout << "watching " << dir << " for *.jsonl request files ("
+              << opts.workers << " workers, cache capacity "
+              << opts.cache_capacity << ")\n";
+    int total = 0;
+    do {
+      const int n = process_watch_directory(opts, dir);
+      total += n;
+      if (n > 0) std::cout << "served " << n << " request file(s)\n";
+      if (!args.has("once")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      }
+    } while (!args.has("once"));
+    std::cout << "done: " << total << " request file(s) served\n";
+    dump_metrics();
+    return 0;
+  }
+
+  if (!args.has("requests")) return usage();
+  const std::string in_path = args.get("requests", "");
+  const std::string out_path = args.get("report", "-");
+  std::ifstream in_file;
+  if (in_path != "-") {
+    in_file.open(in_path);
+    FSAIC_REQUIRE(in_file.good(), "cannot open request file: " + in_path);
+  }
+  std::ofstream out_file;
+  if (out_path != "-") {
+    out_file.open(out_path);
+    FSAIC_REQUIRE(out_file.good(), "cannot open response file: " + out_path);
+  }
+  std::istream& in = in_path == "-" ? std::cin : in_file;
+  std::ostream& out = out_path == "-" ? std::cout : out_file;
+
+  const ServiceStats stats = serve_requests(opts, in, out);
+  std::cerr << "serve: " << stats.submitted << " requests, " << stats.completed
+            << " completed, " << stats.errors << " errors, "
+            << stats.rejected_queue_full + stats.rejected_deadline
+            << " rejected (" << stats.rejected_deadline << " deadline); "
+            << stats.batches << " batches (max size " << stats.max_batch_size
+            << "); cache " << stats.cache.hits << " hits / "
+            << stats.cache.misses << " misses / " << stats.cache.evictions
+            << " evictions\n";
+  dump_metrics();
+  return 0;
+}
+
 int cmd_suite(const Args& args) {
   const std::string which =
       args.positional.empty() ? "small" : args.positional[0];
@@ -471,6 +580,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "bench") return cmd_bench(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "suite") return cmd_suite(args);
     if (cmd == "generate") return cmd_generate(args);
     return usage();
