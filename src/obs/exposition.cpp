@@ -1,0 +1,168 @@
+#include "obs/exposition.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace fsaic {
+
+namespace {
+
+/// A registry key decomposed into its metric family and optional rank
+/// dimension ("name.rank<p>" -> {"name", "<p>"}).
+struct SeriesKey {
+  std::string base;
+  std::string rank;  ///< empty for the global series
+};
+
+SeriesKey split_key(const std::string& key) {
+  const auto pos = key.rfind(".rank");
+  if (pos != std::string::npos && pos + 5 < key.size()) {
+    bool digits = true;
+    for (std::size_t i = pos + 5; i < key.size(); ++i) {
+      digits = digits && std::isdigit(static_cast<unsigned char>(key[i])) != 0;
+    }
+    if (digits) return {key.substr(0, pos), key.substr(pos + 5)};
+  }
+  return {key, ""};
+}
+
+/// Sort the series of one family: the global series first, then ranks in
+/// numeric order (the flat map would yield rank10 before rank2).
+bool series_before(const SeriesKey& a, const SeriesKey& b) {
+  if (a.rank.empty() != b.rank.empty()) return a.rank.empty();
+  if (a.rank.size() != b.rank.size()) return a.rank.size() < b.rank.size();
+  return a.rank < b.rank;
+}
+
+std::string label_block(const SeriesKey& key) {
+  return key.rank.empty() ? "" : "{rank=\"" + key.rank + "\"}";
+}
+
+/// Upper edge of log2 bucket b, matching HistogramData::observe.
+double bucket_edge(int b) { return b == 0 ? 1.0 : std::ldexp(1.0, b); }
+
+std::string format_double(double v) {
+  // %.17g round-trips; strip a trailing ".0000…" is not needed for
+  // Prometheus, which accepts any float syntax.
+  return strformat("%.17g", v);
+}
+
+template <typename Value>
+using FamilyMap =
+    std::map<std::string, std::vector<std::pair<SeriesKey, Value>>>;
+
+template <typename Value>
+FamilyMap<Value> group_families(const std::map<std::string, Value>& flat) {
+  FamilyMap<Value> families;
+  for (const auto& [key, value] : flat) {
+    const SeriesKey s = split_key(key);
+    families[s.base].emplace_back(s, value);
+  }
+  for (auto& [base, series] : families) {
+    std::sort(series.begin(), series.end(),
+              [](const auto& a, const auto& b) {
+                return series_before(a.first, b.first);
+              });
+  }
+  return families;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out.push_back('_');
+  out.append(name);
+  for (char& c : out) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!valid) c = '_';
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry::Snapshot& snapshot,
+                              std::string_view prefix) {
+  std::string out;
+
+  for (const auto& [base, series] : group_families(snapshot.counters)) {
+    const std::string name = prometheus_name(base, prefix);
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [key, value] : series) {
+      out += name + label_block(key) + " " +
+             std::to_string(value) + "\n";
+    }
+  }
+
+  for (const auto& [base, series] : group_families(snapshot.gauges)) {
+    const std::string name = prometheus_name(base, prefix);
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [key, value] : series) {
+      out += name + label_block(key) + " " + format_double(value) + "\n";
+    }
+  }
+
+  for (const auto& [base, series] : group_families(snapshot.histograms)) {
+    const std::string name = prometheus_name(base, prefix);
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [key, hist] : series) {
+      // Cumulative buckets up to the last occupied one, then +Inf. The le
+      // label carries the exact log2 upper edge of HistogramData's buckets.
+      int last = -1;
+      for (int b = 0; b < HistogramData::kBuckets; ++b) {
+        if (hist.buckets[static_cast<std::size_t>(b)] > 0) last = b;
+      }
+      const std::string rank_label =
+          key.rank.empty() ? "" : "rank=\"" + key.rank + "\",";
+      std::int64_t cumulative = 0;
+      for (int b = 0; b <= last; ++b) {
+        cumulative += hist.buckets[static_cast<std::size_t>(b)];
+        out += name + "_bucket{" + rank_label + "le=\"" +
+               format_double(bucket_edge(b)) + "\"} " +
+               std::to_string(cumulative) + "\n";
+      }
+      out += name + "_bucket{" + rank_label + "le=\"+Inf\"} " +
+             std::to_string(hist.count) + "\n";
+      out += name + "_sum" + label_block(key) + " " + format_double(hist.sum) +
+             "\n";
+      out += name + "_count" + label_block(key) + " " +
+             std::to_string(hist.count) + "\n";
+    }
+  }
+
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& metrics,
+                              std::string_view prefix) {
+  return render_prometheus(metrics.snapshot(), prefix);
+}
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  fs::path tmp(target);
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    FSAIC_REQUIRE(out.good(), "cannot open temp file: " + tmp.string());
+    out << content;
+    out.flush();
+    FSAIC_REQUIRE(out.good(), "failed writing temp file: " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  FSAIC_REQUIRE(!ec, "cannot replace " + path + ": " + ec.message());
+}
+
+}  // namespace fsaic

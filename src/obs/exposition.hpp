@@ -1,0 +1,53 @@
+// Prometheus text exposition of a MetricsRegistry snapshot.
+//
+// A long-lived `fsaic serve` should be inspectable without killing it, and
+// the lingua franca for that is the Prometheus text format (version 0.0.4):
+// one `# TYPE` header per metric family, one sample line per series. This
+// module renders a registry snapshot into that format:
+//
+//   - counters  -> `fsaic_<name> <value>` with TYPE `counter`
+//   - gauges    -> TYPE `gauge`
+//   - histograms-> TYPE `histogram`: cumulative `_bucket{le="…"}` lines over
+//                  the registry's log2 bucket edges (up to the last occupied
+//                  bucket, then `le="+Inf"`), plus `_sum` and `_count`
+//
+// Registry keys are sanitized into valid metric names (every character
+// outside [a-zA-Z0-9_:] becomes '_', so "service.queue_us" renders as
+// fsaic_service_queue_us), and the per-rank dimension "name.rank<p>" becomes
+// a `rank="<p>"` label. Counter values are emitted as integers so byte
+// counters round-trip exactly.
+//
+// `atomic_write_file` is the snapshot publication primitive: temp file in
+// the target directory + rename, so a scraper (or a human with `cat`) never
+// observes a half-written exposition.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace fsaic {
+
+/// Sanitized Prometheus metric name: "<prefix>_<name>" with every character
+/// outside [a-zA-Z0-9_:] replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          std::string_view prefix = "fsaic");
+
+/// Render a snapshot in the Prometheus text exposition format. Families are
+/// emitted in sorted order (counters, then gauges, then histograms), each
+/// with its `# TYPE` header once; per-rank series carry a rank label.
+[[nodiscard]] std::string render_prometheus(
+    const MetricsRegistry::Snapshot& snapshot,
+    std::string_view prefix = "fsaic");
+
+/// Convenience: snapshot + render in one call.
+[[nodiscard]] std::string render_prometheus(const MetricsRegistry& metrics,
+                                            std::string_view prefix = "fsaic");
+
+/// Replace `path` atomically: write `content` to a temp file in the same
+/// directory, then rename over `path`. Readers see either the old or the
+/// new snapshot, never a torn one. Throws fsaic::Error on I/O failure.
+void atomic_write_file(const std::string& path, std::string_view content);
+
+}  // namespace fsaic

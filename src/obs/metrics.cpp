@@ -24,16 +24,25 @@ void HistogramData::observe(double value) {
 
 double HistogramData::quantile(double q) const {
   if (count == 0) return 0.0;
-  const auto target = static_cast<std::int64_t>(
-      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count)));
+  const auto target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count))));
   std::int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets[static_cast<std::size_t>(b)];
-    if (seen >= target) {
-      // Upper edge of bucket b, clipped to the observed extrema.
-      const double edge = b == 0 ? 1.0 : std::ldexp(1.0, b);
-      return std::clamp(edge, min, max);
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (seen + in_bucket < target) {
+      seen += in_bucket;
+      continue;
     }
+    // The t-th smallest observation falls in this bucket [L, U). Interpolate
+    // linearly by its rank among the bucket's n_b observations (assumed
+    // evenly spread), then clamp to the observed extrema — see the rule
+    // documented on the declaration.
+    const double lower = b == 0 ? 0.0 : std::ldexp(1.0, b - 1);
+    const double upper = b == 0 ? 1.0 : std::ldexp(1.0, b);
+    const double frac = static_cast<double>(target - seen) /
+                        static_cast<double>(in_bucket);
+    return std::clamp(lower + frac * (upper - lower), min, max);
   }
   return max;
 }

@@ -37,9 +37,15 @@ struct HistogramData {
 
   void observe(double value);
   [[nodiscard]] double mean() const { return count > 0 ? sum / count : 0.0; }
-  /// Upper edge of the bucket containing the q-quantile (q in [0, 1]) — a
-  /// conservative estimate good to a factor of 2, which is what log-scale
-  /// latency reporting needs.
+  /// Nearest-rank quantile estimate with within-bucket linear interpolation
+  /// (q in [0, 1]). The rule, pinned by unit tests: the target rank is
+  /// t = max(1, ceil(q * count)); inside the bucket [L, U) holding the t-th
+  /// smallest observation (L = 0 and U = 1 for bucket 0), the estimate is
+  /// L + (t - seen)/n_b * (U - L), where `seen` counts observations in
+  /// earlier buckets and n_b those in this one — i.e. the n_b observations
+  /// are assumed evenly spread over the bucket. The result is clamped to
+  /// the observed [min, max], which makes the single-sample case exact and
+  /// keeps every estimate inside the data range. Empty histogram: 0.
   [[nodiscard]] double quantile(double q) const;
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p95":..,
   ///  "p99":..}

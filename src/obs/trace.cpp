@@ -53,8 +53,9 @@ void TraceRecorder::end(const char* name, const char* category) {
 }
 
 void TraceRecorder::complete(const char* name, const char* category,
-                             double ts_us, double dur_us) {
-  push({name, category, 'X', ts_us, dur_us, 0.0, current_tid()});
+                             double ts_us, double dur_us, std::string args) {
+  push({name, category, 'X', ts_us, dur_us, 0.0, current_tid(),
+        std::move(args)});
 }
 
 void TraceRecorder::instant(const char* name, const char* category) {
@@ -88,6 +89,7 @@ void TraceRecorder::write_json(std::ostream& out) const {
         << strformat(",\"ts\":%.3f", e.timestamp_us);
     if (e.phase == 'X') out << strformat(",\"dur\":%.3f", e.duration_us);
     if (e.phase == 'C') out << strformat(",\"args\":{\"value\":%.17g}", e.value);
+    if (e.phase != 'C' && !e.args.empty()) out << ",\"args\":" << e.args;
     if (e.phase == 'i') out << ",\"s\":\"t\"";
     out << "}";
   }

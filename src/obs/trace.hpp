@@ -29,6 +29,9 @@ struct TraceEvent {
   double duration_us = 0.0;  ///< 'X' events only
   double value = 0.0;        ///< 'C' events only
   std::uint32_t tid = 0;
+  /// Optional pre-rendered JSON object emitted as the event's "args" (e.g.
+  /// {"rid":42} on the service's per-request slices); empty = no args.
+  std::string args;
 };
 
 class TraceRecorder {
@@ -48,8 +51,12 @@ class TraceRecorder {
   void end(const char* name, const char* category);
 
   /// Record an already-measured slice ('X') at an explicit start time.
+  /// `args` is an optional pre-rendered JSON object (use json_escape for
+  /// string values) attached verbatim as the slice's args — the hook the
+  /// solve service uses to tag its queue/setup/solve slices with the
+  /// request id minted at admission.
   void complete(const char* name, const char* category, double ts_us,
-                double dur_us);
+                double dur_us, std::string args = {});
 
   /// Point-in-time marker ('i').
   void instant(const char* name, const char* category);

@@ -98,6 +98,7 @@ JsonValue to_json(const SolveResponse& resp) {
   JsonValue v = JsonValue::object();
   v["kind"] = "response";
   v["id"] = resp.id;
+  if (resp.rid > 0) v["rid"] = resp.rid;
   v["status"] = resp.status;
   if (!resp.reason.empty()) v["reason"] = resp.reason;
   if (resp.ok()) {

@@ -22,7 +22,10 @@
 //    "history": false}                include per-iteration residuals
 //
 // Response schema:
-//   {"kind": "response", "id", "status": "ok"|"rejected"|"error",
+//   {"kind": "response", "id",
+//    "rid",                           service-minted request id (admission
+//                                     order; absent on parse errors)
+//    "status": "ok"|"rejected"|"error",
 //    "reason",                        rejected/error only
 //    "converged", "iterations", "initial_residual", "final_residual",
 //    "cache": "hit"|"miss", "batch_size", "fingerprint",
@@ -66,6 +69,11 @@ struct SolveRequest {
 
 struct SolveResponse {
   std::string id;
+  /// Request id minted by the service at admission (1, 2, … in submission
+  /// order; 0 = not serviced, e.g. a parse-error response). The same rid
+  /// tags the service's log lines and trace slice args, so one grep
+  /// correlates a request across all three observability surfaces.
+  std::int64_t rid = 0;
   std::string status = "ok";  ///< "ok" | "rejected" | "error"
   std::string reason;         ///< e.g. "queue_full", "deadline", parse error
   bool converged = false;

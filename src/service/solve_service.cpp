@@ -52,7 +52,55 @@ std::vector<value_t> permute_rhs(std::span<const value_t> global,
   return out;
 }
 
+/// Base field set of every request-lifecycle log event.
+JsonValue rid_fields(std::int64_t rid, const std::string& id) {
+  JsonValue f = JsonValue::object();
+  f["rid"] = rid;
+  f["id"] = id;
+  return f;
+}
+
+/// The {"rid":N} args object tagged onto the service's trace slices.
+std::string rid_args(std::int64_t rid) {
+  return strformat("{\"rid\":%lld}", static_cast<long long>(rid));
+}
+
 }  // namespace
+
+void ServiceStats::merge(const ServiceStats& other) {
+  submitted += other.submitted;
+  admitted += other.admitted;
+  completed += other.completed;
+  errors += other.errors;
+  rejected_queue_full += other.rejected_queue_full;
+  rejected_deadline += other.rejected_deadline;
+  batches += other.batches;
+  max_batch_size = std::max(max_batch_size, other.max_batch_size);
+  cache.hits += other.cache.hits;
+  cache.misses += other.cache.misses;
+  cache.insertions += other.cache.insertions;
+  cache.evictions += other.cache.evictions;
+}
+
+JsonValue serve_stats_to_json(const ServiceStats& stats) {
+  JsonValue v = JsonValue::object();
+  v["kind"] = "serve";
+  v["submitted"] = stats.submitted;
+  v["admitted"] = stats.admitted;
+  v["completed"] = stats.completed;
+  v["errors"] = stats.errors;
+  v["rejected_queue_full"] = stats.rejected_queue_full;
+  v["rejected_deadline"] = stats.rejected_deadline;
+  v["batches"] = stats.batches;
+  v["max_batch_size"] = stats.max_batch_size;
+  JsonValue cache = JsonValue::object();
+  cache["hits"] = stats.cache.hits;
+  cache["misses"] = stats.cache.misses;
+  cache["insertions"] = stats.cache.insertions;
+  cache["evictions"] = stats.cache.evictions;
+  v["cache"] = std::move(cache);
+  return v;
+}
 
 SolveService::SolveService(ServiceOptions options, ResponseHandler on_response)
     : options_(options),
@@ -81,8 +129,9 @@ bool SolveService::deadline_expired(
 
 bool SolveService::submit(SolveRequest request) {
   const auto now = std::chrono::steady_clock::now();
-  Pending p{std::move(request), "", now};
+  Pending p{std::move(request), "", now, next_rid_.fetch_add(1) + 1};
   p.batch_key = p.request.batch_key();
+  Logger* const log = options_.log;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
@@ -94,6 +143,7 @@ bool SolveService::submit(SolveRequest request) {
   if (deadline_expired(p, now)) {
     SolveResponse r;
     r.id = p.request.id;
+    r.rid = p.rid;
     r.status = "rejected";
     r.reason = "deadline";
     {
@@ -103,13 +153,21 @@ bool SolveService::submit(SolveRequest request) {
     if (options_.metrics != nullptr) {
       options_.metrics->add("service.rejected_deadline", 1);
     }
+    if (log != nullptr && log->enabled(LogLevel::Warn)) {
+      JsonValue f = rid_fields(p.rid, p.request.id);
+      f["reason"] = "deadline";
+      log->warn("service.reject", f);
+    }
     deliver(r);
     return false;
   }
   const std::string id = p.request.id;
+  const std::int64_t rid = p.rid;
+  const std::string batch_key = p.batch_key;
   if (!queue_.try_push(std::move(p))) {
     SolveResponse r;
     r.id = id;
+    r.rid = rid;
     r.status = "rejected";
     r.reason = "queue_full";
     {
@@ -119,6 +177,11 @@ bool SolveService::submit(SolveRequest request) {
     if (options_.metrics != nullptr) {
       options_.metrics->add("service.rejected_queue_full", 1);
     }
+    if (log != nullptr && log->enabled(LogLevel::Warn)) {
+      JsonValue f = rid_fields(rid, id);
+      f["reason"] = "queue_full";
+      log->warn("service.reject", f);
+    }
     deliver(r);
     return false;
   }
@@ -126,9 +189,19 @@ bool SolveService::submit(SolveRequest request) {
     const std::lock_guard<std::mutex> lock(drain_mutex_);
     ++accepted_;
   }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.admitted;
+  }
   if (options_.metrics != nullptr) {
+    options_.metrics->add("service.admitted", 1);
     options_.metrics->set("service.queue_depth",
                           static_cast<double>(queue_.size()));
+  }
+  if (log != nullptr && log->enabled(LogLevel::Info)) {
+    JsonValue f = rid_fields(rid, id);
+    f["batch_key"] = batch_key;
+    log->info("service.admit", f);
   }
   return true;
 }
@@ -175,6 +248,7 @@ void SolveService::worker_loop() {
 void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
   const auto t_dequeue = std::chrono::steady_clock::now();
   TraceRecorder* const trace = options_.trace;
+  Logger* const log = options_.log;
 
   // Requests whose deadline lapsed while queued are rejected, not solved.
   std::vector<Pending> live;
@@ -186,6 +260,7 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     }
     SolveResponse r;
     r.id = p.request.id;
+    r.rid = p.rid;
     r.status = "rejected";
     r.reason = "deadline";
     r.queue_us = us_between(p.submitted_at, t_dequeue);
@@ -197,16 +272,30 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     if (options_.metrics != nullptr) {
       options_.metrics->add("service.rejected_deadline", 1);
     }
+    if (log != nullptr && log->enabled(LogLevel::Warn)) {
+      JsonValue f = rid_fields(p.rid, p.request.id);
+      f["reason"] = "deadline";
+      f["queue_us"] = r.queue_us;
+      log->warn("service.reject", f);
+    }
     deliver(r);
     finish_one();
   }
   if (live.empty()) return;
+
+  if (log != nullptr && log->enabled(LogLevel::Debug)) {
+    JsonValue f = rid_fields(live.front().rid, live.front().request.id);
+    f["batch_size"] = static_cast<std::int64_t>(live.size());
+    f["batch_key"] = live.front().batch_key;
+    log->debug("service.dequeue", f);
+  }
 
   const auto fail_batch = [&](const std::string& reason) {
     const auto now = std::chrono::steady_clock::now();
     for (const Pending& p : live) {
       SolveResponse r;
       r.id = p.request.id;
+      r.rid = p.rid;
       r.status = "error";
       r.reason = reason;
       r.queue_us = us_between(p.submitted_at, t_dequeue);
@@ -217,6 +306,11 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
       }
       if (options_.metrics != nullptr) {
         options_.metrics->add("service.errors", 1);
+      }
+      if (log != nullptr && log->enabled(LogLevel::Error)) {
+        JsonValue f = rid_fields(p.rid, p.request.id);
+        f["reason"] = reason;
+        log->error("service.error", f);
       }
       deliver(r);
       finish_one();
@@ -286,7 +380,16 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     setup_us = us_between(t_setup, std::chrono::steady_clock::now());
     if (trace != nullptr) {
       trace->complete(("setup " + lead.id).c_str(), "service",
-                      trace->now_us() - setup_us, setup_us);
+                      trace->now_us() - setup_us, setup_us,
+                      rid_args(live.front().rid));
+    }
+    if (log != nullptr && log->enabled(LogLevel::Info)) {
+      JsonValue f = rid_fields(live.front().rid, lead.id);
+      f["cache"] = cache_hit ? "hit" : "miss";
+      f["fingerprint"] = fingerprint_hex;
+      f["setup_us"] = setup_us;
+      f["batch_size"] = static_cast<std::int64_t>(live.size());
+      log->info("service.setup", f);
     }
   } catch (const std::exception& e) {
     fail_batch(e.what());
@@ -300,6 +403,7 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     const SolveRequest& req = p.request;
     SolveResponse r;
     r.id = req.id;
+    r.rid = p.rid;
     r.queue_us = us_between(p.submitted_at, t_dequeue);
     r.cache = cache_hit ? "hit" : "miss";
     r.batch_size = static_cast<int>(live.size());
@@ -352,9 +456,20 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
       if (trace != nullptr) {
         const double now_us = trace->now_us();
         trace->complete(("queue " + req.id).c_str(), "service",
-                        now_us - r.total_us, r.queue_us);
+                        now_us - r.total_us, r.queue_us, rid_args(p.rid));
         trace->complete(("solve " + req.id).c_str(), "service",
-                        now_us - r.solve_us, r.solve_us);
+                        now_us - r.solve_us, r.solve_us, rid_args(p.rid));
+      }
+      if (log != nullptr && log->enabled(LogLevel::Info)) {
+        JsonValue f = rid_fields(p.rid, req.id);
+        f["converged"] = result.converged;
+        f["iterations"] = result.iterations;
+        f["cache"] = r.cache;
+        f["queue_us"] = r.queue_us;
+        f["setup_us"] = r.setup_us;
+        f["solve_us"] = r.solve_us;
+        f["total_us"] = r.total_us;
+        log->info("service.solve", f);
       }
     } catch (const std::exception& e) {
       r.status = "error";
@@ -367,6 +482,11 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
       }
       if (options_.metrics != nullptr) {
         options_.metrics->add("service.errors", 1);
+      }
+      if (log != nullptr && log->enabled(LogLevel::Error)) {
+        JsonValue f = rid_fields(p.rid, req.id);
+        f["reason"] = r.reason;
+        log->error("service.error", f);
       }
     }
     deliver(r);
@@ -445,7 +565,7 @@ ServiceStats serve_requests(const ServiceOptions& options, std::istream& in,
 }
 
 int process_watch_directory(const ServiceOptions& options,
-                            const std::string& dir) {
+                            const std::string& dir, ServiceStats* accumulate) {
   namespace fs = std::filesystem;
   FSAIC_REQUIRE(fs::is_directory(dir), "not a directory: " + dir);
   int processed = 0;
@@ -476,7 +596,8 @@ int process_watch_directory(const ServiceOptions& options,
       std::ofstream out(tmp_path);
       FSAIC_REQUIRE(out.good(),
                     "cannot open response file: " + tmp_path.string());
-      serve_requests(options, in, out);
+      const ServiceStats stats = serve_requests(options, in, out);
+      if (accumulate != nullptr) accumulate->merge(stats);
     }
     fs::rename(tmp_path, out_path);
     ++processed;

@@ -22,6 +22,7 @@
 // request.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -33,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/factor_cache.hpp"
@@ -56,14 +58,19 @@ struct ServiceOptions {
   /// Executor threads per worker for the solves themselves (1 = sequential;
   /// results are bit-identical either way).
   int solver_threads = 1;
-  /// Borrowed observability attachments; both optional.
+  /// Borrowed observability attachments; all optional. The logger receives
+  /// one structured event per request-lifecycle step (admit / reject /
+  /// dequeue / setup / solve / error), each carrying the request id `rid`
+  /// minted at admission.
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  Logger* log = nullptr;
 };
 
 /// Aggregate serving counters (also mirrored into the MetricsRegistry).
 struct ServiceStats {
   std::int64_t submitted = 0;
+  std::int64_t admitted = 0;   ///< accepted into the queue
   std::int64_t completed = 0;  ///< responses with status "ok"
   std::int64_t errors = 0;
   std::int64_t rejected_queue_full = 0;
@@ -71,7 +78,16 @@ struct ServiceStats {
   std::int64_t batches = 0;
   std::int64_t max_batch_size = 0;
   FactorCacheStats cache;
+
+  /// Fold another block in (counters add, max_batch_size maxes) — how watch
+  /// mode aggregates its per-pass stats into one end-of-run summary.
+  void merge(const ServiceStats& other);
 };
+
+/// One JSONL summary record ({"kind":"serve", …}) of a service run: the
+/// counters above plus the cache block. `fsaic serve` appends it to the
+/// FSAIC_REPORT file in both --requests and --watch mode.
+[[nodiscard]] JsonValue serve_stats_to_json(const ServiceStats& stats);
 
 class SolveService {
  public:
@@ -105,6 +121,7 @@ class SolveService {
     SolveRequest request;
     std::string batch_key;
     std::chrono::steady_clock::time_point submitted_at;
+    std::int64_t rid = 0;  ///< minted at admission, echoed everywhere
   };
 
   void worker_loop();
@@ -118,6 +135,7 @@ class SolveService {
   ResponseHandler on_response_;
   RequestQueue<Pending> queue_;
   FactorCache cache_;
+  std::atomic<std::int64_t> next_rid_{0};
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
@@ -140,8 +158,11 @@ ServiceStats serve_requests(const ServiceOptions& options, std::istream& in,
 
 /// One pass of `fsaic serve --watch`: process every "*.jsonl" file in `dir`
 /// that has no "<stem>.out.jsonl" yet, writing responses next to it.
-/// Returns the number of request files processed.
+/// Returns the number of request files processed; when `accumulate` is
+/// non-null, each file's ServiceStats are merged into it so a watch session
+/// can report the same end-of-run summary as --requests mode.
 int process_watch_directory(const ServiceOptions& options,
-                            const std::string& dir);
+                            const std::string& dir,
+                            ServiceStats* accumulate = nullptr);
 
 }  // namespace fsaic

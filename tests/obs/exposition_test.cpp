@@ -1,0 +1,148 @@
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace fsaic {
+namespace {
+
+TEST(ExpositionTest, NamesArePrefixedAndSanitized) {
+  EXPECT_EQ(prometheus_name("service.queue_us"), "fsaic_service_queue_us");
+  EXPECT_EQ(prometheus_name("solve.halo-bytes/sent"),
+            "fsaic_solve_halo_bytes_sent");
+  EXPECT_EQ(prometheus_name("ok:name_09"), "fsaic_ok:name_09");
+  EXPECT_EQ(prometheus_name("x", "app"), "app_x");
+}
+
+// The golden rendering: every series type, global and per-rank, with a name
+// needing sanitization. Pinned byte-for-byte so the exposition format is a
+// stable contract for scrapers.
+TEST(ExpositionTest, RendersGoldenTextFormat) {
+  MetricsRegistry metrics;
+  metrics.add("service.completed", 7);
+  metrics.add("halo.bytes", 128, 0);
+  metrics.add("halo.bytes", 64, 1);
+  metrics.set("queue.depth", 2.5);
+  metrics.observe("latency_us", 0.5);   // bucket 0: [0, 1)
+  metrics.observe("latency_us", 3.0);   // bucket 2: [2, 4)
+  metrics.observe("latency_us", 3.5);   // bucket 2
+  metrics.observe("latency_us", 100.0);  // bucket 7: [64, 128)
+  metrics.observe("setup_us", 2.0, 3);  // per-rank histogram
+
+  const std::string expected =
+      "# TYPE fsaic_halo_bytes counter\n"
+      "fsaic_halo_bytes{rank=\"0\"} 128\n"
+      "fsaic_halo_bytes{rank=\"1\"} 64\n"
+      "# TYPE fsaic_service_completed counter\n"
+      "fsaic_service_completed 7\n"
+      "# TYPE fsaic_queue_depth gauge\n"
+      "fsaic_queue_depth 2.5\n"
+      "# TYPE fsaic_latency_us histogram\n"
+      "fsaic_latency_us_bucket{le=\"1\"} 1\n"
+      "fsaic_latency_us_bucket{le=\"2\"} 1\n"
+      "fsaic_latency_us_bucket{le=\"4\"} 3\n"
+      "fsaic_latency_us_bucket{le=\"8\"} 3\n"
+      "fsaic_latency_us_bucket{le=\"16\"} 3\n"
+      "fsaic_latency_us_bucket{le=\"32\"} 3\n"
+      "fsaic_latency_us_bucket{le=\"64\"} 3\n"
+      "fsaic_latency_us_bucket{le=\"128\"} 4\n"
+      "fsaic_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "fsaic_latency_us_sum 107\n"
+      "fsaic_latency_us_count 4\n"
+      "# TYPE fsaic_setup_us histogram\n"
+      "fsaic_setup_us_bucket{rank=\"3\",le=\"1\"} 0\n"
+      "fsaic_setup_us_bucket{rank=\"3\",le=\"2\"} 0\n"
+      "fsaic_setup_us_bucket{rank=\"3\",le=\"4\"} 1\n"
+      "fsaic_setup_us_bucket{rank=\"3\",le=\"+Inf\"} 1\n"
+      "fsaic_setup_us_sum{rank=\"3\"} 2\n"
+      "fsaic_setup_us_count{rank=\"3\"} 1\n";
+  EXPECT_EQ(render_prometheus(metrics), expected);
+}
+
+TEST(ExpositionTest, RankSeriesSortNumericallyAfterGlobal) {
+  MetricsRegistry metrics;
+  metrics.add("c", 1, 10);
+  metrics.add("c", 1, 2);
+  metrics.add("c", 1);
+  const std::string expected =
+      "# TYPE fsaic_c counter\n"
+      "fsaic_c 1\n"
+      "fsaic_c{rank=\"2\"} 1\n"
+      "fsaic_c{rank=\"10\"} 1\n";
+  EXPECT_EQ(render_prometheus(metrics), expected);
+}
+
+TEST(ExpositionTest, NonRankDotSuffixStaysInMetricName) {
+  MetricsRegistry metrics;
+  metrics.add("cache.rank_size", 1);  // ".rank" not followed by digits only
+  const std::string rendered = render_prometheus(metrics);
+  EXPECT_NE(rendered.find("fsaic_cache_rank_size 1\n"), std::string::npos);
+  EXPECT_EQ(rendered.find("rank=\""), std::string::npos);
+}
+
+TEST(ExpositionTest, EmptyRegistryRendersEmpty) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(render_prometheus(metrics), "");
+}
+
+TEST(ExpositionTest, AtomicWriteReplacesWholeFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      testing::TempDir() + "/fsaic_exposition_atomic.prom";
+  atomic_write_file(path, "first version with a long tail\n");
+  atomic_write_file(path, "second\n");
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "second\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "temp file must not linger";
+  fs::remove(path);
+}
+
+// Hammer the registry from writer threads while rendering snapshots: every
+// render must be a self-consistent exposition (cumulative buckets
+// monotone, _count matching the +Inf bucket), never a torn read.
+TEST(ExpositionTest, RenderIsConsistentUnderConcurrentWrites) {
+  MetricsRegistry metrics;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&metrics, &stop, t] {
+      int i = 0;
+      while (!stop.load()) {
+        metrics.add("ops", 1, static_cast<rank_t>(t));
+        metrics.observe("lat_us", static_cast<double>(1 + (i % 300)));
+        metrics.set("depth", static_cast<double>(i));
+        ++i;
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    const auto snap = metrics.snapshot();
+    const std::string rendered = render_prometheus(snap);
+    // The snapshot is taken under the registry lock, so the rendering must
+    // agree with the snapshot exactly: re-rendering is deterministic...
+    EXPECT_EQ(render_prometheus(snap), rendered);
+    // ...and the histogram in the snapshot is internally consistent.
+    const auto it = snap.histograms.find("lat_us");
+    if (it != snap.histograms.end()) {
+      std::int64_t total = 0;
+      for (const auto b : it->second.buckets) total += b;
+      EXPECT_EQ(total, it->second.count);
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+}  // namespace
+}  // namespace fsaic

@@ -101,6 +101,49 @@ TEST(HistogramTest, QuantilesAreBucketBoundsClampedToObservedRange) {
   EXPECT_EQ(h.quantile(0.0), h.min) << "quantiles clamp to the observed min";
 }
 
+// Pins the documented estimation rule: nearest-rank target
+// t = max(1, ceil(q*count)), linear interpolation by rank inside the
+// bucket [L, U) holding the t-th smallest observation, clamped to the
+// observed [min, max].
+TEST(HistogramTest, QuantileInterpolationRuleIsPinned) {
+  HistogramData h;
+  for (int v = 1; v <= 8; ++v) h.observe(static_cast<double>(v));
+  // p25: t=2 -> 2nd smallest, bucket [2,4) holds {2,3}, frac 1/2 -> 3.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 3.0);
+  // p50: t=4 -> bucket [4,8) holds {4,5,6,7}, frac 1/4 -> 5.0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 5.0);
+  // p95/p99: t=8 -> bucket [8,16), interpolates to 16, clamps to max 8.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 8.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreExact) {
+  HistogramData h;
+  h.observe(42.0);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, BucketEdgeObservationsClampToObservedValue) {
+  HistogramData h;
+  // All mass exactly on a bucket's lower edge: interpolation would drift
+  // upward inside [4,8), but the clamp pins every quantile to 4.0.
+  for (int i = 0; i < 3; ++i) h.observe(4.0);
+  for (const double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 4.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, OutOfRangeQuantileArgumentsClamp) {
+  HistogramData h;
+  h.observe(2.0);
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
 TEST(HistogramTest, EmptyHistogramIsInert) {
   const HistogramData h;
   EXPECT_EQ(h.count, 0);

@@ -390,6 +390,130 @@ TEST_F(ServiceTest, TraceGetsPerRequestSlices) {
   EXPECT_TRUE(saw_queue && saw_setup && saw_solve);
 }
 
+TEST_F(ServiceTest, RidsAreMintedInSubmissionOrderAcrossOutcomes) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    SolveRequest late = request("late");
+    late.deadline_ms = 0.0;  // rejected, but still consumes a rid
+    service.submit(request("first"));
+    service.submit(late);
+    service.submit(request("third"));
+    service.drain();
+  }
+  EXPECT_EQ(col.by_id.at("first").rid, 1);
+  EXPECT_EQ(col.by_id.at("late").rid, 2);
+  EXPECT_EQ(col.by_id.at("third").rid, 3);
+  // The rid rides in the response JSON for log<->response correlation.
+  const JsonValue v = to_json(col.by_id.at("third"));
+  EXPECT_EQ(v.at("rid").as_int(), 3);
+  // Unserviced responses (rid 0) omit the key.
+  SolveResponse unserviced;
+  unserviced.id = "parse-error";
+  unserviced.status = "error";
+  EXPECT_EQ(to_json(unserviced).find("rid"), nullptr);
+}
+
+TEST_F(ServiceTest, StructuredLogCoversTheRequestLifecycle) {
+  std::ostringstream log_out;
+  Logger log(log_out, LogLevel::Debug);
+  Collector col;
+  {
+    SolveService service({.workers = 1, .log = &log}, col.handler());
+    SolveRequest late = request("late");
+    late.deadline_ms = 0.0;
+    service.submit(request("ok1"));
+    service.submit(late);
+    service.drain();
+  }
+  std::istringstream lines(log_out.str());
+  std::map<std::string, JsonValue> by_event;
+  int n_lines = 0;
+  for (const JsonValue& v : read_jsonl(lines)) {
+    by_event[v.at("event").as_string()] = v;
+    ++n_lines;
+  }
+  EXPECT_EQ(log.lines_written(), n_lines);
+  // admit -> dequeue -> setup -> solve for the solved request...
+  for (const std::string event :
+       {"service.admit", "service.dequeue", "service.setup", "service.solve"}) {
+    ASSERT_TRUE(by_event.count(event)) << event << " missing";
+    EXPECT_EQ(by_event.at(event).at("rid").as_int(), 1) << event;
+  }
+  EXPECT_EQ(by_event.at("service.admit").at("id").as_string(), "ok1");
+  EXPECT_EQ(by_event.at("service.setup").at("cache").as_string(), "miss");
+  EXPECT_GT(by_event.at("service.solve").at("iterations").as_int(), 0);
+  // ...and a reject event carrying the rejected request's rid.
+  ASSERT_TRUE(by_event.count("service.reject"));
+  EXPECT_EQ(by_event.at("service.reject").at("rid").as_int(), 2);
+  EXPECT_EQ(by_event.at("service.reject").at("reason").as_string(),
+            "deadline");
+}
+
+TEST_F(ServiceTest, TraceSlicesCarryRidArgs) {
+  TraceRecorder trace;
+  Collector col;
+  {
+    SolveService service({.workers = 1, .trace = &trace}, col.handler());
+    service.submit(request("t1"));
+    service.drain();
+  }
+  const std::int64_t rid = col.by_id.at("t1").rid;
+  ASSERT_EQ(rid, 1);
+  int tagged = 0;
+  for (const auto& e : trace.events()) {
+    if (e.name != "queue t1" && e.name != "setup t1" && e.name != "solve t1") {
+      continue;
+    }
+    EXPECT_EQ(JsonValue::parse(e.args).at("rid").as_int(), rid) << e.name;
+    ++tagged;
+  }
+  EXPECT_EQ(tagged, 3) << "queue/setup/solve slices all tagged with the rid";
+  // The rendered trace JSON embeds the args objects verbatim.
+  std::ostringstream json;
+  trace.write_json(json);
+  EXPECT_NE(json.str().find("\"args\":{\"rid\":1}"), std::string::npos);
+}
+
+TEST(ServeStatsTest, MergeAddsCountersAndMaxesBatchSize) {
+  ServiceStats a;
+  a.submitted = 3;
+  a.admitted = 2;
+  a.completed = 2;
+  a.batches = 2;
+  a.max_batch_size = 2;
+  a.cache.hits = 1;
+  a.cache.misses = 1;
+  ServiceStats b;
+  b.submitted = 4;
+  b.admitted = 4;
+  b.completed = 3;
+  b.errors = 1;
+  b.rejected_deadline = 1;
+  b.batches = 1;
+  b.max_batch_size = 3;
+  b.cache.hits = 2;
+  b.cache.insertions = 1;
+  a.merge(b);
+  EXPECT_EQ(a.submitted, 7);
+  EXPECT_EQ(a.admitted, 6);
+  EXPECT_EQ(a.completed, 5);
+  EXPECT_EQ(a.errors, 1);
+  EXPECT_EQ(a.rejected_deadline, 1);
+  EXPECT_EQ(a.batches, 3);
+  EXPECT_EQ(a.max_batch_size, 3);
+  EXPECT_EQ(a.cache.hits, 3);
+  EXPECT_EQ(a.cache.misses, 1);
+  EXPECT_EQ(a.cache.insertions, 1);
+
+  const JsonValue v = serve_stats_to_json(a);
+  EXPECT_EQ(v.at("kind").as_string(), "serve");
+  EXPECT_EQ(v.at("submitted").as_int(), 7);
+  EXPECT_EQ(v.at("admitted").as_int(), 6);
+  EXPECT_EQ(v.at("max_batch_size").as_int(), 3);
+  EXPECT_EQ(v.at("cache").at("hits").as_int(), 3);
+}
+
 // ------------------------------------------------------- JSONL frontend --
 
 using ResponseMap = std::map<std::string, JsonValue>;
@@ -463,6 +587,33 @@ TEST_F(ServiceTest, WatchDirectoryServesDroppedFilesOnce) {
   }
   EXPECT_EQ(process_watch_directory({.workers = 1}, watch_dir.string()), 0)
       << "already-served files must not be reprocessed";
+}
+
+TEST_F(ServiceTest, WatchModeAccumulatesStatsAcrossFiles) {
+  const fs::path watch_dir = dir_ / "inbox_stats";
+  fs::create_directories(watch_dir);
+  {
+    std::ofstream req(watch_dir / "a.jsonl");
+    req << to_json(request("a1")).dump() << "\n"
+        << to_json(request("a2")).dump() << "\n";
+  }
+  {
+    SolveRequest late = request("b2");
+    late.deadline_ms = 0.0;
+    std::ofstream req(watch_dir / "b.jsonl");
+    req << to_json(request("b1")).dump() << "\n"
+        << to_json(late).dump() << "\n";
+  }
+  ServiceStats stats;
+  EXPECT_EQ(process_watch_directory({.workers = 1}, watch_dir.string(), &stats),
+            2);
+  // The accumulated stats are what `fsaic serve --watch` reports at exit —
+  // the same totals --requests mode would see for the combined stream.
+  EXPECT_EQ(stats.submitted, 4);
+  EXPECT_EQ(stats.admitted, 3);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.rejected_deadline, 1);
+  EXPECT_EQ(stats.cache.misses + stats.cache.hits, stats.batches);
 }
 
 }  // namespace

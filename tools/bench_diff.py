@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_serve.json artifacts for serving-performance regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--max-rps-drop PCT]
+                  [--max-p99-rise PCT]
+
+Exits non-zero when the candidate's sustained throughput dropped, or its p99
+total latency rose, by more than the thresholds (percent, defaults 20).
+Everything else is informational: the full stage-by-stage latency delta and
+the cache/batching deltas are printed either way, and workloads with
+different digests are flagged (the comparison is then apples-to-oranges and
+only reported, never enforced).
+
+Stdlib only, so the CI job can run it on a bare runner.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "fsaic.bench.serve/v1":
+        sys.exit(f"{path}: not a fsaic.bench.serve/v1 artifact "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def pct_change(old, new):
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--max-rps-drop", type=float, default=20.0,
+                    help="fail when throughput drops more than PCT (default 20)")
+    ap.add_argument("--max-p99-rise", type=float, default=20.0,
+                    help="fail when p99 total latency rises more than PCT "
+                         "(default 20)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    same_workload = base["digests"]["workload"] == cand["digests"]["workload"]
+    if not same_workload:
+        print("note: workload digests differ "
+              f"({base['digests']['workload']} vs "
+              f"{cand['digests']['workload']}); latency/throughput deltas "
+              "are informational only")
+
+    rps_base = base["throughput_rps"]
+    rps_cand = cand["throughput_rps"]
+    rps_delta = pct_change(rps_base, rps_cand)
+    print(f"throughput: {rps_base:.2f} -> {rps_cand:.2f} req/s "
+          f"({rps_delta:+.1f}%)")
+
+    p99_delta = 0.0
+    for stage in ("queue", "setup", "solve", "total"):
+        b = base["latency"][stage]
+        c = cand["latency"][stage]
+        for q in ("p50_us", "p95_us", "p99_us"):
+            d = pct_change(b[q], c[q])
+            print(f"latency.{stage}.{q[:-3]}: {b[q]:.0f} -> {c[q]:.0f} us "
+                  f"({d:+.1f}%)")
+            if stage == "total" and q == "p99_us":
+                p99_delta = d
+
+    hb, cb = base["cache"], cand["cache"]
+    print(f"cache hit rate: {hb['hit_rate']:.2f} -> {cb['hit_rate']:.2f}")
+    rb, rc = base["requests"], cand["requests"]
+    print(f"completed: {rb['completed']} -> {rc['completed']}; rejected: "
+          f"{rb['rejected_deadline'] + rb['rejected_queue_full']} -> "
+          f"{rc['rejected_deadline'] + rc['rejected_queue_full']}")
+
+    failures = []
+    if same_workload:
+        if rps_delta < -args.max_rps_drop:
+            failures.append(
+                f"throughput dropped {-rps_delta:.1f}% "
+                f"(> {args.max_rps_drop:.1f}% allowed)")
+        if p99_delta > args.max_p99_rise:
+            failures.append(
+                f"p99 total latency rose {p99_delta:.1f}% "
+                f"(> {args.max_p99_rise:.1f}% allowed)")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print("OK: candidate within thresholds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

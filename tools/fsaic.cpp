@@ -43,17 +43,30 @@
 //         --solver-threads T  executor threads per worker (default 1)
 //         --no-batch          disable multi-RHS coalescing
 //         --metrics PATH      JSON metrics dump (queue/cache/latency)
+//         --prom PATH         Prometheus text-format metrics exposition
+//         --metrics-interval S  refresh --metrics/--prom every S seconds
+//                             (atomic file replace; 0 = end of run only)
+//         --log PATH          structured JSONL log ("-" = stderr); the
+//                             FSAIC_LOG env var is the flagless equivalent
+//         --log-level L       debug|info|warn|error       (default info)
+//         --trace PATH        Chrome trace_event JSON of the request
+//                             lifecycle (queue/setup/solve slices per rid)
 //         --watch DIR         serve request files dropped into DIR
 //         --poll-ms MS        watch poll interval         (default 200)
 //         --once              process the watch directory once and exit
+//       Both modes append a {"kind":"serve"} summary record to the file
+//       named by FSAIC_REPORT when that env var is set.
 //   fsaic suite    [small|large]
 //       List the built-in synthetic suites.
 //   fsaic generate <entry-name> <out.mtx>
 //       Write one suite matrix to a MatrixMarket file.
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,6 +80,8 @@
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "matgen/suite.hpp"
+#include "obs/exposition.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -485,13 +500,85 @@ int cmd_serve(const Args& args) {
   MetricsRegistry metrics;
   opts.metrics = &metrics;
 
-  const auto dump_metrics = [&] {
-    if (!args.has("metrics")) return;
-    std::ofstream out(args.get("metrics", ""));
-    FSAIC_REQUIRE(out.good(), "cannot open metrics output file: " +
-                                  args.get("metrics", ""));
-    out << metrics.to_json().dump() << "\n";
-    std::cout << "metrics -> " << args.get("metrics", "") << "\n";
+  // Structured logging: --log/--log-level win; FSAIC_LOG / FSAIC_LOG_LEVEL
+  // are the flagless equivalent (useful under CI wrappers).
+  std::unique_ptr<Logger> log;
+  if (args.has("log")) {
+    log = std::make_unique<Logger>(
+        args.get("log", ""),
+        log_level_from_string(args.get("log-level", "info")));
+  } else {
+    log = Logger::from_env();
+  }
+  opts.log = log.get();
+
+  TraceRecorder trace_rec;
+  if (args.has("trace")) opts.trace = &trace_rec;
+
+  const std::string metrics_path = args.get("metrics", "");
+  const std::string prom_path = args.get("prom", "");
+  const auto write_snapshots = [&] {
+    if (args.has("metrics")) {
+      atomic_write_file(metrics_path, metrics.to_json().dump() + "\n");
+    }
+    if (args.has("prom")) {
+      atomic_write_file(prom_path, render_prometheus(metrics));
+    }
+  };
+
+  // Periodic exposition: a background thread atomically replaces the
+  // --metrics / --prom files every --metrics-interval seconds, so a scraper
+  // tailing the service always reads a complete, current snapshot.
+  const double interval_s = std::stod(args.get("metrics-interval", "0"));
+  std::mutex snap_mutex;
+  std::condition_variable snap_cv;
+  bool snap_stop = false;
+  std::thread snapshot_thread;
+  if (interval_s > 0.0 && (args.has("metrics") || args.has("prom"))) {
+    snapshot_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(snap_mutex);
+      while (!snap_cv.wait_for(lock,
+                               std::chrono::duration<double>(interval_s),
+                               [&] { return snap_stop; })) {
+        write_snapshots();
+      }
+    });
+  }
+
+  // End-of-run reporting shared by --requests and --watch: console summary,
+  // final metrics/trace dumps, and the FSAIC_REPORT serve record.
+  const auto finish = [&](const ServiceStats& stats) {
+    if (snapshot_thread.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(snap_mutex);
+        snap_stop = true;
+      }
+      snap_cv.notify_all();
+      snapshot_thread.join();
+    }
+    std::cerr << "serve: " << stats.submitted << " requests, "
+              << stats.completed << " completed, " << stats.errors
+              << " errors, "
+              << stats.rejected_queue_full + stats.rejected_deadline
+              << " rejected (" << stats.rejected_deadline << " deadline); "
+              << stats.batches << " batches (max size " << stats.max_batch_size
+              << "); cache " << stats.cache.hits << " hits / "
+              << stats.cache.misses << " misses / " << stats.cache.evictions
+              << " evictions\n";
+    write_snapshots();
+    if (args.has("metrics")) std::cout << "metrics -> " << metrics_path << "\n";
+    if (args.has("prom")) std::cout << "prometheus -> " << prom_path << "\n";
+    if (args.has("trace")) {
+      trace_rec.write_file(args.get("trace", ""));
+      std::cout << "trace: " << trace_rec.event_count() << " events -> "
+                << args.get("trace", "") << "\n";
+    }
+    if (const char* rp = std::getenv("FSAIC_REPORT");
+        rp != nullptr && *rp != '\0') {
+      RunReportWriter report{std::string(rp)};
+      report.write(serve_stats_to_json(stats));
+      std::cerr << "report: serve summary -> " << rp << "\n";
+    }
   };
 
   if (args.has("watch")) {
@@ -501,8 +588,9 @@ int cmd_serve(const Args& args) {
               << opts.workers << " workers, cache capacity "
               << opts.cache_capacity << ")\n";
     int total = 0;
+    ServiceStats stats;
     do {
-      const int n = process_watch_directory(opts, dir);
+      const int n = process_watch_directory(opts, dir, &stats);
       total += n;
       if (n > 0) std::cout << "served " << n << " request file(s)\n";
       if (!args.has("once")) {
@@ -510,7 +598,7 @@ int cmd_serve(const Args& args) {
       }
     } while (!args.has("once"));
     std::cout << "done: " << total << " request file(s) served\n";
-    dump_metrics();
+    finish(stats);
     return 0;
   }
 
@@ -531,15 +619,7 @@ int cmd_serve(const Args& args) {
   std::ostream& out = out_path == "-" ? std::cout : out_file;
 
   const ServiceStats stats = serve_requests(opts, in, out);
-  std::cerr << "serve: " << stats.submitted << " requests, " << stats.completed
-            << " completed, " << stats.errors << " errors, "
-            << stats.rejected_queue_full + stats.rejected_deadline
-            << " rejected (" << stats.rejected_deadline << " deadline); "
-            << stats.batches << " batches (max size " << stats.max_batch_size
-            << "); cache " << stats.cache.hits << " hits / "
-            << stats.cache.misses << " misses / " << stats.cache.evictions
-            << " evictions\n";
-  dump_metrics();
+  finish(stats);
   return 0;
 }
 
