@@ -34,6 +34,31 @@ std::size_t CommScheme::message_count() const {
   return rank_pairs.size();
 }
 
+std::size_t CommScheme::message_count(const NodeTopology& topo) const {
+  FSAIC_REQUIRE(topo.nranks() == layout_.nranks(),
+                "topology must cover the scheme's ranks");
+  std::unordered_set<std::uint64_t> intra_pairs;
+  std::unordered_set<std::uint64_t> inter_node_pairs;
+  for (std::uint64_t k : pairs_) {
+    const auto receiver = static_cast<rank_t>(k >> 32);
+    const auto gid = static_cast<index_t>(k & 0xFFFFFFFFu);
+    const rank_t sender = layout_.owner(gid);
+    if (topo.same_node(sender, receiver)) {
+      intra_pairs.insert(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(receiver))
+           << 32) |
+          static_cast<std::uint32_t>(sender));
+    } else {
+      inter_node_pairs.insert(
+          (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(topo.node_of(receiver)))
+           << 32) |
+          static_cast<std::uint32_t>(topo.node_of(sender)));
+    }
+  }
+  return intra_pairs.size() + inter_node_pairs.size();
+}
+
 bool CommScheme::subset_of(const CommScheme& other) const {
   for (std::uint64_t k : pairs_) {
     if (!other.pairs_.contains(k)) return false;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dist/layout.hpp"
+#include "dist/node_topology.hpp"
 #include "sparse/pattern.hpp"
 
 namespace fsaic {
@@ -34,8 +35,15 @@ class CommScheme {
   [[nodiscard]] std::size_t exchange_count() const { return pairs_.size(); }
 
   /// Number of distinct (sender, receiver) rank pairs — the message count of
-  /// one halo update.
+  /// one halo update under the flat point-to-point scheme.
   [[nodiscard]] std::size_t message_count() const;
+
+  /// Wire message count of one halo update under node-aware leader
+  /// aggregation over `topo`: same-node rank pairs each cost one message
+  /// (the intra-node fabric stays point-to-point), while all cross-node
+  /// pairs sharing an ordered (sender node, receiver node) pair coalesce
+  /// into one. With the trivial topology this equals message_count().
+  [[nodiscard]] std::size_t message_count(const NodeTopology& topo) const;
 
   /// True if every exchange of this scheme also appears in `other`.
   [[nodiscard]] bool subset_of(const CommScheme& other) const;

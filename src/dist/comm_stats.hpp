@@ -4,6 +4,14 @@
 // simulated runtime counts every exchanged coefficient, which is how the
 // benches *prove* the paper's core claim — FSAIE-Comm leaves the halo traffic
 // of FSAI bit-identical while a naive extension inflates it.
+//
+// With a two-level NodeTopology the halo counters additionally split by
+// level: intra (both endpoints on one simulated node) vs inter (crossing
+// nodes). Bytes are always attributed to the *logical* (sender, receiver)
+// rank pair — aggregation through a node leader changes how many wire
+// messages carry them, never how many bytes move — so for any topology
+// halo_intra_bytes + halo_inter_bytes equals the flat exchanger's
+// halo_bytes byte-exactly, and pair_bytes is identical across schemes.
 #pragma once
 
 #include <cstdint>
@@ -11,25 +19,61 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "dist/node_topology.hpp"
 
 namespace fsaic {
 
 struct CommStats {
-  /// Point-to-point halo traffic.
+  /// Point-to-point halo traffic (messages actually posted on the fabric:
+  /// under leader aggregation one coalesced inter-node message counts once).
   std::int64_t halo_messages = 0;
   std::int64_t halo_bytes = 0;
+
+  /// Per-level split of the halo counters. Invariants:
+  ///   halo_messages == halo_intra_messages + halo_inter_messages
+  ///   halo_bytes    == halo_intra_bytes + halo_inter_bytes
+  /// The flat single-rank-node topology classifies everything as inter.
+  std::int64_t halo_intra_messages = 0;
+  std::int64_t halo_intra_bytes = 0;
+  std::int64_t halo_inter_messages = 0;
+  std::int64_t halo_inter_bytes = 0;
 
   /// Collective calls (dot products, imbalance reductions, ...).
   std::int64_t allreduce_count = 0;
   std::int64_t allreduce_bytes = 0;
 
-  /// Per ordered (sender, receiver) pair: bytes moved.
+  /// Asynchronous collectives (the pipelined-CG residual reduction that
+  /// progresses while the overlapped SpMV runs). Counted separately from
+  /// the blocking allreduces: the method's wire-level claim — one blocking
+  /// allreduce per iteration — stays visible in allreduce_count.
+  std::int64_t async_allreduce_count = 0;
+  std::int64_t async_allreduce_bytes = 0;
+
+  /// Per ordered (sender, receiver) pair: bytes moved. Logical attribution,
+  /// invariant under aggregation.
   std::map<std::pair<rank_t, rank_t>, std::int64_t> pair_bytes;
 
-  void record_halo_message(rank_t sender, rank_t receiver, std::int64_t bytes) {
-    ++halo_messages;
+  /// One full message from sender to receiver at `level`.
+  void record_halo_message(rank_t sender, rank_t receiver, std::int64_t bytes,
+                           CommLevel level = CommLevel::Inter) {
+    record_halo_payload(sender, receiver, bytes, level);
+    record_halo_wire(level);
+  }
+
+  /// Payload bytes riding an aggregated wire message: attributes the bytes
+  /// to the logical pair and level without counting a message.
+  void record_halo_payload(rank_t sender, rank_t receiver, std::int64_t bytes,
+                           CommLevel level) {
     halo_bytes += bytes;
+    (level == CommLevel::Intra ? halo_intra_bytes : halo_inter_bytes) += bytes;
     pair_bytes[{sender, receiver}] += bytes;
+  }
+
+  /// One wire message at `level` (the coalesced carrier; its bytes were
+  /// already attributed per logical pair via record_halo_payload).
+  void record_halo_wire(CommLevel level) {
+    ++halo_messages;
+    ++(level == CommLevel::Intra ? halo_intra_messages : halo_inter_messages);
   }
 
   void record_allreduce(std::int64_t bytes) {
@@ -37,18 +81,29 @@ struct CommStats {
     allreduce_bytes += bytes;
   }
 
+  void record_async_allreduce(std::int64_t bytes) {
+    ++async_allreduce_count;
+    async_allreduce_bytes += bytes;
+  }
+
   void reset() { *this = CommStats{}; }
 
   /// Fold another accounting into this one. The threaded executor gives
   /// every rank a private CommStats during a superstep and merges them in
   /// rank order afterwards — contention-safe without a lock on the hot
-  /// path, and deterministic (the merged totals and pair map are identical
-  /// to what the sequential loop records).
+  /// path, and deterministic (the merged totals, per-level split and pair
+  /// map are identical to what the sequential loop records).
   void merge(const CommStats& other) {
     halo_messages += other.halo_messages;
     halo_bytes += other.halo_bytes;
+    halo_intra_messages += other.halo_intra_messages;
+    halo_intra_bytes += other.halo_intra_bytes;
+    halo_inter_messages += other.halo_inter_messages;
+    halo_inter_bytes += other.halo_inter_bytes;
     allreduce_count += other.allreduce_count;
     allreduce_bytes += other.allreduce_bytes;
+    async_allreduce_count += other.async_allreduce_count;
+    async_allreduce_bytes += other.async_allreduce_bytes;
     for (const auto& [pair, bytes] : other.pair_bytes) {
       pair_bytes[pair] += bytes;
     }

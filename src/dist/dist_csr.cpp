@@ -11,7 +11,32 @@
 
 namespace fsaic {
 
+namespace {
+
+/// Rank-local SpMV over an explicit row subset, replicating fsaic::spmv's
+/// per-row accumulation order exactly — splitting rows into interior and
+/// boundary subsets therefore yields bit-identical y.
+void spmv_rows(const CsrMatrix& a, std::span<const index_t> rows,
+               std::span<const value_t> x, std::span<value_t> y) {
+  for (const index_t i : rows) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_vals(i);
+    value_t sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+}  // namespace
+
 DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
+  return distribute(global, std::move(layout), CommConfig::from_env());
+}
+
+DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout,
+                            const CommConfig& comm) {
   FSAIC_REQUIRE(global.rows() == global.cols(),
                 "DistCsr distributes square operators");
   FSAIC_REQUIRE(global.rows() == layout.global_size(),
@@ -73,6 +98,16 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
                            std::move(row_ptr), std::move(col_idx),
                            std::move(values));
 
+    // Interior/boundary row split for the overlap-capable SpMV: a row is
+    // boundary iff it touches any ghost column.
+    for (index_t li = 0; li < nloc; ++li) {
+      const auto cols = blk.matrix.row_cols(li);
+      const bool boundary =
+          std::any_of(cols.begin(), cols.end(),
+                      [nloc](index_t c) { return c >= nloc; });
+      (boundary ? blk.boundary_rows : blk.interior_rows).push_back(li);
+    }
+
     // Recv map: ghosts grouped by owning rank (ascending rank, sorted gids —
     // ghosts are globally sorted and ranks own ascending ranges, so a single
     // sweep groups them).
@@ -101,10 +136,17 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
               });
   }
 
-  // Materialize the comm scheme as mailbox halo plans (shared by copies).
-  std::vector<HaloPlan> plans(static_cast<std::size_t>(layout.nranks()));
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
-    const RankBlock& blk = d.blocks_[static_cast<std::size_t>(p)];
+  // Materialize the comm scheme as halo plans and realize them under the
+  // requested comm config (shared by copies).
+  d.comm_ = comm;
+  d.halo_ = make_halo_exchanger(layout, d.build_halo_plans(), comm);
+  return d;
+}
+
+std::vector<HaloPlan> DistCsr::build_halo_plans() const {
+  std::vector<HaloPlan> plans(static_cast<std::size_t>(nranks()));
+  for (rank_t p = 0; p < nranks(); ++p) {
+    const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
     auto& plan = plans[static_cast<std::size_t>(p)];
     for (const auto& nb : blk.send) {
       plan.send.push_back({nb.rank, nb.gids});
@@ -113,8 +155,14 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
       plan.recv.push_back({nb.rank, nb.gids});
     }
   }
-  d.halo_ = std::make_shared<HaloExchanger>(layout, std::move(plans));
-  return d;
+  return plans;
+}
+
+void DistCsr::use_comm(const CommConfig& comm) {
+  FSAIC_REQUIRE(halo_ != nullptr, "DistCsr was not built by distribute()");
+  if (comm == comm_) return;
+  comm_ = comm;
+  halo_ = make_halo_exchanger(row_layout_, build_halo_plans(), comm);
 }
 
 std::vector<double> DistCsr::halo_wait_us() const {
@@ -150,11 +198,18 @@ std::int64_t DistCsr::halo_update_bytes() const {
 }
 
 std::int64_t DistCsr::halo_update_messages() const {
-  std::int64_t messages = 0;
-  for (const auto& blk : blocks_) {
-    messages += static_cast<std::int64_t>(blk.recv.size());
-  }
-  return messages;
+  FSAIC_REQUIRE(halo_ != nullptr, "DistCsr was not built by distribute()");
+  return halo_->update_messages();
+}
+
+std::int64_t DistCsr::halo_update_intra_messages() const {
+  FSAIC_REQUIRE(halo_ != nullptr, "DistCsr was not built by distribute()");
+  return halo_->update_messages(CommLevel::Intra);
+}
+
+std::int64_t DistCsr::halo_update_inter_messages() const {
+  FSAIC_REQUIRE(halo_ != nullptr, "DistCsr was not built by distribute()");
+  return halo_->update_messages(CommLevel::Inter);
 }
 
 void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
@@ -170,29 +225,65 @@ void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
   std::vector<CommStats> rank_stats(
       stats != nullptr ? static_cast<std::size_t>(n) : 0);
 
-  // Superstep 1: every rank deposits its owned coefficients into the
-  // neighbors' mailboxes (the simulated wire transfer).
-  ex.parallel_ranks(n, [&](rank_t p) { halo_->post_sends(p, x); });
+  if (halo_->overlap_capable()) {
+    // One phased superstep: every thread posts all its ranks' sends (never
+    // blocking), then works its ranks — interior rows compute while the
+    // exchange is in flight, the drain blocks only for what is still
+    // missing, boundary rows finish after it. Row sums are performed in the
+    // same per-row order as the flat path, so y is bit-identical.
+    ex.parallel_ranks_phased(
+        n, [&](rank_t p) { halo_->post_sends(p, x); },
+        [&](rank_t p) {
+          const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
+          const auto nloc = static_cast<std::size_t>(row_layout_.local_size(p));
+          const double t0 = trace != nullptr ? trace->now_us() : 0.0;
+          std::vector<value_t> x_ext(nloc + blk.ghost_gids.size());
+          const auto x_loc = x.block(p);
+          std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
+          spmv_rows(blk.matrix, blk.interior_rows, x_ext, y.block(p));
+          const double t1 = trace != nullptr ? trace->now_us() : 0.0;
+          if (trace != nullptr) {
+            trace->complete("spmv_interior", "compute", t0, t1 - t0);
+          }
+          halo_->drain_recvs(p, std::span<value_t>(x_ext).subspan(nloc),
+                             stats != nullptr
+                                 ? &rank_stats[static_cast<std::size_t>(p)]
+                                 : nullptr);
+          const double t2 = trace != nullptr ? trace->now_us() : 0.0;
+          if (trace != nullptr) {
+            trace->complete("halo_exchange", "comm", t1, t2 - t1);
+          }
+          spmv_rows(blk.matrix, blk.boundary_rows, x_ext, y.block(p));
+          if (trace != nullptr) {
+            trace->complete("spmv_boundary", "compute", t2,
+                            trace->now_us() - t2);
+          }
+        });
+  } else {
+    // Superstep 1: every rank deposits its owned coefficients into the
+    // neighbors' mailboxes (the simulated wire transfer).
+    ex.parallel_ranks(n, [&](rank_t p) { halo_->post_sends(p, x); });
 
-  // Superstep 2: every rank assembles its extended local x [owned | ghosts]
-  // by draining its mailboxes, then runs the rank-local SpMV.
-  ex.parallel_ranks(n, [&](rank_t p) {
-    const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
-    const auto nloc = static_cast<std::size_t>(row_layout_.local_size(p));
-    const double t0 = trace != nullptr ? trace->now_us() : 0.0;
-    std::vector<value_t> x_ext(nloc + blk.ghost_gids.size());
-    const auto x_loc = x.block(p);
-    std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
-    halo_->drain_recvs(
-        p, std::span<value_t>(x_ext).subspan(nloc),
-        stats != nullptr ? &rank_stats[static_cast<std::size_t>(p)] : nullptr);
-    const double t1 = trace != nullptr ? trace->now_us() : 0.0;
-    if (trace != nullptr) trace->complete("halo_exchange", "comm", t0, t1 - t0);
-    fsaic::spmv(blk.matrix, x_ext, y.block(p));
-    if (trace != nullptr) {
-      trace->complete("spmv_local", "compute", t1, trace->now_us() - t1);
-    }
-  });
+    // Superstep 2: every rank assembles its extended local x [owned |
+    // ghosts] by draining its mailboxes, then runs the rank-local SpMV.
+    ex.parallel_ranks(n, [&](rank_t p) {
+      const RankBlock& blk = blocks_[static_cast<std::size_t>(p)];
+      const auto nloc = static_cast<std::size_t>(row_layout_.local_size(p));
+      const double t0 = trace != nullptr ? trace->now_us() : 0.0;
+      std::vector<value_t> x_ext(nloc + blk.ghost_gids.size());
+      const auto x_loc = x.block(p);
+      std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
+      halo_->drain_recvs(
+          p, std::span<value_t>(x_ext).subspan(nloc),
+          stats != nullptr ? &rank_stats[static_cast<std::size_t>(p)] : nullptr);
+      const double t1 = trace != nullptr ? trace->now_us() : 0.0;
+      if (trace != nullptr) trace->complete("halo_exchange", "comm", t0, t1 - t0);
+      fsaic::spmv(blk.matrix, x_ext, y.block(p));
+      if (trace != nullptr) {
+        trace->complete("spmv_local", "compute", t1, trace->now_us() - t1);
+      }
+    });
+  }
 
   if (stats != nullptr) {
     for (const auto& rs : rank_stats) {

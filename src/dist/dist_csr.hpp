@@ -19,6 +19,7 @@ namespace fsaic {
 class TraceRecorder;
 class Executor;
 class HaloExchanger;
+struct HaloPlan;
 
 /// One rank's share of a distributed matrix.
 struct RankBlock {
@@ -42,6 +43,14 @@ struct RankBlock {
   /// Number of matrix entries whose column is local / ghost.
   offset_t local_entries = 0;
   offset_t halo_entries = 0;
+
+  /// Local row indices touching only owned columns (computable before the
+  /// halo arrives) and rows with at least one ghost column (must wait for
+  /// the exchange). Together they enumerate [0, local_rows) exactly once,
+  /// each ascending — the overlap-capable SpMV computes interior rows while
+  /// the halo is in flight, then boundary rows after the drain.
+  std::vector<index_t> interior_rows;
+  std::vector<index_t> boundary_rows;
 };
 
 class DistCsr {
@@ -50,7 +59,12 @@ class DistCsr {
 
   /// Distribute the rows of a square global matrix over `layout`. The x and
   /// y vectors of y = A x are distributed the same way (the paper applies
-  /// one partition to the matrix, x and b alike).
+  /// one partition to the matrix, x and b alike). `comm` selects the halo
+  /// exchanger realization (flat mailboxes or node-aware leader
+  /// aggregation); the two-argument overload reads FSAIC_COMM /
+  /// FSAIC_RANKS_PER_NODE from the environment.
+  static DistCsr distribute(const CsrMatrix& global, Layout layout,
+                            const CommConfig& comm);
   static DistCsr distribute(const CsrMatrix& global, Layout layout);
 
   [[nodiscard]] const Layout& row_layout() const { return row_layout_; }
@@ -62,18 +76,35 @@ class DistCsr {
   [[nodiscard]] offset_t nnz() const;
   [[nodiscard]] offset_t max_rank_nnz() const;
 
-  /// Bytes one full halo update moves (sum over rank pairs).
+  /// Bytes one full halo update moves (sum over rank pairs). Payload bytes
+  /// are invariant under the comm scheme — aggregation merges messages, it
+  /// never duplicates or drops coefficients.
   [[nodiscard]] std::int64_t halo_update_bytes() const;
-  /// Messages one full halo update posts.
+  /// Wire messages one full halo update posts under the active comm scheme
+  /// (point-to-point edges when flat; intra edges + one coalesced message
+  /// per inter-node channel when node-aware).
   [[nodiscard]] std::int64_t halo_update_messages() const;
+  /// Per-level wire message counts of one full halo update.
+  [[nodiscard]] std::int64_t halo_update_intra_messages() const;
+  [[nodiscard]] std::int64_t halo_update_inter_messages() const;
 
-  /// y = A x as two SPMD supersteps on `exec` (nullptr -> the process-wide
-  /// default executor): every rank deposits its owned coefficients into the
-  /// neighbors' halo mailboxes, then every rank drains its mailboxes and
-  /// runs the rank-local SpMV. Halo traffic is recorded into `stats` if
-  /// non-null; a non-null `trace` receives one "halo_exchange" and one
-  /// "spmv_local" slice per rank, on the thread that executed the rank.
-  /// Threaded and sequential execution produce bit-identical y.
+  /// Swap the halo exchanger realization (rebuilds it from this matrix's
+  /// comm scheme). The numerical results of spmv are bit-identical across
+  /// configs; only message coalescing and accounting change.
+  void use_comm(const CommConfig& comm);
+  [[nodiscard]] const CommConfig& comm_config() const { return comm_; }
+
+  /// y = A x as SPMD supersteps on `exec` (nullptr -> the process-wide
+  /// default executor). Under a flat exchanger: two supersteps — every rank
+  /// deposits its owned coefficients into the neighbors' halo mailboxes,
+  /// then every rank drains its mailboxes and runs the rank-local SpMV
+  /// (trace slices "halo_exchange" / "spmv_local"). Under an
+  /// overlap-capable exchanger: ONE phased superstep — posts, then per rank
+  /// interior rows compute while the exchange is in flight, the drain, and
+  /// the boundary rows (trace slices "spmv_interior" / "halo_exchange" /
+  /// "spmv_boundary"). Both paths and both executors produce bit-identical
+  /// y: rows are summed in identical order either way. Halo traffic is
+  /// recorded into `stats` if non-null.
   void spmv(const DistVector& x, DistVector& y, CommStats* stats = nullptr,
             TraceRecorder* trace = nullptr, Executor* exec = nullptr) const;
 
@@ -89,9 +120,12 @@ class DistCsr {
   [[nodiscard]] CsrMatrix to_global() const;
 
  private:
+  [[nodiscard]] std::vector<HaloPlan> build_halo_plans() const;
+
   Layout row_layout_;
   Layout col_layout_;
   std::vector<RankBlock> blocks_;
+  CommConfig comm_;
   /// Mailboxes are synchronization state, not matrix data: copies of a
   /// DistCsr share one exchanger (operations on the same matrix are
   /// serialized by the superstep structure).

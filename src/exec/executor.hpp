@@ -13,8 +13,11 @@
 // its thread count. The tree's shape depends only on the number of ranks.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -46,6 +49,48 @@ struct ExecStats {
 void tree_combine_step(std::span<value_t> partials, rank_t nranks, int width,
                        rank_t stride, rank_t p);
 
+/// The full fixed-order tree reduction run serially: strides 1, 2, 4, ...
+/// over nranks rows of `width`, leaving the sums in `out`. This is the exact
+/// addition sequence both executors' blocking allreduce performs, and what
+/// the threaded executor's background combiner runs for asynchronous
+/// reductions — one code path, so every variant is bit-identical.
+void tree_reduce_serial(std::span<value_t> partials, int width,
+                        std::span<value_t> out);
+
+/// Handle to an in-flight asynchronous sum-allreduce started with
+/// Executor::allreduce_begin. Under the threaded executor the reduction
+/// progresses on a background combiner thread while the issuing code keeps
+/// running supersteps (genuine comm/compute overlap); the sequential
+/// executor completes it eagerly at begin. Either way wait() delivers the
+/// fixed-order tree result — bit-identical to a blocking allreduce_sum of
+/// the same partials.
+class AsyncAllreduce {
+ public:
+  AsyncAllreduce() = default;
+
+  /// True while a begun reduction has not been waited on.
+  [[nodiscard]] bool pending() const { return state_ != nullptr; }
+
+  /// Block until the reduction is done, copy the sums into `out` (size
+  /// width), and release the handle.
+  void wait(std::span<value_t> out);
+
+ private:
+  friend class SeqExecutor;
+  friend class ThreadedExecutor;
+
+  struct State {
+    std::vector<value_t> partials;
+    int width = 0;
+    std::vector<value_t> result;
+    bool done = false;
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -60,12 +105,33 @@ class Executor {
   virtual void parallel_ranks(rank_t nranks,
                               const std::function<void(rank_t)>& f) = 0;
 
+  /// One superstep with two per-rank phases and NO barrier between them:
+  /// each executing thread runs post(p) for every rank of its slice, then
+  /// work(p) for every rank of its slice. Because all of a thread's posts
+  /// precede all of its works, a work body may block on data produced by
+  /// any rank's post (the node-aware halo drain) without deadlock — and the
+  /// part of work that runs before the blocking wait genuinely overlaps
+  /// with other threads' posts. post bodies must never block. The
+  /// sequential executor runs all posts then all works.
+  virtual void parallel_ranks_phased(rank_t nranks,
+                                     const std::function<void(rank_t)>& post,
+                                     const std::function<void(rank_t)>& work) = 0;
+
   /// Deterministic sum-allreduce: `partials` holds nranks rows of `width`
   /// values (row-major, consumed destructively); on return `out` (size
   /// `width`) holds the fixed-order tree-combined sums. Identical bits for
   /// every executor and thread count.
   virtual void allreduce_sum(std::span<value_t> partials, int width,
                              std::span<value_t> out) = 0;
+
+  /// Start an asynchronous sum-allreduce of nranks rows of `width` values
+  /// (the vector is consumed). The returned handle's wait() yields the same
+  /// bits as allreduce_sum of the same partials — the combiner runs the
+  /// identical fixed-order tree. The threaded executor reduces on a
+  /// background thread so supersteps issued between begin and wait overlap
+  /// the reduction; the sequential executor completes it at begin.
+  virtual AsyncAllreduce allreduce_begin(std::vector<value_t> partials,
+                                         int width) = 0;
 
   /// Data-parallel loop over independent work items (the FSAI/SPAI setup row
   /// solves): f(i, slot) for every i in [0, n), where `slot` identifies the
@@ -95,8 +161,13 @@ class SeqExecutor final : public Executor {
   [[nodiscard]] int nthreads() const override { return 1; }
   void parallel_ranks(rank_t nranks,
                       const std::function<void(rank_t)>& f) override;
+  void parallel_ranks_phased(rank_t nranks,
+                             const std::function<void(rank_t)>& post,
+                             const std::function<void(rank_t)>& work) override;
   void allreduce_sum(std::span<value_t> partials, int width,
                      std::span<value_t> out) override;
+  AsyncAllreduce allreduce_begin(std::vector<value_t> partials,
+                                 int width) override;
   void parallel_for(index_t n,
                     const std::function<void(index_t, int)>& f) override;
   [[nodiscard]] int parallel_for_width() const override;

@@ -1,25 +1,26 @@
 #include "exec/halo.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "common/error.hpp"
 
 namespace fsaic {
 
-HaloExchanger::HaloExchanger(Layout layout, std::vector<HaloPlan> plans)
-    : layout_(std::move(layout)), plans_(std::move(plans)) {
-  const auto n = static_cast<std::size_t>(layout_.nranks());
-  FSAIC_REQUIRE(plans_.size() == n, "one halo plan per rank");
-  mailboxes_.resize(n);
-  send_slot_.resize(n);
-  wait_us_.assign(n, 0.0);
-  for (std::size_t p = 0; p < n; ++p) {
-    mailboxes_[p] = std::vector<Mailbox>(plans_[p].recv.size());
-  }
-  for (std::size_t p = 0; p < n; ++p) {
-    send_slot_[p].reserve(plans_[p].send.size());
-    for (const auto& edge : plans_[p].send) {
-      const auto& peer_recv = plans_[static_cast<std::size_t>(edge.peer)].recv;
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Resolve, for every send edge, the index of the matching recv edge on the
+/// peer — validating the mirror symmetry DistCsr::distribute guarantees.
+std::vector<std::vector<std::size_t>> resolve_send_slots(
+    const std::vector<HaloPlan>& plans) {
+  std::vector<std::vector<std::size_t>> slots(plans.size());
+  for (std::size_t p = 0; p < plans.size(); ++p) {
+    slots[p].reserve(plans[p].send.size());
+    for (const auto& edge : plans[p].send) {
+      const auto& peer_recv = plans[static_cast<std::size_t>(edge.peer)].recv;
       std::size_t slot = peer_recv.size();
       for (std::size_t e = 0; e < peer_recv.size(); ++e) {
         if (peer_recv[e].peer == static_cast<rank_t>(p)) {
@@ -31,12 +32,68 @@ HaloExchanger::HaloExchanger(Layout layout, std::vector<HaloPlan> plans)
                     "send edge without matching recv edge on the peer");
       FSAIC_REQUIRE(peer_recv[slot].gids == edge.gids,
                     "send/recv edge coefficient lists must mirror each other");
-      send_slot_[p].push_back(slot);
+      slots[p].push_back(slot);
     }
   }
+  return slots;
 }
 
-void HaloExchanger::post_sends(rank_t p, const DistVector& x) {
+}  // namespace
+
+void HaloExchanger::deposit_to_mailbox(const HaloPlan::Edge& edge,
+                                       std::span<const value_t> owned,
+                                       index_t first, Mailbox& box) {
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  FSAIC_CHECK(box.posted == box.taken,
+              "halo mailbox already holds an undrained deposit");
+  box.payload.resize(edge.gids.size());
+  for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+    box.payload[k] = owned[static_cast<std::size_t>(edge.gids[k] - first)];
+  }
+  ++box.posted;
+  box.cv.notify_one();
+}
+
+HaloExchanger::HaloExchanger(Layout layout, std::vector<HaloPlan> plans,
+                             NodeTopology topo)
+    : layout_(std::move(layout)), plans_(std::move(plans)),
+      topo_(std::move(topo)) {
+  const auto n = static_cast<std::size_t>(layout_.nranks());
+  FSAIC_REQUIRE(plans_.size() == n, "one halo plan per rank");
+  FSAIC_REQUIRE(topo_.nranks() == layout_.nranks(),
+                "topology rank count must match the layout");
+  wait_us_.assign(n, 0.0);
+}
+
+std::int64_t HaloExchanger::update_messages(CommLevel level) const {
+  std::int64_t messages = 0;
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    for (const auto& edge : plans_[p].recv) {
+      if (topo_.level_of(edge.peer, static_cast<rank_t>(p)) == level) {
+        ++messages;
+      }
+    }
+  }
+  return messages;
+}
+
+std::vector<double> HaloExchanger::wait_us_per_rank() const { return wait_us_; }
+
+// ---- MailboxHaloExchanger ----------------------------------------------
+
+MailboxHaloExchanger::MailboxHaloExchanger(Layout layout,
+                                           std::vector<HaloPlan> plans,
+                                           NodeTopology topo)
+    : HaloExchanger(std::move(layout), std::move(plans), std::move(topo)) {
+  const auto n = plans_.size();
+  mailboxes_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    mailboxes_[p] = std::vector<Mailbox>(plans_[p].recv.size());
+  }
+  send_slot_ = resolve_send_slots(plans_);
+}
+
+void MailboxHaloExchanger::post_sends(rank_t p, const DistVector& x) {
   const auto& plan = plans_[static_cast<std::size_t>(p)];
   const auto owned = x.block(p);
   const index_t first = layout_.begin(p);
@@ -44,21 +101,12 @@ void HaloExchanger::post_sends(rank_t p, const DistVector& x) {
     const auto& edge = plan.send[e];
     Mailbox& box = mailboxes_[static_cast<std::size_t>(edge.peer)]
                              [send_slot_[static_cast<std::size_t>(p)][e]];
-    const std::lock_guard<std::mutex> lock(box.mutex);
-    FSAIC_CHECK(box.posted == box.taken,
-                "halo mailbox already holds an undrained deposit");
-    box.payload.resize(edge.gids.size());
-    for (std::size_t k = 0; k < edge.gids.size(); ++k) {
-      box.payload[k] = owned[static_cast<std::size_t>(edge.gids[k] - first)];
-    }
-    ++box.posted;
-    box.cv.notify_one();
+    deposit_to_mailbox(edge, owned, first, box);
   }
 }
 
-void HaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
-                                CommStats* stats) {
-  using clock = std::chrono::steady_clock;
+void MailboxHaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
+                                       CommStats* stats) {
   const auto& plan = plans_[static_cast<std::size_t>(p)];
   std::size_t slot = 0;
   for (std::size_t e = 0; e < plan.recv.size(); ++e) {
@@ -68,8 +116,8 @@ void HaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
     if (box.posted == box.taken) {
       const auto t0 = clock::now();
       box.cv.wait(lock, [&] { return box.posted > box.taken; });
-      wait_us_[static_cast<std::size_t>(p)] +=
-          std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+      add_wait_us(p, std::chrono::duration<double, std::micro>(clock::now() - t0)
+                         .count());
     }
     FSAIC_CHECK(box.payload.size() == edge.gids.size(),
                 "halo payload size does not match the recv edge");
@@ -82,15 +130,14 @@ void HaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
     if (stats != nullptr) {
       stats->record_halo_message(
           edge.peer, p,
-          static_cast<std::int64_t>(edge.gids.size() * sizeof(value_t)));
+          static_cast<std::int64_t>(edge.gids.size() * sizeof(value_t)),
+          topo_.level_of(edge.peer, p));
     }
   }
   FSAIC_CHECK(slot == ghosts.size(), "halo plan did not fill the ghost section");
 }
 
-std::vector<double> HaloExchanger::wait_us_per_rank() const { return wait_us_; }
-
-std::uint64_t HaloExchanger::deposits() const {
+std::uint64_t MailboxHaloExchanger::deposits() const {
   std::uint64_t total = 0;
   for (const auto& boxes : mailboxes_) {
     for (const auto& box : boxes) {
@@ -100,6 +147,257 @@ std::uint64_t HaloExchanger::deposits() const {
     }
   }
   return total;
+}
+
+// ---- NodeAwareHaloExchanger --------------------------------------------
+
+NodeAwareHaloExchanger::NodeAwareHaloExchanger(Layout layout,
+                                               std::vector<HaloPlan> plans,
+                                               NodeTopology topo)
+    : HaloExchanger(std::move(layout), std::move(plans), std::move(topo)) {
+  const auto n = plans_.size();
+  intra_boxes_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    // Intra edges use their recv-edge slot like the flat exchanger; the
+    // inter slots stay idle (their data rides a channel instead).
+    intra_boxes_[p] = std::vector<Mailbox>(plans_[p].recv.size());
+  }
+  send_slot_ = resolve_send_slots(plans_);
+
+  // Enumerate the ordered (source node, destination node) channels in
+  // ascending order so channel ids — and therefore wire-message accounting —
+  // are deterministic.
+  std::map<std::pair<rank_t, rank_t>, int> channel_of;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const auto& edge : plans_[p].recv) {
+      if (!topo_.same_node(edge.peer, static_cast<rank_t>(p))) {
+        channel_of.try_emplace(
+            {topo_.node_of(edge.peer), topo_.node_of(static_cast<rank_t>(p))},
+            0);
+      }
+    }
+  }
+  channels_.reserve(channel_of.size());
+  for (auto& [key, idx] : channel_of) {
+    idx = static_cast<int>(channels_.size());
+    auto ch = std::make_unique<InterChannel>();
+    ch->src_node = key.first;
+    ch->dst_node = key.second;
+    channels_.push_back(std::move(ch));
+  }
+
+  // Assign segment offsets in ascending (src, dst) edge order: iterating
+  // source ranks ascending and each rank's send edges ascending-by-peer
+  // visits the cross-node edges of every channel in that order.
+  src_segment_.resize(n);
+  src_channels_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& plan = plans_[p];
+    src_segment_[p].resize(plan.send.size());
+    for (std::size_t e = 0; e < plan.send.size(); ++e) {
+      const auto& edge = plan.send[e];
+      if (topo_.same_node(static_cast<rank_t>(p), edge.peer)) continue;
+      const int c = channel_of.at(
+          {topo_.node_of(static_cast<rank_t>(p)), topo_.node_of(edge.peer)});
+      InterChannel& ch = *channels_[static_cast<std::size_t>(c)];
+      src_segment_[p][e] = {c, ch.total};
+      ch.total += edge.gids.size();
+      if (src_channels_[p].empty() || src_channels_[p].back() != c) {
+        src_channels_[p].push_back(c);
+        ++ch.ncontrib;
+      }
+    }
+    // A rank's send edges are sorted by peer, so its edges into one channel
+    // (consecutive peers on one node) are contiguous — but a channel can
+    // recur non-contiguously only if peers interleave across nodes, which
+    // ascending peer order forbids for contiguous node grouping. Guard it:
+    std::vector<int> sorted = src_channels_[p];
+    std::sort(sorted.begin(), sorted.end());
+    FSAIC_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                      sorted.end(),
+                  "send edges of one channel must be contiguous");
+  }
+  for (auto& ch : channels_) {
+    ch->payload.assign(ch->total, 0.0);
+  }
+
+  // Destination-side segment refs and the deterministic wire recorder: the
+  // smallest destination rank of each channel records its message, on its
+  // first recv edge belonging to the channel.
+  dst_segment_.resize(n);
+  records_wire_.resize(n);
+  exchanges_.assign(n, 0);
+  std::map<std::pair<rank_t, rank_t>, std::size_t> seg_offset;
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& plan = plans_[p];
+    for (std::size_t e = 0; e < plan.send.size(); ++e) {
+      if (src_segment_[p][e].channel >= 0) {
+        seg_offset[{static_cast<rank_t>(p), plan.send[e].peer}] =
+            src_segment_[p][e].offset;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& plan = plans_[p];
+    dst_segment_[p].resize(plan.recv.size());
+    records_wire_[p].assign(plan.recv.size(), false);
+    for (std::size_t e = 0; e < plan.recv.size(); ++e) {
+      const auto& edge = plan.recv[e];
+      if (topo_.same_node(edge.peer, static_cast<rank_t>(p))) continue;
+      const int c = channel_of.at(
+          {topo_.node_of(edge.peer), topo_.node_of(static_cast<rank_t>(p))});
+      dst_segment_[p][e] = {c, seg_offset.at({edge.peer,
+                                              static_cast<rank_t>(p)})};
+      InterChannel& ch = *channels_[static_cast<std::size_t>(c)];
+      if (ch.recorder_dst < 0) ch.recorder_dst = static_cast<rank_t>(p);
+      // Ranks are visited ascending, so the first dst seen is the smallest.
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    std::vector<bool> seen(channels_.size(), false);
+    const auto& plan = plans_[p];
+    for (std::size_t e = 0; e < plan.recv.size(); ++e) {
+      const int c = dst_segment_[p][e].channel;
+      if (c < 0 || topo_.same_node(plan.recv[e].peer, static_cast<rank_t>(p)))
+        continue;
+      if (!seen[static_cast<std::size_t>(c)] &&
+          channels_[static_cast<std::size_t>(c)]->recorder_dst ==
+              static_cast<rank_t>(p)) {
+        records_wire_[p][e] = true;
+      }
+      seen[static_cast<std::size_t>(c)] = true;
+    }
+  }
+}
+
+void NodeAwareHaloExchanger::post_sends(rank_t p, const DistVector& x) {
+  const auto& plan = plans_[static_cast<std::size_t>(p)];
+  const auto owned = x.block(p);
+  const index_t first = layout_.begin(p);
+  // Write every cross-node segment first (disjoint slices; ordered against
+  // the readers by the contribution handshake below), depositing intra
+  // edges into their mailboxes along the way.
+  for (std::size_t e = 0; e < plan.send.size(); ++e) {
+    const auto& edge = plan.send[e];
+    const SegmentRef seg = src_segment_[static_cast<std::size_t>(p)][e];
+    if (seg.channel < 0) {
+      Mailbox& box = intra_boxes_[static_cast<std::size_t>(edge.peer)]
+                                 [send_slot_[static_cast<std::size_t>(p)][e]];
+      deposit_to_mailbox(edge, owned, first, box);
+      continue;
+    }
+    InterChannel& ch = *channels_[static_cast<std::size_t>(seg.channel)];
+    for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+      ch.payload[seg.offset + k] =
+          owned[static_cast<std::size_t>(edge.gids[k] - first)];
+    }
+  }
+  // One contribution per channel per exchange; the last contributor closes
+  // the coalesced message (the leader's wire send) and wakes the readers.
+  for (const int c : src_channels_[static_cast<std::size_t>(p)]) {
+    InterChannel& ch = *channels_[static_cast<std::size_t>(c)];
+    const std::lock_guard<std::mutex> lock(ch.mutex);
+    if (++ch.contributions == ch.ncontrib) {
+      ch.contributions = 0;
+      ++ch.posted;
+      ch.cv.notify_all();
+    }
+  }
+}
+
+void NodeAwareHaloExchanger::drain_recvs(rank_t p, std::span<value_t> ghosts,
+                                         CommStats* stats) {
+  const auto& plan = plans_[static_cast<std::size_t>(p)];
+  const std::uint64_t exchange = exchanges_[static_cast<std::size_t>(p)];
+  std::size_t slot = 0;
+  for (std::size_t e = 0; e < plan.recv.size(); ++e) {
+    const auto& edge = plan.recv[e];
+    const auto bytes =
+        static_cast<std::int64_t>(edge.gids.size() * sizeof(value_t));
+    FSAIC_CHECK(slot + edge.gids.size() <= ghosts.size(),
+                "ghost section too small for the halo plan");
+    const SegmentRef seg = dst_segment_[static_cast<std::size_t>(p)][e];
+    if (seg.channel < 0) {
+      Mailbox& box = intra_boxes_[static_cast<std::size_t>(p)][e];
+      std::unique_lock<std::mutex> lock(box.mutex);
+      if (box.posted == box.taken) {
+        const auto t0 = clock::now();
+        box.cv.wait(lock, [&] { return box.posted > box.taken; });
+        add_wait_us(
+            p, std::chrono::duration<double, std::micro>(clock::now() - t0)
+                   .count());
+      }
+      FSAIC_CHECK(box.payload.size() == edge.gids.size(),
+                  "halo payload size does not match the recv edge");
+      for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+        ghosts[slot++] = box.payload[k];
+      }
+      ++box.taken;
+      if (stats != nullptr) {
+        stats->record_halo_message(edge.peer, p, bytes, CommLevel::Intra);
+      }
+      continue;
+    }
+    InterChannel& ch = *channels_[static_cast<std::size_t>(seg.channel)];
+    {
+      std::unique_lock<std::mutex> lock(ch.mutex);
+      if (ch.posted <= exchange) {
+        const auto t0 = clock::now();
+        ch.cv.wait(lock, [&] { return ch.posted > exchange; });
+        add_wait_us(
+            p, std::chrono::duration<double, std::micro>(clock::now() - t0)
+                   .count());
+      }
+      // Copy under the lock: the handshake already ordered every
+      // contributor's writes before this read; the lock keeps the access
+      // pattern trivially race-free for the analyzer too.
+      for (std::size_t k = 0; k < edge.gids.size(); ++k) {
+        ghosts[slot++] = ch.payload[seg.offset + k];
+      }
+    }
+    if (stats != nullptr) {
+      stats->record_halo_payload(edge.peer, p, bytes, CommLevel::Inter);
+      if (records_wire_[static_cast<std::size_t>(p)][e]) {
+        stats->record_halo_wire(CommLevel::Inter);
+      }
+    }
+  }
+  FSAIC_CHECK(slot == ghosts.size(), "halo plan did not fill the ghost section");
+  ++exchanges_[static_cast<std::size_t>(p)];
+}
+
+std::int64_t NodeAwareHaloExchanger::update_messages(CommLevel level) const {
+  if (level == CommLevel::Inter) {
+    return static_cast<std::int64_t>(channels_.size());
+  }
+  return HaloExchanger::update_messages(CommLevel::Intra);
+}
+
+std::uint64_t NodeAwareHaloExchanger::deposits() const {
+  std::uint64_t total = 0;
+  for (const auto& boxes : intra_boxes_) {
+    for (const auto& box : boxes) {
+      const std::lock_guard<std::mutex> lock(box.mutex);
+      total += box.posted;
+    }
+  }
+  for (const auto& ch : channels_) {
+    const std::lock_guard<std::mutex> lock(ch->mutex);
+    total += ch->posted;
+  }
+  return total;
+}
+
+std::shared_ptr<HaloExchanger> make_halo_exchanger(const Layout& layout,
+                                                   std::vector<HaloPlan> plans,
+                                                   const CommConfig& config) {
+  NodeTopology topo = config.topology(layout.nranks());
+  if (config.mode == CommMode::NodeAware) {
+    return std::make_shared<NodeAwareHaloExchanger>(layout, std::move(plans),
+                                                    std::move(topo));
+  }
+  return std::make_shared<MailboxHaloExchanger>(layout, std::move(plans),
+                                                std::move(topo));
 }
 
 }  // namespace fsaic

@@ -1,24 +1,42 @@
-// Two-sided halo exchange over per-neighbor mailboxes.
+// Two-sided halo exchange over the simulated fabric.
 //
 // The exchanger realizes the communication scheme a distributed operator
 // induces (the object CommScheme reasons about and DistCsr materializes as
-// send/recv neighbor lists): one mailbox per directed (sender -> receiver)
-// rank pair, guarded by a mutex/condvar. An exchange is two supersteps:
+// send/recv neighbor lists). An exchange is two phases:
 //
 //   post_sends(p, x):  rank p packs its owned coefficients for every send
-//                      neighbor and deposits them in the peer's mailbox;
-//   drain_recvs(p, ghosts): rank p waits for every recv neighbor's deposit
-//                      and scatters the payloads into its ghost section.
+//                      neighbor and hands them to the fabric;
+//   drain_recvs(p, ghosts): rank p waits for every recv neighbor's payload
+//                      and scatters it into its ghost section.
 //
-// Run under the threaded executor the deposits really race with the drains
-// across threads; the condvar wait time is accumulated per receiving rank
-// (the "halo wait" the observability layer reports). Under the sequential
-// executor the same code runs with all sends completing before any drain.
+// Two realizations exist:
+//
+//   MailboxHaloExchanger — one mutex/condvar mailbox per directed (sender ->
+//   receiver) rank pair: the flat point-to-point scheme. Run under the
+//   threaded executor the deposits really race with the drains across
+//   threads; under the sequential executor the same code runs with all sends
+//   completing before any drain.
+//
+//   NodeAwareHaloExchanger — ranks grouped into NodeTopology nodes. On-node
+//   edges keep their private mailboxes (the intra-node fabric); all payloads
+//   crossing one ordered (source node, destination node) pair are funneled
+//   through a staging buffer owned by the source node's leader and posted as
+//   ONE coalesced wire message once the last on-node contributor has written
+//   its segment ("last contributor closes"). Segment offsets are fixed at
+//   construction, so the coalesced payload is byte-identical regardless of
+//   which contributor arrives last — receivers always scatter identical
+//   values in identical order, keeping node-aware SpMV bit-identical to the
+//   flat exchange. This path also supports overlap: drains may run in the
+//   same superstep as the posts (see Executor::parallel_ranks_phased),
+//   because no post ever blocks.
+//
 // Either way every receiver observes identical payloads in identical order,
-// which keeps threaded and sequential SpMV bit-identical.
+// which keeps threaded/sequential and flat/node-aware SpMV bit-identical.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -26,6 +44,7 @@
 #include "dist/comm_stats.hpp"
 #include "dist/dist_vector.hpp"
 #include "dist/layout.hpp"
+#include "dist/node_topology.hpp"
 
 namespace fsaic {
 
@@ -43,7 +62,8 @@ struct HaloPlan {
 
 class HaloExchanger {
  public:
-  HaloExchanger(Layout layout, std::vector<HaloPlan> plans);
+  HaloExchanger(Layout layout, std::vector<HaloPlan> plans, NodeTopology topo);
+  virtual ~HaloExchanger() = default;
 
   HaloExchanger(const HaloExchanger&) = delete;
   HaloExchanger& operator=(const HaloExchanger&) = delete;
@@ -52,25 +72,41 @@ class HaloExchanger {
   [[nodiscard]] const HaloPlan& plan(rank_t p) const {
     return plans_[static_cast<std::size_t>(p)];
   }
+  [[nodiscard]] const NodeTopology& topology() const { return topo_; }
 
-  /// Superstep 1 of an exchange: deposit rank p's owned coefficients into
-  /// every send neighbor's mailbox (the simulated wire transfer).
-  void post_sends(rank_t p, const DistVector& x);
+  /// Phase 1 of an exchange: hand rank p's owned coefficients to the fabric
+  /// (mailbox deposits and/or leader staging writes). Never blocks.
+  virtual void post_sends(rank_t p, const DistVector& x) = 0;
 
-  /// Superstep 2: block until every recv neighbor of rank p has deposited,
-  /// then scatter the payloads into `ghosts` (the concatenation of the recv
+  /// Phase 2: block until every recv neighbor of rank p has delivered, then
+  /// scatter the payloads into `ghosts` (the concatenation of the recv
   /// edges, in plan order — exactly DistCsr's ghost column order). Records
-  /// one halo message per neighbor into `stats` when non-null.
-  void drain_recvs(rank_t p, std::span<value_t> ghosts, CommStats* stats);
+  /// the level-classified halo traffic into `stats` when non-null.
+  virtual void drain_recvs(rank_t p, std::span<value_t> ghosts,
+                           CommStats* stats) = 0;
 
-  /// Accumulated condvar wait of each receiving rank, microseconds. Only
+  /// True when drains of an exchange may run in the same superstep as its
+  /// posts (every post is non-blocking), enabling the interior/boundary
+  /// compute overlap in DistCsr::spmv.
+  [[nodiscard]] virtual bool overlap_capable() const { return false; }
+
+  /// Wire messages one full halo update posts at `level`. The base
+  /// implementation counts one message per recv edge (point-to-point);
+  /// the node-aware exchanger counts one per inter-node channel.
+  [[nodiscard]] virtual std::int64_t update_messages(CommLevel level) const;
+  [[nodiscard]] std::int64_t update_messages() const {
+    return update_messages(CommLevel::Intra) + update_messages(CommLevel::Inter);
+  }
+
+  /// Completed deliveries across the fabric (diagnostics).
+  [[nodiscard]] virtual std::uint64_t deposits() const = 0;
+
+  /// Accumulated blocking wait of each receiving rank, microseconds. Only
   /// meaningful between exchanges (not while one is in flight).
   [[nodiscard]] std::vector<double> wait_us_per_rank() const;
 
-  /// Completed deposits across all mailboxes (diagnostics).
-  [[nodiscard]] std::uint64_t deposits() const;
-
- private:
+ protected:
+  /// Mutex/condvar mailbox of one directed rank pair.
   struct Mailbox {
     mutable std::mutex mutex;
     std::condition_variable cv;
@@ -79,15 +115,113 @@ class HaloExchanger {
     std::uint64_t taken = 0;   ///< drains so far (receiver-side)
   };
 
+  void add_wait_us(rank_t p, double us) {
+    wait_us_[static_cast<std::size_t>(p)] += us;
+  }
+
+  /// Lock the box, pack the edge's owned coefficients, publish the deposit.
+  static void deposit_to_mailbox(const HaloPlan::Edge& edge,
+                                 std::span<const value_t> owned, index_t first,
+                                 Mailbox& box);
+
   Layout layout_;
   std::vector<HaloPlan> plans_;
+  NodeTopology topo_;
+
+ private:
+  /// Written only by the thread draining rank p, read between exchanges.
+  std::vector<double> wait_us_;
+};
+
+/// Flat point-to-point exchange: one mailbox per directed rank pair. The
+/// topology only classifies CommStats per level; with the trivial topology
+/// everything is inter-node (the historic accounting).
+class MailboxHaloExchanger final : public HaloExchanger {
+ public:
+  MailboxHaloExchanger(Layout layout, std::vector<HaloPlan> plans,
+                       NodeTopology topo);
+
+  void post_sends(rank_t p, const DistVector& x) override;
+  void drain_recvs(rank_t p, std::span<value_t> ghosts,
+                   CommStats* stats) override;
+  [[nodiscard]] std::uint64_t deposits() const override;
+
+ private:
   /// mailboxes_[p][e]: mailbox of rank p's e-th recv edge.
   std::vector<std::vector<Mailbox>> mailboxes_;
   /// send_slot_[p][e]: index into mailboxes_[peer] for rank p's e-th send
   /// edge (resolved once at construction).
   std::vector<std::vector<std::size_t>> send_slot_;
-  /// Written only by the thread draining rank p, read between exchanges.
-  std::vector<double> wait_us_;
 };
+
+/// Leader-aggregating two-level exchange (see the file comment).
+class NodeAwareHaloExchanger final : public HaloExchanger {
+ public:
+  NodeAwareHaloExchanger(Layout layout, std::vector<HaloPlan> plans,
+                         NodeTopology topo);
+
+  void post_sends(rank_t p, const DistVector& x) override;
+  void drain_recvs(rank_t p, std::span<value_t> ghosts,
+                   CommStats* stats) override;
+  [[nodiscard]] bool overlap_capable() const override { return true; }
+  [[nodiscard]] std::int64_t update_messages(CommLevel level) const override;
+  [[nodiscard]] std::uint64_t deposits() const override;
+
+  /// Number of inter-node channels (= coalesced messages per exchange).
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  /// Staging buffer of one ordered (source node, destination node) pair:
+  /// the coalesced message the source node's leader posts on the wire.
+  /// Segment offsets are fixed at construction in ascending (src, dst)
+  /// order, so the payload is deterministic regardless of contributor
+  /// arrival order. The last on-node contributor "closes" the message
+  /// (increments `posted`); receivers wait for the close, then read their
+  /// segments — the mutex handshake orders every contributor's slice
+  /// writes before every reader's reads.
+  struct InterChannel {
+    rank_t src_node = -1;
+    rank_t dst_node = -1;
+    std::size_t total = 0;     ///< coefficients in the coalesced payload
+    int ncontrib = 0;          ///< distinct source ranks funneling through
+    rank_t recorder_dst = -1;  ///< rank whose drain records the wire message
+    std::vector<value_t> payload;
+    std::mutex mutex;
+    std::condition_variable cv;
+    int contributions = 0;   ///< source ranks done this exchange
+    std::uint64_t posted = 0;  ///< closed (forwarded) exchanges
+  };
+
+  /// Where one edge's coefficients live inside a channel payload
+  /// (channel < 0: the edge is intra-node and uses a mailbox instead).
+  struct SegmentRef {
+    int channel = -1;
+    std::size_t offset = 0;
+  };
+
+  // Intra-node edges reuse the mailbox machinery.
+  std::vector<std::vector<Mailbox>> intra_boxes_;
+  std::vector<std::vector<std::size_t>> send_slot_;
+
+  std::vector<std::unique_ptr<InterChannel>> channels_;
+  /// Per rank, per send edge: the channel segment it writes.
+  std::vector<std::vector<SegmentRef>> src_segment_;
+  /// Per rank: sorted unique channels the rank contributes to (one
+  /// contribution handshake per channel per exchange).
+  std::vector<std::vector<int>> src_channels_;
+  /// Per rank, per recv edge: the channel segment it reads.
+  std::vector<std::vector<SegmentRef>> dst_segment_;
+  /// Per rank, per recv edge: does this drain record the channel's wire
+  /// message? (True on the first recv edge of the channel's recorder rank,
+  /// so the merged stats are deterministic.)
+  std::vector<std::vector<bool>> records_wire_;
+  /// Per rank: completed exchanges (written only by the draining thread).
+  std::vector<std::uint64_t> exchanges_;
+};
+
+/// Exchanger realizing `config` over the given plans: flat mailboxes or the
+/// node-aware leader aggregation.
+[[nodiscard]] std::shared_ptr<HaloExchanger> make_halo_exchanger(
+    const Layout& layout, std::vector<HaloPlan> plans, const CommConfig& config);
 
 }  // namespace fsaic

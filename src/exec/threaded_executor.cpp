@@ -37,6 +37,40 @@ ThreadedExecutor::ThreadedExecutor(int nthreads) : engine_(nthreads) {
   FSAIC_REQUIRE(nthreads >= 2, "threaded executor needs at least two threads");
 }
 
+ThreadedExecutor::~ThreadedExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(combiner_mutex_);
+    combiner_stop_ = true;
+  }
+  combiner_cv_.notify_all();
+  if (combiner_.joinable()) combiner_.join();
+}
+
+void ThreadedExecutor::parallel_ranks_phased(
+    rank_t nranks, const std::function<void(rank_t)>& post,
+    const std::function<void(rank_t)>& work) {
+  if (in_spmd_region) {
+    for (rank_t p = 0; p < nranks; ++p) post(p);
+    for (rank_t p = 0; p < nranks; ++p) work(p);
+    return;
+  }
+  const auto nt = static_cast<rank_t>(engine_.nthreads());
+  engine_.run([&](int t) {
+    const rank_t lo = static_cast<rank_t>(t) * nranks / nt;
+    const rank_t hi = (static_cast<rank_t>(t) + 1) * nranks / nt;
+    const SpmdRegionGuard guard(t);
+    // All of this thread's posts precede all of its works, so a blocking
+    // wait inside work(p) can only be waiting on another thread's post —
+    // which needs no cooperation from this thread to complete.
+    for (rank_t p = lo; p < hi; ++p) {
+      post(p);
+    }
+    for (rank_t p = lo; p < hi; ++p) {
+      work(p);
+    }
+  });
+}
+
 void ThreadedExecutor::parallel_ranks(rank_t nranks,
                                       const std::function<void(rank_t)>& f) {
   if (in_spmd_region) {
@@ -104,6 +138,53 @@ void ThreadedExecutor::allreduce_sum(std::span<value_t> partials, int width,
         nranks > 0 ? partials[static_cast<std::size_t>(c)] : 0.0;
   }
   ++allreduces_;
+}
+
+void ThreadedExecutor::ensure_combiner() {
+  if (combiner_.joinable()) return;
+  combiner_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(combiner_mutex_);
+    for (;;) {
+      combiner_cv_.wait(
+          lock, [&] { return combiner_stop_ || !combiner_queue_.empty(); });
+      if (combiner_queue_.empty()) {
+        if (combiner_stop_) return;
+        continue;
+      }
+      auto state = std::move(combiner_queue_.front());
+      combiner_queue_.pop_front();
+      lock.unlock();
+      tree_reduce_serial(state->partials, state->width, state->result);
+      {
+        const std::lock_guard<std::mutex> state_lock(state->mutex);
+        state->done = true;
+      }
+      state->cv.notify_all();
+      lock.lock();
+    }
+  });
+}
+
+AsyncAllreduce ThreadedExecutor::allreduce_begin(std::vector<value_t> partials,
+                                                 int width) {
+  AsyncAllreduce handle;
+  handle.state_ = std::make_shared<AsyncAllreduce::State>();
+  handle.state_->width = width;
+  handle.state_->partials = std::move(partials);
+  handle.state_->result.assign(static_cast<std::size_t>(width), 0.0);
+  FSAIC_REQUIRE(width >= 1 &&
+                    handle.state_->partials.size() %
+                            static_cast<std::size_t>(width) ==
+                        0,
+                "allreduce partials must be nranks rows of width values");
+  {
+    const std::lock_guard<std::mutex> lock(combiner_mutex_);
+    ensure_combiner();
+    combiner_queue_.push_back(handle.state_);
+  }
+  combiner_cv_.notify_one();
+  ++allreduces_;
+  return handle;
 }
 
 ExecStats ThreadedExecutor::stats() const {

@@ -41,8 +41,14 @@ JsonValue comm_stats_to_json(const CommStats& stats) {
   JsonValue out = JsonValue::object();
   out["halo_messages"] = stats.halo_messages;
   out["halo_bytes"] = stats.halo_bytes;
+  out["halo_intra_messages"] = stats.halo_intra_messages;
+  out["halo_intra_bytes"] = stats.halo_intra_bytes;
+  out["halo_inter_messages"] = stats.halo_inter_messages;
+  out["halo_inter_bytes"] = stats.halo_inter_bytes;
   out["allreduce_count"] = stats.allreduce_count;
   out["allreduce_bytes"] = stats.allreduce_bytes;
+  out["async_allreduce_count"] = stats.async_allreduce_count;
+  out["async_allreduce_bytes"] = stats.async_allreduce_bytes;
   out["neighbor_pairs"] = static_cast<std::int64_t>(stats.neighbor_pair_count());
   return out;
 }

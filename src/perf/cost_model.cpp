@@ -21,6 +21,8 @@ OpCost CostModel::spmv_cost(const DistCsr& a) const {
   const double t = options_.threads_per_rank;
   const double per_nnz = std::max(machine_.nnz_stream_cost(), machine_.nnz_flop_cost());
   const CacheConfig cache = rank_cache();
+  const NodeTopology topo = options_.comm.topology(a.nranks());
+  const bool aggregate = options_.comm.mode == CommMode::NodeAware;
 
   OpCost cost;
   for (rank_t p = 0; p < a.nranks(); ++p) {
@@ -30,15 +32,32 @@ OpCost CostModel::spmv_cost(const DistCsr& a) const {
         (static_cast<double>(blk.matrix.nnz()) * per_nnz +
          static_cast<double>(report.misses) * machine_.miss_cost()) /
         t;
+    // Rank p's halo edges, each priced at its fabric level. Neighbor lists
+    // are sorted by rank (so also by node), letting the node-aware model
+    // charge one network latency per distinct peer node — coalesced
+    // payload bytes still cross the wire in full, only latencies merge.
     double comm = 0.0;
-    for (const auto& nb : blk.recv) {
-      comm += machine_.net_alpha +
-              machine_.net_beta * static_cast<double>(nb.gids.size() * sizeof(value_t));
-    }
-    for (const auto& nb : blk.send) {
-      comm += machine_.net_alpha +
-              machine_.net_beta * static_cast<double>(nb.gids.size() * sizeof(value_t));
-    }
+    const auto charge = [&](const std::vector<RankBlock::Neighbor>& edges) {
+      rank_t last_peer_node = -1;
+      for (const auto& nb : edges) {
+        const double bytes =
+            static_cast<double>(nb.gids.size() * sizeof(value_t));
+        if (topo.same_node(nb.rank, p)) {
+          comm += machine_.net_alpha_intra + machine_.net_beta_intra * bytes;
+        } else if (!aggregate) {
+          comm += machine_.net_alpha + machine_.net_beta * bytes;
+        } else {
+          const rank_t peer_node = topo.node_of(nb.rank);
+          if (peer_node != last_peer_node) {
+            comm += machine_.net_alpha;
+            last_peer_node = peer_node;
+          }
+          comm += machine_.net_beta * bytes;
+        }
+      }
+    };
+    charge(blk.recv);
+    charge(blk.send);
     cost.compute = std::max(cost.compute, compute);
     cost.comm = std::max(cost.comm, comm);
   }
@@ -67,10 +86,27 @@ double CostModel::blas1_cost(const Layout& layout, int n_updates) const {
 
 double CostModel::allreduce_cost(rank_t nranks) const {
   if (nranks <= 1) return 0.0;
-  const double stages = std::ceil(std::log2(static_cast<double>(nranks)));
-  // Reduce + broadcast along a binomial tree: 2 latency-bound stages each.
-  return 2.0 * stages *
-         (machine_.net_alpha + machine_.net_beta * sizeof(value_t));
+  const NodeTopology topo = options_.comm.topology(nranks);
+  if (topo.ranks_per_node() <= 1) {
+    const double stages = std::ceil(std::log2(static_cast<double>(nranks)));
+    // Reduce + broadcast along a binomial tree: 2 latency-bound stages each.
+    return 2.0 * stages *
+           (machine_.net_alpha + machine_.net_beta * sizeof(value_t));
+  }
+  // Hierarchical tree: reduce within each node over the cheap fabric, then
+  // across node leaders over the network, broadcast back — 2 sweeps per
+  // level, each latency-bound at its level's alpha/beta.
+  const rank_t width = std::min<rank_t>(
+      nranks, static_cast<rank_t>(topo.ranks_per_node()));
+  const double intra_stages = std::ceil(std::log2(static_cast<double>(width)));
+  const double inter_stages =
+      topo.nnodes() > 1
+          ? std::ceil(std::log2(static_cast<double>(topo.nnodes())))
+          : 0.0;
+  return 2.0 * intra_stages *
+             (machine_.net_alpha_intra + machine_.net_beta_intra * sizeof(value_t)) +
+         2.0 * inter_stages *
+             (machine_.net_alpha + machine_.net_beta * sizeof(value_t));
 }
 
 PcgIterationCost CostModel::pcg_iteration_cost(const DistCsr& a, const DistCsr& g,

@@ -21,6 +21,14 @@ namespace fsaic {
 struct CostModelOptions {
   /// OpenMP threads per simulated MPI rank (the paper's hybrid knob).
   int threads_per_rank = 1;
+
+  /// Communication scheme the model prices. The default (flat, one rank
+  /// per node) charges every halo edge a full network message — the
+  /// historic model, unchanged to the last bit. With ranks_per_node > 1,
+  /// on-node edges are charged at the machine's intra-node alpha/beta; in
+  /// node-aware mode cross-node edges additionally share one network
+  /// latency per distinct peer node (the leader-aggregated coalescing).
+  CommConfig comm;
 };
 
 /// Cost of one distributed operation, split by source.

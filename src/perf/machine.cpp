@@ -12,6 +12,8 @@ Machine machine_skylake() {
   m.flops_per_core = 8.0e9;    // sustained on indexed SpMV code, not peak AVX
   m.net_alpha = 1.5e-6;        // Omni-Path
   m.net_beta = 5.0e-10;
+  m.net_alpha_intra = 2.5e-7;  // shared-memory transport
+  m.net_beta_intra = 8.0e-11;
   m.cores_per_node = 48;
   return m;
 }
@@ -24,6 +26,8 @@ Machine machine_a64fx() {
   m.flops_per_core = 1.0e10;
   m.net_alpha = 1.2e-6;        // Tofu-D
   m.net_beta = 3.0e-10;
+  m.net_alpha_intra = 3.0e-7;  // CMG-to-CMG on-package
+  m.net_beta_intra = 6.0e-11;
   m.cores_per_node = 48;
   return m;
 }
@@ -36,6 +40,8 @@ Machine machine_zen2() {
   m.flops_per_core = 1.6e10;   // the paper notes much higher FLOP/s on Zen 2
   m.net_alpha = 1.8e-6;        // InfiniBand HDR200
   m.net_beta = 4.0e-10;
+  m.net_alpha_intra = 2.0e-7;  // shared-memory transport
+  m.net_beta_intra = 5.0e-11;
   m.cores_per_node = 128;
   return m;
 }

@@ -37,9 +37,17 @@ struct Machine {
   /// Sustained floating-point rate per core on SpMV-like code [flop/s].
   double flops_per_core = 4.0e9;
 
-  /// Point-to-point message latency [s] and inverse bandwidth [s/byte].
+  /// Point-to-point message latency [s] and inverse bandwidth [s/byte]
+  /// across the inter-node network fabric.
   double net_alpha = 2.0e-6;
   double net_beta = 5.0e-10;
+
+  /// Same pair for on-node transfers (shared-memory fabric): roughly an
+  /// order of magnitude cheaper in latency and several times cheaper per
+  /// byte. These only matter to the node-aware cost model; the flat model
+  /// charges every message at the network rate, as the historic one did.
+  double net_alpha_intra = 3.0e-7;
+  double net_beta_intra = 1.0e-10;
 
   /// Cores per node (informational; used by the rank-count heuristics).
   int cores_per_node = 48;

@@ -3,6 +3,7 @@
 #include "common/rng.hpp"
 #include "dist/comm_scheme.hpp"
 #include "dist/dist_csr.hpp"
+#include "exec/halo.hpp"
 #include "matgen/generators.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/vector_ops.hpp"
@@ -194,6 +195,102 @@ TEST_P(DistSpmvProperty, MatchesSerialSpmvAndCountsTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, DistSpmvProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 16));
+
+// ---- node-aware communication layer -------------------------------------
+
+class NodeAwareSpmv : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeAwareSpmv, BitIdenticalToFlatWithByteExactSplit) {
+  const int rpn = GetParam();
+  const auto a = poisson2d(9, 8);
+  const Layout l = Layout::blocked(a.rows(), 8);
+  const auto flat = DistCsr::distribute(a, l, CommConfig{});
+  const auto aware =
+      DistCsr::distribute(a, l, CommConfig{CommMode::NodeAware, rpn});
+
+  Rng rng(23);
+  std::vector<value_t> xg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : xg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector x(l, xg);
+  DistVector y_flat(l);
+  DistVector y_aware(l);
+  CommStats s_flat;
+  CommStats s_aware;
+  flat.spmv(x, y_flat, &s_flat);
+  aware.spmv(x, y_aware, &s_aware);
+
+  // Same bits, not just the same values.
+  EXPECT_EQ(y_flat.to_global(), y_aware.to_global());
+
+  // Payload accounting is invariant: totals, the per-level sum, and the
+  // per-logical-pair map all match the flat exchange byte-exactly.
+  EXPECT_EQ(s_aware.halo_bytes, s_flat.halo_bytes);
+  EXPECT_EQ(s_aware.halo_intra_bytes + s_aware.halo_inter_bytes,
+            s_flat.halo_bytes);
+  EXPECT_EQ(s_aware.pair_bytes, s_flat.pair_bytes);
+
+  // Wire messages coalesce: never more than flat, strictly fewer once
+  // several ranks of one node talk to the same peer node.
+  EXPECT_LE(s_aware.halo_messages, s_flat.halo_messages);
+  if (rpn >= 4) {
+    EXPECT_LT(s_aware.halo_inter_messages, s_flat.halo_messages);
+  }
+
+  // Counters match the static per-update predictions of each matrix.
+  EXPECT_EQ(s_aware.halo_messages, aware.halo_update_messages());
+  EXPECT_EQ(s_aware.halo_intra_messages, aware.halo_update_intra_messages());
+  EXPECT_EQ(s_aware.halo_inter_messages, aware.halo_update_inter_messages());
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksPerNode, NodeAwareSpmv,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(NodeAwareSpmvTest, UseCommRebuildsTheExchanger) {
+  const auto a = poisson3d(5, 5, 5);
+  const Layout l = Layout::blocked(a.rows(), 8);
+  auto d = DistCsr::distribute(a, l, CommConfig{});
+  EXPECT_EQ(d.comm_config(), CommConfig{});
+  const auto flat_msgs = d.halo_update_messages();
+  const auto flat_bytes = d.halo_update_bytes();
+
+  d.use_comm(CommConfig{CommMode::NodeAware, 4});
+  EXPECT_EQ(d.comm_config().mode, CommMode::NodeAware);
+  EXPECT_TRUE(d.halo().overlap_capable());
+  EXPECT_LT(d.halo_update_messages(), flat_msgs);
+  EXPECT_EQ(d.halo_update_bytes(), flat_bytes);
+  EXPECT_EQ(d.halo_update_intra_messages() + d.halo_update_inter_messages(),
+            d.halo_update_messages());
+
+  // Round-trip back to flat restores the historic counters.
+  d.use_comm(CommConfig{});
+  EXPECT_FALSE(d.halo().overlap_capable());
+  EXPECT_EQ(d.halo_update_messages(), flat_msgs);
+}
+
+TEST(NodeAwareSpmvTest, InteriorBoundarySplitCoversAllRows) {
+  const auto a = poisson2d(9, 8);
+  const Layout l = Layout::blocked(a.rows(), 6);
+  const auto d = DistCsr::distribute(a, l);
+  for (rank_t p = 0; p < d.nranks(); ++p) {
+    const RankBlock& blk = d.block(p);
+    const auto nloc = l.local_size(p);
+    std::vector<bool> seen(static_cast<std::size_t>(nloc), false);
+    for (index_t i : blk.interior_rows) {
+      for (index_t c : blk.matrix.row_cols(i)) {
+        EXPECT_LT(c, nloc) << "interior row " << i << " touches a ghost";
+      }
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+    for (index_t i : blk.boundary_rows) {
+      bool has_ghost = false;
+      for (index_t c : blk.matrix.row_cols(i)) has_ghost |= c >= nloc;
+      EXPECT_TRUE(has_ghost) << "boundary row " << i << " is interior";
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+    for (bool b : seen) EXPECT_TRUE(b);
+  }
+}
 
 }  // namespace
 }  // namespace fsaic

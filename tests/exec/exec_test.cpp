@@ -352,6 +352,161 @@ TEST(HaloExchangerTest, RepeatedExchangesReuseTheMailboxes) {
             5u * static_cast<std::uint64_t>(per_exchange));
 }
 
+// ---- phased supersteps and async allreduce ------------------------------
+
+TEST(ExecutorTest, PhasedSuperstepRunsAllPostsBeforeAnyWorkPerSlice) {
+  // Within each thread's rank slice every post() must complete before the
+  // first work() starts; that ordering is what lets sends overlap compute.
+  for (const int nthreads : {2, 3}) {
+    ThreadedExecutor exec(nthreads);
+    constexpr rank_t kRanks = 10;
+    std::vector<int> posted(kRanks, 0);
+    std::vector<int> worked(kRanks, 0);
+    std::atomic<bool> order_ok{true};
+    exec.parallel_ranks_phased(
+        kRanks,
+        [&](rank_t p) { posted[static_cast<std::size_t>(p)] = 1; },
+        [&](rank_t p) {
+          // Block-distributed slices are contiguous: every rank in this
+          // rank's slice must already be posted.
+          for (int t = 0; t < nthreads; ++t) {
+            const rank_t lo = static_cast<rank_t>(
+                static_cast<std::int64_t>(t) * kRanks / nthreads);
+            const rank_t hi = static_cast<rank_t>(
+                static_cast<std::int64_t>(t + 1) * kRanks / nthreads);
+            if (p < lo || p >= hi) continue;
+            for (rank_t q = lo; q < hi; ++q) {
+              if (posted[static_cast<std::size_t>(q)] == 0) order_ok = false;
+            }
+          }
+          worked[static_cast<std::size_t>(p)] = 1;
+        });
+    EXPECT_TRUE(order_ok.load()) << nthreads << " threads";
+    for (rank_t p = 0; p < kRanks; ++p) {
+      EXPECT_EQ(posted[static_cast<std::size_t>(p)], 1);
+      EXPECT_EQ(worked[static_cast<std::size_t>(p)], 1);
+    }
+  }
+}
+
+TEST(ExecutorTest, PhasedSuperstepDegradesInlineWhenNested) {
+  ThreadedExecutor exec(2);
+  std::atomic<int> posts{0};
+  std::atomic<int> works{0};
+  exec.parallel_ranks(1, [&](rank_t) {
+    exec.parallel_ranks_phased(4, [&](rank_t) { ++posts; },
+                               [&](rank_t) { ++works; });
+  });
+  EXPECT_EQ(posts.load(), 4);
+  EXPECT_EQ(works.load(), 4);
+}
+
+TEST(ExecutorTest, AsyncAllreduceMatchesBlockingBitForBit) {
+  SeqExecutor seq;
+  ThreadedExecutor thr(3);
+  for (Executor* exec : {static_cast<Executor*>(&seq),
+                         static_cast<Executor*>(&thr)}) {
+    for (const rank_t nranks : {1, 3, 8}) {
+      const auto reference = random_partials(nranks, 2, 31u + nranks);
+      std::vector<value_t> blocking(2);
+      auto copy = reference;
+      exec->allreduce_sum(copy, 2, blocking);
+
+      auto moved = reference;
+      AsyncAllreduce handle = exec->allreduce_begin(std::move(moved), 2);
+      EXPECT_TRUE(handle.pending());
+      std::vector<value_t> async(2);
+      handle.wait(async);
+      EXPECT_FALSE(handle.pending());
+      // Same fixed-order tree, same bits — async is a latency tool, not a
+      // different reduction.
+      EXPECT_EQ(blocking, async);
+    }
+  }
+}
+
+TEST(ExecutorTest, AsyncAllreducesCompleteInFifoOrderUnderLoad) {
+  ThreadedExecutor exec(4);
+  constexpr int kInflight = 16;
+  std::vector<AsyncAllreduce> handles;
+  handles.reserve(kInflight);
+  for (int i = 0; i < kInflight; ++i) {
+    std::vector<value_t> partials(8, static_cast<value_t>(i + 1));
+    handles.push_back(exec.allreduce_begin(std::move(partials), 1));
+  }
+  for (int i = 0; i < kInflight; ++i) {
+    std::vector<value_t> out(1);
+    handles[static_cast<std::size_t>(i)].wait(out);
+    EXPECT_EQ(out[0], 8.0 * (i + 1));
+  }
+}
+
+// ---- node-aware halo exchange -------------------------------------------
+
+TEST(NodeAwareHaloTest, ThreadedNodeAwareSpmvMatchesFlatBitForBit) {
+  const auto a = poisson2d(17, 13);
+  const Layout layout = Layout::from_part_sizes(
+      std::vector<index_t>{40, 3, 78, 0, 60, 40});
+  ASSERT_EQ(layout.global_size(), a.rows());
+  const auto flat = DistCsr::distribute(a, layout, CommConfig{});
+  const auto aware =
+      DistCsr::distribute(a, layout, CommConfig{CommMode::NodeAware, 2});
+
+  Rng rng(11);
+  std::vector<value_t> xg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : xg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector x(layout, xg);
+
+  SeqExecutor seq;
+  DistVector y_flat(layout);
+  flat.spmv(x, y_flat, nullptr, nullptr, &seq);
+
+  for (const int nthreads : {2, 4, 8}) {
+    ThreadedExecutor exec(nthreads);
+    DistVector y_na(layout);
+    CommStats stats;
+    aware.spmv(x, y_na, &stats, nullptr, &exec);
+    EXPECT_EQ(y_flat.to_global(), y_na.to_global()) << nthreads << " threads";
+    EXPECT_EQ(stats.halo_messages, aware.halo_update_messages());
+    EXPECT_EQ(stats.halo_intra_messages + stats.halo_inter_messages,
+              stats.halo_messages);
+  }
+}
+
+TEST(NodeAwareHaloTest, LeaderFunnelSurvivesRepeatedRacedExchanges) {
+  // Many ranks, few nodes: every inter-node channel has several
+  // contributors racing to fill their segments while the destination
+  // drains. TSAN runs this test in CI; any missing synchronization in the
+  // last-contributor-closes protocol shows up as a reported race.
+  const auto a = poisson2d(24, 24);
+  const Layout layout = Layout::blocked(a.rows(), 16);
+  const auto d =
+      DistCsr::distribute(a, layout, CommConfig{CommMode::NodeAware, 4});
+  Rng rng(3);
+  std::vector<value_t> xg(static_cast<std::size_t>(a.rows()));
+  for (auto& v : xg) v = rng.next_uniform(-1.0, 1.0);
+  const DistVector x(layout, xg);
+
+  SeqExecutor seq;
+  DistVector y_ref(layout);
+  d.spmv(x, y_ref, nullptr, nullptr, &seq);
+  const auto ref = y_ref.to_global();
+
+  ThreadedExecutor exec(8);
+  const auto before = d.halo().deposits();
+  constexpr int kRounds = 20;
+  for (int i = 0; i < kRounds; ++i) {
+    DistVector y(layout);
+    d.spmv(x, y, nullptr, nullptr, &exec);
+    ASSERT_EQ(y.to_global(), ref) << "round " << i;
+  }
+  // Deposits count wire deliveries: intra mailbox posts plus one channel
+  // close per inter-node pair, i.e. the aggregated message count.
+  EXPECT_EQ(d.halo().deposits() - before,
+            static_cast<std::uint64_t>(kRounds) *
+                static_cast<std::uint64_t>(d.halo_update_messages()));
+}
+
 // ---- solver determinism -------------------------------------------------
 
 TEST(ExecSolverTest, CgResidualHistoryIsBitIdenticalThreadedVsSequential) {

@@ -121,6 +121,42 @@ TEST(CostModelTest, PrecondGflopsPositiveAndHigherOnZen2) {
   EXPECT_GT(g_zen, 0.0);
 }
 
+TEST(CostModelTopologyTest, DefaultCommConfigReproducesHistoricCosts) {
+  const auto a = poisson2d(18, 18);
+  const Layout l = Layout::blocked(a.rows(), 8);
+  const auto d = DistCsr::distribute(a, l);
+  const CostModel historic(machine_skylake(), {});
+  const CostModel explicit_flat(machine_skylake(),
+                                {.comm = CommConfig{CommMode::Flat, 1}});
+  // The flat default must price exactly like the pre-topology model.
+  EXPECT_EQ(historic.spmv_cost(d).comm, explicit_flat.spmv_cost(d).comm);
+  EXPECT_EQ(historic.allreduce_cost(8), explicit_flat.allreduce_cost(8));
+}
+
+TEST(CostModelTopologyTest, NodeAwareCommIsNeverDearerThanFlat) {
+  const auto a = poisson2d(18, 18);
+  const Layout l = Layout::blocked(a.rows(), 8);
+  const auto d = DistCsr::distribute(a, l);
+  const CostModel flat(machine_skylake(), {});
+  const CostModel aware(machine_skylake(),
+                        {.comm = CommConfig{CommMode::NodeAware, 4}});
+  // Intra-node alpha/beta are cheaper than the network's, and aggregation
+  // shares network latencies, so the modeled comm cost can only drop.
+  EXPECT_LT(aware.spmv_cost(d).comm, flat.spmv_cost(d).comm);
+  EXPECT_EQ(aware.spmv_cost(d).compute, flat.spmv_cost(d).compute);
+}
+
+TEST(CostModelTopologyTest, HierarchicalAllreduceBeatsFlatTree) {
+  const CostModel flat(machine_skylake(), {});
+  const CostModel aware(machine_skylake(),
+                        {.comm = CommConfig{CommMode::NodeAware, 8}});
+  // 64 ranks in nodes of 8: 3 intra + 3 inter stages per sweep instead of
+  // 6 network stages — strictly cheaper whenever intra rates win.
+  EXPECT_LT(aware.allreduce_cost(64), flat.allreduce_cost(64));
+  // Degenerate single-rank reduction is free either way.
+  EXPECT_EQ(aware.allreduce_cost(1), flat.allreduce_cost(1));
+}
+
 TEST(CostModelTest, RankCacheScalesWithThreads) {
   const CostModel cm(machine_skylake(), {.threads_per_rank = 4});
   EXPECT_EQ(cm.rank_cache().size_bytes, 4 * machine_skylake().l1.size_bytes);

@@ -60,6 +60,14 @@ TEST(PipelinedCgTest, OneAllreducePerIteration) {
   // Classic: 3 allreduces per iteration (+setup). Pipelined: 1 (+setup).
   EXPECT_GE(classic.comm.allreduce_count, 3 * classic.iterations);
   EXPECT_LE(piped.comm.allreduce_count, piped.iterations + 2);
+  // The residual-norm reduction rides a non-blocking allreduce, one per
+  // fused-dot superstep; the classic solver never starts one.
+  EXPECT_GE(piped.comm.async_allreduce_count, piped.iterations - 1);
+  EXPECT_LE(piped.comm.async_allreduce_count, piped.iterations + 1);
+  EXPECT_EQ(piped.comm.async_allreduce_bytes,
+            piped.comm.async_allreduce_count *
+                static_cast<std::int64_t>(sizeof(value_t)));
+  EXPECT_EQ(classic.comm.async_allreduce_count, 0);
   // Both solved the system to the same target.
   EXPECT_LE(piped.final_residual, 1e-8 * piped.initial_residual);
 }

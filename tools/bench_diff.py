@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_serve.json artifacts for serving-performance regressions.
+"""Compare bench artifacts for regressions.
 
 Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--max-rps-drop PCT]
                   [--max-p99-rise PCT]
+    bench_diff.py --mode comm CANDIDATE.jsonl [BASELINE.jsonl]
+                  [--max-comm-bytes-rise PCT]
 
-Exits non-zero when the candidate's sustained throughput dropped, or its p99
-total latency rose, by more than the thresholds (percent, defaults 20).
-Everything else is informational: the full stage-by-stage latency delta and
-the cache/batching deltas are printed either way, and workloads with
-different digests are flagged (the comparison is then apples-to-oranges and
-only reported, never enforced).
+Default (serve) mode exits non-zero when the candidate's sustained
+throughput dropped, or its p99 total latency rose, by more than the
+thresholds (percent, defaults 20). Everything else is informational: the
+full stage-by-stage latency delta and the cache/batching deltas are printed
+either way, and workloads with different digests are flagged (the
+comparison is then apples-to-oranges and only reported, never enforced).
+
+Comm mode reads the comm_invariance bench's JSONL report and enforces the
+communication contract on every matrix:
+  - node-aware payload bytes equal the flat bytes exactly, and the
+    intra + inter split sums to the total (aggregation merges messages,
+    never duplicates or drops coefficients);
+  - node-aware wire messages never exceed flat, and strictly decrease for
+    at least one matrix (the aggregation must actually aggregate);
+  - with a BASELINE report, per-matrix FSAIE-Comm halo bytes must not rise
+    more than --max-comm-bytes-rise percent (default 0: byte-exact), and
+    node-aware message counts must not rise at all.
 
 Stdlib only, so the CI job can run it on a bare runner.
 """
@@ -35,16 +48,108 @@ def pct_change(old, new):
     return 100.0 * (new - old) / old
 
 
+def load_comm_records(path):
+    """Index a comm_invariance JSONL report by (kind, matrix)."""
+    records = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") in ("comm_invariance", "comm_topology"):
+                records[(rec["kind"], rec["matrix"])] = rec
+    if not records:
+        sys.exit(f"{path}: no comm_invariance/comm_topology records")
+    return records
+
+
+def comm_mode(args):
+    cand = load_comm_records(args.baseline)
+    base = load_comm_records(args.candidate) if args.candidate else None
+
+    failures = []
+    topo = [r for (kind, _), r in sorted(cand.items()) if kind == "comm_topology"]
+    if not topo:
+        sys.exit("candidate has no comm_topology records")
+    strict_decreases = 0
+    for rec in topo:
+        name = rec["matrix"]
+        if rec["halo_bytes_node_aware"] != rec["halo_bytes_flat"]:
+            failures.append(
+                f"{name}: node-aware payload bytes "
+                f"{rec['halo_bytes_node_aware']} != flat {rec['halo_bytes_flat']}")
+        if rec["halo_intra_bytes"] + rec["halo_inter_bytes"] != rec["halo_bytes_flat"]:
+            failures.append(
+                f"{name}: intra {rec['halo_intra_bytes']} + inter "
+                f"{rec['halo_inter_bytes']} != total {rec['halo_bytes_flat']}")
+        if rec["halo_msgs_node_aware"] > rec["halo_msgs_flat"]:
+            failures.append(
+                f"{name}: node-aware messages {rec['halo_msgs_node_aware']} "
+                f"exceed flat {rec['halo_msgs_flat']}")
+        if rec["halo_msgs_node_aware"] < rec["halo_msgs_flat"]:
+            strict_decreases += 1
+    total_flat = sum(r["halo_msgs_flat"] for r in topo)
+    total_na = sum(r["halo_msgs_node_aware"] for r in topo)
+    print(f"wire messages: flat {total_flat} -> node-aware {total_na} "
+          f"({pct_change(total_flat, total_na):+.1f}%), strict decrease on "
+          f"{strict_decreases}/{len(topo)} matrices")
+    if strict_decreases == 0:
+        failures.append("node-aware aggregation never reduced a single "
+                        "matrix's message count")
+
+    if base is not None:
+        for key, brec in sorted(base.items()):
+            kind, name = key
+            crec = cand.get(key)
+            if crec is None:
+                failures.append(f"{name}: {kind} record missing from candidate")
+                continue
+            if kind == "comm_invariance":
+                d = pct_change(brec["halo_bytes_comm"], crec["halo_bytes_comm"])
+                if d > args.max_comm_bytes_rise:
+                    failures.append(
+                        f"{name}: FSAIE-Comm halo bytes rose {d:.1f}% "
+                        f"({brec['halo_bytes_comm']} -> "
+                        f"{crec['halo_bytes_comm']}, > "
+                        f"{args.max_comm_bytes_rise:.1f}% allowed)")
+            else:
+                if crec["halo_msgs_node_aware"] > brec["halo_msgs_node_aware"]:
+                    failures.append(
+                        f"{name}: node-aware messages rose "
+                        f"{brec['halo_msgs_node_aware']} -> "
+                        f"{crec['halo_msgs_node_aware']}")
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print(f"OK: comm contract holds on {len(topo)} matrices")
+    return 1 if failures else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("candidate", nargs="?")
+    ap.add_argument("--mode", choices=("serve", "comm"), default="serve",
+                    help="serve: compare two BENCH_serve.json artifacts; "
+                         "comm: enforce the comm contract on a "
+                         "comm_invariance JSONL report (first positional is "
+                         "the candidate, optional second a baseline)")
     ap.add_argument("--max-rps-drop", type=float, default=20.0,
                     help="fail when throughput drops more than PCT (default 20)")
     ap.add_argument("--max-p99-rise", type=float, default=20.0,
                     help="fail when p99 total latency rises more than PCT "
                          "(default 20)")
+    ap.add_argument("--max-comm-bytes-rise", type=float, default=0.0,
+                    help="comm mode: fail when a matrix's FSAIE-Comm halo "
+                         "bytes rise more than PCT vs baseline (default 0)")
     args = ap.parse_args()
+
+    if args.mode == "comm":
+        return comm_mode(args)
+    if args.candidate is None:
+        ap.error("serve mode needs BASELINE and CANDIDATE")
 
     base = load(args.baseline)
     cand = load(args.candidate)

@@ -15,6 +15,13 @@
 //         --filter F          filter value               (default 0.01)
 //         --static            static instead of dynamic filtering
 //         --machine M         skylake|a64fx|zen2         (default skylake)
+//         --comm C            flat|node-aware halo exchange (default flat;
+//                             FSAIC_COMM sets the default). node-aware
+//                             coalesces inter-node messages through node
+//                             leaders and overlaps the exchange with the
+//                             interior SpMV — residuals stay bit-identical
+//         --ranks-per-node N  simulated ranks per node   (default 1; the
+//                             FSAIC_RANKS_PER_NODE env var sets the default)
 //         --tol T             relative tolerance         (default 1e-8)
 //         --pipelined         Chronopoulos-Gear CG (1 allreduce/iter)
 //         --gmres             restarted GMRES(50) instead of CG
@@ -202,6 +209,14 @@ int cmd_solve(const Args& args) {
   const value_t filter = std::stod(args.get("filter", "0.01"));
   const value_t tol = std::stod(args.get("tol", "1e-8"));
   const std::string method = args.get("method", "fsaie-comm");
+  // Communication scheme: environment first, explicit flags win.
+  CommConfig comm = CommConfig::from_env();
+  if (args.has("comm")) {
+    comm.mode = comm_mode_from_string(args.get("comm", "flat"));
+  }
+  if (args.has("ranks-per-node")) {
+    comm.ranks_per_node = std::max(1, std::stoi(args.get("ranks-per-node", "1")));
+  }
 
   // Observability attachments: a trace recorder shared by the setup pipeline
   // and the solver, and a collecting sink feeding the JSONL report. Both are
@@ -230,7 +245,7 @@ int cmd_solve(const Args& args) {
   }
 
   const PartitionedSystem sys = partition_system(a, nranks);
-  const DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout);
+  const DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout, comm);
   std::cout << args.positional[0] << ": " << a.rows() << " rows, " << a.nnz()
             << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
             << ")\n";
@@ -256,7 +271,7 @@ int cmd_solve(const Args& args) {
   const DistVector b(sys.layout, b_perm);
 
   std::unique_ptr<Preconditioner> precond;
-  const CostModel cost(machine, {.threads_per_rank = threads});
+  const CostModel cost(machine, {.threads_per_rank = threads, .comm = comm});
   double apply_cost = 0.0;
   // Setup accounting of the factorized build, attached to the report's run
   // record (stays null for the non-FSAI methods and loaded factors).
@@ -302,15 +317,17 @@ int cmd_solve(const Args& args) {
       FSAIC_REQUIRE(saved.layout == sys.layout,
                     "saved factor was built for a different layout");
       require_factor_matches(saved, sys.matrix);
-      const DistCsr g_dist = DistCsr::distribute(saved.g, saved.layout);
+      const DistCsr g_dist = DistCsr::distribute(saved.g, saved.layout, comm);
       const DistCsr gt_dist =
-          DistCsr::distribute(transpose(saved.g), saved.layout);
+          DistCsr::distribute(transpose(saved.g), saved.layout, comm);
       apply_cost = cost.spmv_cost(g_dist).total() + cost.spmv_cost(gt_dist).total();
       precond = std::make_unique<FactorizedPreconditioner>(g_dist, gt_dist,
                                                            method + "(loaded)");
     } else {
-      const FsaiBuildResult build =
+      FsaiBuildResult build =
           build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+      build.g_dist.use_comm(comm);
+      build.gt_dist.use_comm(comm);
       std::cout << method << ": +" << pct2(build.nnz_increase_pct)
                 << "% pattern entries, imbalance index "
                 << strformat("%.3f", build.imbalance_avg()) << ", setup "
@@ -374,6 +391,16 @@ int cmd_solve(const Args& args) {
             << r.comm.halo_bytes << " B) over " << r.comm.neighbor_pair_count()
             << " neighbor pairs; " << r.comm.allreduce_count << " allreduces ("
             << r.comm.allreduce_bytes << " B)\n";
+  if (comm.ranks_per_node > 1 || comm.mode == CommMode::NodeAware) {
+    std::cout << "comm scheme " << to_string(comm.mode) << " (ranks/node "
+              << comm.ranks_per_node << "): intra "
+              << r.comm.halo_intra_messages << " msgs ("
+              << r.comm.halo_intra_bytes << " B), inter "
+              << r.comm.halo_inter_messages << " msgs ("
+              << r.comm.halo_inter_bytes << " B); "
+              << r.comm.async_allreduce_count << " async allreduces ("
+              << r.comm.async_allreduce_bytes << " B)\n";
+  }
 
   if (exec->threaded()) {
     const ExecStats es = exec->stats();
@@ -401,6 +428,10 @@ int cmd_solve(const Args& args) {
                         ? "gmres"
                         : (args.has("pipelined") ? "pipelined-cg" : "pcg");
     rec["ranks"] = nranks;
+    rec["comm_mode"] = to_string(comm.mode);
+    rec["ranks_per_node"] = comm.ranks_per_node;
+    rec["comm_intra_bytes"] = r.comm.halo_intra_bytes;
+    rec["comm_inter_bytes"] = r.comm.halo_inter_bytes;
     rec["exec_threads"] = exec->nthreads();
     rec["exec_supersteps"] = static_cast<std::int64_t>(exec->stats().supersteps);
     rec["converged"] = r.converged;
