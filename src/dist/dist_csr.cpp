@@ -11,26 +11,6 @@
 
 namespace fsaic {
 
-namespace {
-
-/// Rank-local SpMV over an explicit row subset, replicating fsaic::spmv's
-/// per-row accumulation order exactly — splitting rows into interior and
-/// boundary subsets therefore yields bit-identical y.
-void spmv_rows(const CsrMatrix& a, std::span<const index_t> rows,
-               std::span<const value_t> x, std::span<value_t> y) {
-  for (const index_t i : rows) {
-    const auto cols = a.row_cols(i);
-    const auto vals = a.row_vals(i);
-    value_t sum = 0.0;
-    for (std::size_t k = 0; k < cols.size(); ++k) {
-      sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
-    }
-    y[static_cast<std::size_t>(i)] = sum;
-  }
-}
-
-}  // namespace
-
 DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
   return distribute(global, std::move(layout), CommConfig::from_env());
 }
@@ -140,7 +120,35 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout,
   // requested comm config (shared by copies).
   d.comm_ = comm;
   d.halo_ = make_halo_exchanger(layout, d.build_halo_plans(), comm);
+
+  // Rank-local kernel backend: FSAIC_FORMAT selects the process-wide
+  // default format; precision always starts Double (use_kernel opts in).
+  d.use_kernel(KernelConfig::from_env());
   return d;
+}
+
+void DistCsr::use_kernel(const KernelConfig& kernel) {
+  kernel_ = kernel;
+  ops_.clear();
+  ops_.reserve(blocks_.size());
+  for (const auto& blk : blocks_) {
+    ops_.emplace_back(blk.matrix, blk.interior_rows, blk.boundary_rows,
+                      kernel_);
+  }
+}
+
+offset_t DistCsr::padded_entries() const {
+  offset_t total = 0;
+  for (std::size_t p = 0; p < blocks_.size(); ++p) {
+    total += ops_[p].padded_entries(blocks_[p].matrix);
+  }
+  return total;
+}
+
+double DistCsr::padding_ratio() const {
+  const offset_t n = nnz();
+  return n > 0 ? static_cast<double>(padded_entries()) / static_cast<double>(n)
+               : 1.0;
 }
 
 std::vector<HaloPlan> DistCsr::build_halo_plans() const {
@@ -240,7 +248,8 @@ void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
           std::vector<value_t> x_ext(nloc + blk.ghost_gids.size());
           const auto x_loc = x.block(p);
           std::copy(x_loc.begin(), x_loc.end(), x_ext.begin());
-          spmv_rows(blk.matrix, blk.interior_rows, x_ext, y.block(p));
+          ops_[static_cast<std::size_t>(p)].spmv_interior(
+              blk.matrix, blk.interior_rows, x_ext, y.block(p));
           const double t1 = trace != nullptr ? trace->now_us() : 0.0;
           if (trace != nullptr) {
             trace->complete("spmv_interior", "compute", t0, t1 - t0);
@@ -253,7 +262,8 @@ void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
           if (trace != nullptr) {
             trace->complete("halo_exchange", "comm", t1, t2 - t1);
           }
-          spmv_rows(blk.matrix, blk.boundary_rows, x_ext, y.block(p));
+          ops_[static_cast<std::size_t>(p)].spmv_boundary(
+              blk.matrix, blk.boundary_rows, x_ext, y.block(p));
           if (trace != nullptr) {
             trace->complete("spmv_boundary", "compute", t2,
                             trace->now_us() - t2);
@@ -278,7 +288,8 @@ void DistCsr::spmv(const DistVector& x, DistVector& y, CommStats* stats,
           stats != nullptr ? &rank_stats[static_cast<std::size_t>(p)] : nullptr);
       const double t1 = trace != nullptr ? trace->now_us() : 0.0;
       if (trace != nullptr) trace->complete("halo_exchange", "comm", t0, t1 - t0);
-      fsaic::spmv(blk.matrix, x_ext, y.block(p));
+      ops_[static_cast<std::size_t>(p)].spmv_all(
+          blk.matrix, blk.interior_rows, blk.boundary_rows, x_ext, y.block(p));
       if (trace != nullptr) {
         trace->complete("spmv_local", "compute", t1, trace->now_us() - t1);
       }
@@ -350,6 +361,30 @@ void dist_xpby(const DistVector& x, value_t beta, DistVector& y,
   FSAIC_REQUIRE(x.layout() == y.layout(), "xpby layout mismatch");
   resolve_executor(exec).parallel_ranks(x.nranks(), [&](rank_t p) {
     xpby(x.block(p), beta, y.block(p));
+  });
+}
+
+void dist_fused_cg_sweep(const DistVector& u, const DistVector& w, value_t beta,
+                         value_t malpha, DistVector& p, DistVector& s,
+                         DistVector& r, Executor* exec) {
+  FSAIC_REQUIRE(u.layout() == p.layout() && w.layout() == s.layout() &&
+                    r.layout() == p.layout() && s.layout() == p.layout(),
+                "fused_cg_sweep layout mismatch");
+  resolve_executor(exec).parallel_ranks(u.nranks(), [&](rank_t rank) {
+    fused_cg_sweep(u.block(rank), w.block(rank), beta, malpha, p.block(rank),
+                   s.block(rank), r.block(rank));
+  });
+}
+
+void dist_fused_axpy_pair(value_t alpha, const DistVector& d, value_t malpha,
+                          const DistVector& q, DistVector& x, DistVector& r,
+                          Executor* exec) {
+  FSAIC_REQUIRE(d.layout() == x.layout() && q.layout() == r.layout() &&
+                    x.layout() == r.layout(),
+                "fused_axpy_pair layout mismatch");
+  resolve_executor(exec).parallel_ranks(d.nranks(), [&](rank_t p) {
+    fused_axpy_pair(alpha, d.block(p), malpha, q.block(p), x.block(p),
+                    r.block(p));
   });
 }
 

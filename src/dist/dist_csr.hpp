@@ -13,6 +13,7 @@
 #include "dist/dist_vector.hpp"
 #include "dist/layout.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/local_operator.hpp"
 
 namespace fsaic {
 
@@ -94,6 +95,27 @@ class DistCsr {
   void use_comm(const CommConfig& comm);
   [[nodiscard]] const CommConfig& comm_config() const { return comm_; }
 
+  /// Swap the rank-local kernel backend (sparse/local_operator.hpp).
+  /// distribute() starts from KernelConfig::from_env() — FSAIC_FORMAT
+  /// selects csr|sell process-wide — always at Double precision; Single
+  /// precision (float factor storage, double accumulation) is opt-in here
+  /// and meant for preconditioner factors only. Double-precision formats
+  /// are bit-identical: the SELL lanes accumulate each row in the CSR
+  /// reference order.
+  void use_kernel(const KernelConfig& kernel);
+  [[nodiscard]] const KernelConfig& kernel_config() const { return kernel_; }
+  /// Rank p's kernel realization (parallel to block(p)).
+  [[nodiscard]] const LocalOperator& local_op(rank_t p) const {
+    return ops_[static_cast<std::size_t>(p)];
+  }
+
+  /// Stored value slots including SELL padding, summed over ranks (== nnz
+  /// under the CSR format).
+  [[nodiscard]] offset_t padded_entries() const;
+  /// Padding overhead of the active format: padded_entries() / nnz()
+  /// (1.0 under CSR).
+  [[nodiscard]] double padding_ratio() const;
+
   /// y = A x as SPMD supersteps on `exec` (nullptr -> the process-wide
   /// default executor). Under a flat exchanger: two supersteps — every rank
   /// deposits its owned coefficients into the neighbors' halo mailboxes,
@@ -126,6 +148,10 @@ class DistCsr {
   Layout col_layout_;
   std::vector<RankBlock> blocks_;
   CommConfig comm_;
+  KernelConfig kernel_;
+  /// Per-rank kernel realizations, parallel to blocks_. Copies of a DistCsr
+  /// share the immutable SELL storage through the operators' shared_ptrs.
+  std::vector<LocalOperator> ops_;
   /// Mailboxes are synchronization state, not matrix data: copies of a
   /// DistCsr share one exchanger (operations on the same matrix are
   /// serialized by the superstep structure).
@@ -161,6 +187,19 @@ void dist_axpy(value_t alpha, const DistVector& x, DistVector& y,
 /// y = x + beta y, blockwise (no communication).
 void dist_xpby(const DistVector& x, value_t beta, DistVector& y,
                Executor* exec = nullptr);
+
+/// Fused pipelined-CG recurrence sweep, blockwise in ONE superstep:
+/// p = u + beta p; s = w + beta s; r += malpha s. Bit-identical to the
+/// dist_xpby/dist_xpby/dist_axpy triple it replaces (see
+/// sparse/vector_ops.hpp), two supersteps and two memory passes cheaper.
+void dist_fused_cg_sweep(const DistVector& u, const DistVector& w, value_t beta,
+                         value_t malpha, DistVector& p, DistVector& s,
+                         DistVector& r, Executor* exec = nullptr);
+
+/// Fused AXPY pair in one superstep: x += alpha d; r += malpha q.
+void dist_fused_axpy_pair(value_t alpha, const DistVector& d, value_t malpha,
+                          const DistVector& q, DistVector& x, DistVector& r,
+                          Executor* exec = nullptr);
 
 /// y = x (blockwise copy).
 void dist_copy(const DistVector& x, DistVector& y, Executor* exec = nullptr);

@@ -94,8 +94,8 @@ const RunRecord& ExperimentRunner::run(const SuiteEntry& entry,
   const SolveResult solve = pcg_solve(sys.a_dist, sys.b, x, *precond, config_.solve);
   const auto t_done = clock::now();
 
-  const CostModel cost_model(config_.machine,
-                             CostModelOptions{config_.threads_per_rank});
+  const CostModel cost_model(
+      config_.machine, CostModelOptions{.threads_per_rank = config_.threads_per_rank});
   const PcgIterationCost iter_cost =
       cost_model.pcg_iteration_cost(sys.a_dist, build.g_dist, build.gt_dist);
 

@@ -196,10 +196,15 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
     // p = u + beta p;  s = w + beta s;  r -= alpha s. The x update is
     // deferred until past the lagged convergence check below: if the
     // previous iteration turns out to be the converged one, x must keep its
-    // value as of that iteration.
-    dist_xpby(u, beta, p_dir, exec);
-    dist_xpby(w, beta, s, exec);
-    dist_axpy(-alpha, s, r, exec);
+    // value as of that iteration. The fused sweep runs the same three
+    // element-wise updates in one pass and one superstep — bit-identical.
+    if (options.fused_sweeps) {
+      dist_fused_cg_sweep(u, w, beta, -alpha, p_dir, s, r, exec);
+    } else {
+      dist_xpby(u, beta, p_dir, exec);
+      dist_xpby(w, beta, s, exec);
+      dist_axpy(-alpha, s, r, exec);
+    }
 
     {
       ScopedPhase phase(trace, "precond_apply", "solve");

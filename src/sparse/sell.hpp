@@ -4,10 +4,30 @@
 // chunks of C rows, and each chunk is stored column-major padded to its
 // longest row — so a SIMD lane processes one row and the value/index loads
 // are unit-stride. The paper's cache analysis targets CSR (what its code
-// uses); this format is provided for the SpMV-kernel benches and to document
+// uses); this format backs the `--format sell` solve path and documents
 // that the FSAIE extension's benefit — fewer x-line fetches — is format-
 // independent: the x-gather locality is a property of the *pattern*, not of
 // the storage of the matrix entries.
+//
+// A SellMatrix can be built over a subset of the source rows (the
+// interior/boundary split of the overlap-capable distributed SpMV): output
+// entries keep the source row numbering, rows outside the subset are left
+// untouched by spmv — exactly the contract of the scalar row-subset kernel
+// it replaces.
+//
+// Bit-exactness: each SIMD lane accumulates one row's products in ascending
+// column order from 0.0, the same order as the scalar CSR kernel; padding
+// slots contribute `0.0 * x[0]` (exact under IEEE addition for finite sums).
+// The double-precision spmv therefore reproduces the CSR reference to the
+// last bit, which is what lets the solvers swap formats without perturbing
+// residual histories.
+//
+// Transpose note: `spmv_transpose` is provided for completeness (and the
+// bench/tests), but its scatter order follows the chunk layout, so y is NOT
+// bit-identical to the CSR scatter kernel once sigma-sorting permutes rows.
+// The solve path never relies on it: the preconditioner applies G^T through
+// a pre-transposed factor build (DistCsr of transpose(G)), keeping the G^T
+// application a row-major SpMV with deterministic per-row sums.
 #pragma once
 
 #include <span>
@@ -21,17 +41,33 @@ class SellMatrix {
  public:
   /// Convert from CSR. `chunk` (C) is the SIMD width to pad for; `sigma` is
   /// the sorting-window size in rows (a multiple of `chunk`; sigma == chunk
-  /// disables reordering beyond the chunk).
-  SellMatrix(const CsrMatrix& a, index_t chunk = 8, index_t sigma = 64);
+  /// disables reordering beyond the chunk). `single_precision` additionally
+  /// stores a float32 copy of the values for the mixed-precision apply.
+  explicit SellMatrix(const CsrMatrix& a, index_t chunk = 8, index_t sigma = 64,
+                      bool single_precision = false);
 
+  /// Same, over a subset of the source rows (ascending, duplicate-free).
+  /// spmv writes only those rows of y; the rest are untouched.
+  SellMatrix(const CsrMatrix& a, std::span<const index_t> rows, index_t chunk,
+             index_t sigma, bool single_precision = false);
+
+  /// Output dimension of spmv (rows of the SOURCE matrix, not the subset).
   [[nodiscard]] index_t rows() const { return rows_; }
   [[nodiscard]] index_t cols() const { return cols_; }
   [[nodiscard]] index_t chunk() const { return chunk_; }
+  /// Rows actually stored (== rows() unless built over a subset).
+  [[nodiscard]] index_t stored_rows() const { return stored_rows_; }
+  [[nodiscard]] index_t num_chunks() const {
+    return static_cast<index_t>(chunk_width_.size());
+  }
+  [[nodiscard]] bool has_single_precision() const { return single_; }
 
-  /// Stored slots including padding (>= nnz of the source).
+  /// Stored slots including padding (>= nnz of the stored rows).
   [[nodiscard]] offset_t padded_size() const {
     return static_cast<offset_t>(values_.size());
   }
+  /// Nonzeros of the stored rows (excluding padding).
+  [[nodiscard]] offset_t source_nnz() const { return source_nnz_; }
   /// Padding overhead: padded slots / source nnz.
   [[nodiscard]] double padding_ratio() const {
     return source_nnz_ > 0
@@ -39,16 +75,52 @@ class SellMatrix {
                : 1.0;
   }
 
-  /// y = A x (rows in ORIGINAL numbering: the row permutation applied during
-  /// construction is undone on output).
+  /// Chunk structure, exposed for the cachesim access-stream replay:
+  /// slot = chunk_ptr()[c] + j * chunk + lane, j < chunk_widths()[c].
+  [[nodiscard]] std::span<const offset_t> chunk_ptr() const { return chunk_ptr_; }
+  [[nodiscard]] std::span<const index_t> chunk_widths() const {
+    return chunk_width_;
+  }
+  [[nodiscard]] std::span<const index_t> col_indices() const { return col_idx_; }
+  /// row_perm()[stored_row] = source row id.
+  [[nodiscard]] std::span<const index_t> row_perm() const { return perm_; }
+
+  /// y = A x over the stored rows (in SOURCE numbering: the row permutation
+  /// applied during construction is undone on output). Bit-identical to the
+  /// scalar CSR kernel row by row.
   void spmv(std::span<const value_t> x, std::span<value_t> y) const;
 
+  /// Same, reading float32 values and accumulating in double (requires
+  /// single_precision construction).
+  void spmv_single(std::span<const value_t> x, std::span<value_t> y) const;
+
+  /// y = A^T x scattered over the stored rows. y must be zero-initialized by
+  /// the caller (matching the ops.cpp transpose kernel, which fills y
+  /// itself; here the subset semantics make caller-side init the only
+  /// correct contract). Scatter order is the chunk layout, so rounding may
+  /// differ from the CSR transpose kernel once rows are sigma-sorted.
+  void spmv_transpose(std::span<const value_t> x, std::span<value_t> y) const;
+
  private:
+  template <typename Values>
+  void spmv_impl(const Values& values, std::span<const value_t> x,
+                 std::span<value_t> y) const;
+  /// Kernel instantiated per compile-time chunk width C: the lane loop has a
+  /// constant trip count, so it unrolls into straight-line SIMD code instead
+  /// of a runtime-length loop.
+  template <index_t C, typename Values>
+  void spmv_fixed(const Values& values, std::span<const value_t> x,
+                  std::span<value_t> y) const;
+
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t chunk_ = 0;
+  index_t stored_rows_ = 0;
+  /// Whether values_f_ was populated at construction (kept as a flag so an
+  /// empty row subset still reports the precision it was built with).
+  bool single_ = false;
   offset_t source_nnz_ = 0;
-  /// perm_[stored_row] = original row id.
+  /// perm_[stored_row] = source row id.
   std::vector<index_t> perm_;
   /// Chunk start offsets into values_/col_idx_ (num_chunks + 1).
   std::vector<offset_t> chunk_ptr_;
@@ -57,6 +129,8 @@ class SellMatrix {
   /// Column-major within chunk: slot = chunk_ptr_[c] + j * chunk + lane.
   std::vector<index_t> col_idx_;
   std::vector<value_t> values_;
+  /// float32 copy of values_ (mixed-precision apply); empty unless requested.
+  std::vector<float> values_f_;
 };
 
 }  // namespace fsaic

@@ -30,6 +30,47 @@ inline void xpby(std::span<const value_t> x, value_t beta, std::span<value_t> y)
   }
 }
 
+/// The fused pipelined-CG recurrence sweep: a single pass computing
+///
+///   p = u + beta * p;   s = w + beta * s;   r += malpha * s
+///
+/// (malpha is the pre-negated step, matching the historic
+/// axpy(-alpha, s, r) call). Each element evaluates the exact expressions
+/// of the three separate xpby/xpby/axpy sweeps in the same order, so the
+/// fusion is bit-identical — it only removes two full memory passes and two
+/// superstep barriers per iteration.
+inline void fused_cg_sweep(std::span<const value_t> u, std::span<const value_t> w,
+                           value_t beta, value_t malpha, std::span<value_t> p,
+                           std::span<value_t> s, std::span<value_t> r) {
+  FSAIC_REQUIRE(u.size() == p.size() && w.size() == s.size() &&
+                    r.size() == p.size() && s.size() == p.size(),
+                "fused_cg_sweep size mismatch");
+  const std::size_t n = u.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = u[i] + beta * p[i];
+    const value_t si = w[i] + beta * s[i];
+    s[i] = si;
+    r[i] += malpha * si;
+  }
+}
+
+/// Fused pair of AXPYs sharing one pass: x += alpha * d; r += malpha * q.
+/// Element-wise identical to two separate axpy calls.
+inline void fused_axpy_pair(value_t alpha, std::span<const value_t> d,
+                            value_t malpha, std::span<const value_t> q,
+                            std::span<value_t> x, std::span<value_t> r) {
+  FSAIC_REQUIRE(d.size() == x.size() && q.size() == r.size() &&
+                    x.size() == r.size(),
+                "fused_axpy_pair size mismatch");
+  const std::size_t n = d.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += alpha * d[i];
+    r[i] += malpha * q[i];
+  }
+}
+
 /// Euclidean inner product.
 [[nodiscard]] inline value_t dot(std::span<const value_t> x,
                                  std::span<const value_t> y) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
 
 namespace fsaic {
@@ -68,6 +71,158 @@ TEST(SellTest, PaddingRatioIsOneForUniformRows) {
   // Rows near the boundary are shorter; use sigma=rows to pack them together.
   const SellMatrix sell(a, 8, 64);
   EXPECT_LT(sell.padding_ratio(), 1.2);
+}
+
+TEST(SellTest, SpmvIsBitwiseIdenticalToCsr) {
+  // The solve-path contract: double-precision SELL accumulates each row in
+  // the CSR order, so the result matches to the last bit — EXPECT_EQ on
+  // doubles, not a tolerance.
+  const auto a = random_laplacian(400, 7, 0.1, 21);
+  const SellMatrix sell(a, 8, 64);
+  const auto x = random_vec(a.cols(), 22);
+  std::vector<value_t> y_csr(static_cast<std::size_t>(a.rows()));
+  std::vector<value_t> y_sell(static_cast<std::size_t>(a.rows()));
+  spmv(a, x, y_csr);
+  sell.spmv(x, y_sell);
+  for (std::size_t i = 0; i < y_csr.size(); ++i) {
+    ASSERT_EQ(y_sell[i], y_csr[i]) << "row " << i;
+  }
+}
+
+TEST(SellTest, HandlesRowLongerThanSigmaWindow) {
+  // One dense row among short rows: its length exceeds every other row in
+  // its sigma window, maximizing padding skew within the chunk.
+  CooBuilder builder(24, 24);
+  for (index_t j = 0; j < 24; ++j) builder.add(5, j, 1.0 + j);
+  for (index_t i = 0; i < 24; ++i) builder.add(i, i, 3.0);
+  const auto a = builder.to_csr();
+  expect_same_spmv(a, 8, 8, 6);   // dense row cannot escape its window
+  expect_same_spmv(a, 8, 24, 7);  // global window sorts it to the front
+}
+
+TEST(SellTest, PaddingRatioIsExactOnHandBuiltMatrix) {
+  // 5 rows, chunk 4, sigma 4: row lengths {3,1,1,1,2}. First chunk sorts to
+  // {3,1,1,1} -> width 3 -> 12 slots; second chunk holds {2} -> width 2 ->
+  // 8 slots (padded to 4 lanes). nnz = 8, padded = 20.
+  CooBuilder builder(5, 5);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 2, 1.0);
+  builder.add(0, 4, 1.0);
+  for (index_t i = 1; i < 4; ++i) builder.add(i, i, 1.0);
+  builder.add(4, 3, 1.0);
+  builder.add(4, 4, 1.0);
+  const auto a = builder.to_csr();
+  const SellMatrix sell(a, 4, 4);
+  EXPECT_EQ(sell.source_nnz(), 8);
+  EXPECT_EQ(sell.padded_size(), 20);
+  EXPECT_DOUBLE_EQ(sell.padding_ratio(), 20.0 / 8.0);
+  EXPECT_EQ(sell.num_chunks(), 2);
+  EXPECT_EQ(sell.stored_rows(), 5);
+}
+
+TEST(SellTest, SubsetSpmvWritesOnlySubsetRows) {
+  const auto a = poisson2d(8, 8);
+  const std::vector<index_t> rows{3, 7, 20, 21, 22, 63};
+  const SellMatrix sell(a, 4, 8, /*single_precision=*/false);
+  const SellMatrix subset(a, rows, 4, 8);
+  const auto x = random_vec(a.cols(), 8);
+  std::vector<value_t> y_full(static_cast<std::size_t>(a.rows()));
+  std::vector<value_t> y_sub(static_cast<std::size_t>(a.rows()), -99.0);
+  spmv(a, x, y_full);
+  subset.spmv(x, y_sub);
+  std::size_t next = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    if (next < rows.size() && rows[next] == i) {
+      EXPECT_EQ(y_sub[static_cast<std::size_t>(i)],
+                y_full[static_cast<std::size_t>(i)]);
+      ++next;
+    } else {
+      EXPECT_EQ(y_sub[static_cast<std::size_t>(i)], -99.0) << "row " << i
+          << " must be untouched";
+    }
+  }
+  EXPECT_EQ(subset.stored_rows(), static_cast<index_t>(rows.size()));
+  EXPECT_EQ(sell.stored_rows(), a.rows());
+}
+
+TEST(SellTest, SubsetRejectsUnsortedOrOutOfRangeRows) {
+  const auto a = poisson2d(4, 4);
+  const std::vector<index_t> descending{3, 1};
+  const std::vector<index_t> duplicate{2, 2};
+  const std::vector<index_t> out_of_range{0, 16};
+  EXPECT_THROW((SellMatrix{a, descending, 4, 4}), Error);
+  EXPECT_THROW((SellMatrix{a, duplicate, 4, 4}), Error);
+  EXPECT_THROW((SellMatrix{a, out_of_range, 4, 4}), Error);
+}
+
+TEST(SellTest, TransposeMatchesCsrTransposeNumerically) {
+  // Not bitwise (the scatter order follows the chunk layout), but the sums
+  // agree to rounding.
+  const auto a = random_laplacian(200, 5, 0.1, 31);
+  const SellMatrix sell(a, 8, 64);
+  const auto x = random_vec(a.rows(), 32);
+  std::vector<value_t> y_csr(static_cast<std::size_t>(a.cols()));
+  std::vector<value_t> y_sell(static_cast<std::size_t>(a.cols()), 0.0);
+  spmv_transpose(a, x, y_csr);
+  sell.spmv_transpose(x, y_sell);
+  for (std::size_t i = 0; i < y_csr.size(); ++i) {
+    ASSERT_NEAR(y_sell[i], y_csr[i], 1e-10) << "col " << i;
+  }
+}
+
+TEST(SellTest, TransposeOverSubsetSumsOnlySubsetRows) {
+  // A^T x restricted to a row subset equals the full transpose applied to
+  // x masked to the subset.
+  const auto a = poisson2d(6, 6);
+  const std::vector<index_t> rows{0, 5, 17, 18, 35};
+  const SellMatrix subset(a, 4, 8, false);
+  const SellMatrix sub(a, rows, 4, 8);
+  const auto x = random_vec(a.rows(), 33);
+  auto x_masked = std::vector<value_t>(x.size(), 0.0);
+  for (index_t r : rows) {
+    x_masked[static_cast<std::size_t>(r)] = x[static_cast<std::size_t>(r)];
+  }
+  std::vector<value_t> y_ref(static_cast<std::size_t>(a.cols()));
+  std::vector<value_t> y_sub(static_cast<std::size_t>(a.cols()), 0.0);
+  spmv_transpose(a, x_masked, y_ref);
+  sub.spmv_transpose(x, y_sub);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_NEAR(y_sub[i], y_ref[i], 1e-12) << "col " << i;
+  }
+}
+
+TEST(SellTest, TransposeOnEmptyRowsMatrixIsZero) {
+  const auto p = SparsityPattern::from_rows(4, 4, {{}, {}, {}, {}});
+  const CsrMatrix a{p};
+  const SellMatrix sell(a, 4, 4);
+  const std::vector<value_t> x(4, 1.0);
+  std::vector<value_t> y(4, 0.0);
+  sell.spmv_transpose(x, y);
+  for (const auto v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SellTest, SinglePrecisionStorageStaysClose) {
+  const auto a = random_spd(120, 4, 41);
+  const SellMatrix sell(a, 8, 64, /*single_precision=*/true);
+  ASSERT_TRUE(sell.has_single_precision());
+  const auto x = random_vec(a.cols(), 42);
+  std::vector<value_t> y_d(static_cast<std::size_t>(a.rows()));
+  std::vector<value_t> y_f(static_cast<std::size_t>(a.rows()));
+  sell.spmv(x, y_d);
+  sell.spmv_single(x, y_f);
+  for (std::size_t i = 0; i < y_d.size(); ++i) {
+    // float32 storage, double accumulation: ~1e-7 relative drift.
+    ASSERT_NEAR(y_f[i], y_d[i], 1e-5 * (1.0 + std::abs(y_d[i]))) << "row " << i;
+  }
+}
+
+TEST(SellTest, SpmvSingleWithoutStorageThrows) {
+  const auto a = poisson2d(4, 4);
+  const SellMatrix sell(a, 4, 4);
+  EXPECT_FALSE(sell.has_single_precision());
+  const std::vector<value_t> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<value_t> y(static_cast<std::size_t>(a.rows()));
+  EXPECT_THROW(sell.spmv_single(x, y), Error);
 }
 
 TEST(SellTest, RejectsBadParameters) {

@@ -23,6 +23,17 @@
 //         --ranks-per-node N  simulated ranks per node   (default 1; the
 //                             FSAIC_RANKS_PER_NODE env var sets the default)
 //         --tol T             relative tolerance         (default 1e-8)
+//         --format F          csr|sell rank-local kernel backend (default
+//                             csr; FSAIC_FORMAT sets the default). sell is
+//                             the SELL-C-sigma SIMD layout — residual
+//                             histories stay bit-identical in double
+//         --precision P       double|single factor storage (default double).
+//                             single stores G and G^T in float32 (double
+//                             accumulation, CG vectors stay double); the
+//                             system matrix always stays double
+//         --separate-sweeps   run the historic separate AXPY/XPBY sweeps
+//                             instead of the fused single-pass kernels
+//                             (bit-identical; for A/B benchmarking)
 //         --pipelined         Chronopoulos-Gear CG (1 allreduce/iter)
 //         --gmres             restarted GMRES(50) instead of CG
 //         --rcm               apply RCM reordering before partitioning
@@ -141,7 +152,8 @@ Args parse_args(int argc, char** argv, int first) {
       // Flags with values: everything except the boolean switches.
       const bool boolean = a == "--static" || a == "--pipelined" ||
                            a == "--rcm" || a == "--gmres" ||
-                           a == "--no-batch" || a == "--once";
+                           a == "--no-batch" || a == "--once" ||
+                           a == "--separate-sweeps";
       std::string value;
       if (!boolean && i + 1 < argc) {
         value = argv[++i];
@@ -244,8 +256,22 @@ int cmd_solve(const Args& args) {
               << "\n";
   }
 
+  // Kernel backend: environment first (FSAIC_FORMAT), explicit flags win.
+  // Mixed precision is factor-only — the system matrix A always stays at
+  // double, so the CG recurrence itself is untouched.
+  KernelConfig kernel = KernelConfig::from_env();
+  if (args.has("format")) {
+    kernel.format = operator_format_from_string(args.get("format", "csr"));
+  }
+  KernelConfig factor_kernel = kernel;
+  if (args.has("precision")) {
+    factor_kernel.precision =
+        factor_precision_from_string(args.get("precision", "double"));
+  }
+
   const PartitionedSystem sys = partition_system(a, nranks);
-  const DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout, comm);
+  DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout, comm);
+  a_dist.use_kernel(kernel);
   std::cout << args.positional[0] << ": " << a.rows() << " rows, " << a.nnz()
             << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
             << ")\n";
@@ -363,10 +389,29 @@ int cmd_solve(const Args& args) {
   }
 
   precond->set_trace(trace);
+  // Swap the factors onto the requested kernel backend (the system matrix
+  // was switched right after distribute; only the factorized family carries
+  // its own DistCsr operators).
+  double factor_padding = 1.0;
+  if (auto* fp = dynamic_cast<FactorizedPreconditioner*>(precond.get())) {
+    fp->use_kernel(factor_kernel);
+    factor_padding = fp->padding_ratio();
+  }
+  if (kernel.format == OperatorFormat::Sell) {
+    std::cout << "kernel backend sell (C=" << kernel.sell_chunk
+              << ", sigma=" << kernel.sell_sigma << "): padding ratio A "
+              << strformat("%.3f", a_dist.padding_ratio()) << ", factors "
+              << strformat("%.3f", factor_padding) << "\n";
+  }
+  if (factor_kernel.precision == FactorPrecision::Single) {
+    std::cout << "mixed precision: factors stored float32, CG vectors and A "
+                 "stay double\n";
+  }
+  const bool fused = !args.has("separate-sweeps");
   DistVector x(sys.layout);
   const SolveOptions solve_opts{.rel_tol = tol, .max_iterations = 100000,
                                 .sink = sinkp, .trace = trace,
-                                .exec = exec.get()};
+                                .exec = exec.get(), .fused_sweeps = fused};
   const SolveResult r =
       args.has("gmres")
           ? gmres_solve(a_dist, b, x, *precond,
@@ -432,6 +477,11 @@ int cmd_solve(const Args& args) {
     rec["ranks_per_node"] = comm.ranks_per_node;
     rec["comm_intra_bytes"] = r.comm.halo_intra_bytes;
     rec["comm_inter_bytes"] = r.comm.halo_inter_bytes;
+    rec["format"] = to_string(kernel.format);
+    rec["precision"] = to_string(factor_kernel.precision);
+    rec["padding_ratio"] = a_dist.padding_ratio();
+    rec["factor_padding_ratio"] = factor_padding;
+    rec["fused_sweeps"] = fused;
     rec["exec_threads"] = exec->nthreads();
     rec["exec_supersteps"] = static_cast<std::int64_t>(exec->stats().supersteps);
     rec["converged"] = r.converged;
