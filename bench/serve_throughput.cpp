@@ -26,8 +26,17 @@
 //                       (default "thermal2:3,ecology2:2,parabolic_fem:1")
 //   FSAIC_SERVE_BENCH_DEADLINE_PCT   % of requests with deadline_ms = 0
 //                                    (default 5)
+//   FSAIC_SERVE_BENCH_CACHE          factor-cache capacity    (default 8)
+//   FSAIC_SERVE_BENCH_STORE          disk-tier store dir (default none; set
+//                                    to exercise the warm-restart path —
+//                                    disk reloads count as cache.disk_hits)
 //   FSAIC_SERVE_BENCH_OUT            output path (default BENCH_serve.json)
 //   FSAIC_REPORT                     also append a one-line JSONL summary
+//
+// Priorities are drawn from a second seeded stream so the workload digest
+// (id, operator, RHS seed, deadline flag) is unchanged from artifacts
+// recorded before priority lanes existed — bench_diff's enforced gates
+// stay comparable against the committed baseline.
 //
 // BENCH_serve.json schema: see docs/service.md ("Serving performance").
 #include <algorithm>
@@ -154,6 +163,9 @@ int main() {
       env_double("FSAIC_SERVE_BENCH_DEADLINE_PCT", 5.0);
   const std::string mix_spec = env_string(
       "FSAIC_SERVE_BENCH_MIX", "thermal2:3,ecology2:2,parabolic_fem:1");
+  const auto cache_capacity =
+      static_cast<std::size_t>(env_double("FSAIC_SERVE_BENCH_CACHE", 8));
+  const std::string store_dir = env_string("FSAIC_SERVE_BENCH_STORE", "");
   const std::string out_path =
       env_string("FSAIC_SERVE_BENCH_OUT", "BENCH_serve.json");
   const std::vector<MixEntry> mix = parse_mix(mix_spec);
@@ -170,6 +182,9 @@ int main() {
   for (const auto& m : mix) mix_total += m.weight;
 
   Rng rng(seed);
+  // Separate stream for the priority draw: it must not perturb the workload
+  // stream, or the digest would diverge from pre-priority baselines.
+  Rng prio_rng(seed ^ 0x9e3779b97f4a7c15ull);
   std::vector<SolveRequest> workload;
   std::vector<double> arrival_s;  // offset of each submission from t0
   workload.reserve(static_cast<std::size_t>(n_requests));
@@ -194,6 +209,9 @@ int main() {
     // independent of scheduling, so admission outcomes stay reproducible.
     const bool expired = rng.next_uniform() * 100.0 < deadline_pct;
     if (expired) req.deadline_ms = 0.0;
+    // Priority shuffles scheduling order only; per-request residuals are a
+    // function of (operator, RHS) alone, so the residual digest is immune.
+    req.priority = static_cast<int>(prio_rng.next_index(3));
     req.want_history = true;  // residual digests need the full history
     t_arrive += -std::log(1.0 - rng.next_uniform()) / rate;
     arrival_s.push_back(t_arrive);
@@ -215,7 +233,8 @@ int main() {
   // Capacity above the request count: "queue_full" would make admission
   // depend on drain speed, breaking run-to-run reproducibility.
   opts.queue_capacity = static_cast<std::size_t>(n_requests) + 1;
-  opts.cache_capacity = 8;
+  opts.cache_capacity = cache_capacity;
+  opts.store_dir = store_dir;
 
   const auto t0 = std::chrono::steady_clock::now();
   double wall_s = 0.0;
@@ -248,8 +267,10 @@ int main() {
   std::int64_t completed = 0;
   std::int64_t rejected_deadline = 0;
   std::int64_t rejected_queue_full = 0;
+  std::int64_t rejected_predicted = 0;
   std::int64_t errors = 0;
   std::int64_t cache_hits = 0;
+  std::int64_t cache_disk_hits = 0;
   std::int64_t cache_misses = 0;
   std::map<int, std::int64_t> batch_sizes;
   std::vector<double> queue_us;
@@ -262,6 +283,7 @@ int main() {
     admission_digest.str(r.reason);
     if (r.status == "rejected") {
       if (r.reason == "deadline") ++rejected_deadline;
+      if (r.reason == "deadline_predicted") ++rejected_predicted;
       if (r.reason == "queue_full") ++rejected_queue_full;
       continue;
     }
@@ -271,6 +293,7 @@ int main() {
     }
     ++completed;
     if (r.cache == "hit") ++cache_hits;
+    if (r.cache == "disk") ++cache_disk_hits;
     if (r.cache == "miss") ++cache_misses;
     ++batch_sizes[r.batch_size];
     queue_us.push_back(r.queue_us);
@@ -293,13 +316,17 @@ int main() {
   config["workers"] = workers;
   config["mix"] = mix_spec;
   config["deadline_pct"] = deadline_pct;
+  config["cache_capacity"] = static_cast<std::int64_t>(cache_capacity);
+  if (!store_dir.empty()) config["store"] = store_dir;
   doc["config"] = std::move(config);
   JsonValue reqs = JsonValue::object();
   reqs["submitted"] = n_requests;
-  reqs["admitted"] = n_requests - rejected_deadline - rejected_queue_full;
+  reqs["admitted"] = n_requests - rejected_deadline - rejected_queue_full -
+                     rejected_predicted;
   reqs["completed"] = completed;
   reqs["errors"] = errors;
   reqs["rejected_deadline"] = rejected_deadline;
+  reqs["rejected_predicted"] = rejected_predicted;
   reqs["rejected_queue_full"] = rejected_queue_full;
   doc["requests"] = std::move(reqs);
   doc["wall_seconds"] = wall_s;
@@ -312,11 +339,13 @@ int main() {
   doc["latency"] = std::move(latency);
   JsonValue cache = JsonValue::object();
   cache["hits"] = cache_hits;
+  cache["disk_hits"] = cache_disk_hits;
   cache["misses"] = cache_misses;
-  cache["hit_rate"] = completed == 0
-                          ? 0.0
-                          : static_cast<double>(cache_hits) /
-                                static_cast<double>(cache_hits + cache_misses);
+  cache["hit_rate"] =
+      completed == 0 ? 0.0
+                     : static_cast<double>(cache_hits) /
+                           static_cast<double>(cache_hits + cache_disk_hits +
+                                               cache_misses);
   doc["cache"] = std::move(cache);
   JsonValue batches = JsonValue::object();
   for (const auto& [size, count] : batch_sizes) {
@@ -344,11 +373,14 @@ int main() {
       doc["latency"]["total"]["p95_us"].as_double() / 1e3,
       doc["latency"]["total"]["p99_us"].as_double() / 1e3);
   std::cout << strformat(
-      "  cache: %lld hits / %lld misses (hit rate %.2f); rejected %lld\n",
+      "  cache: %lld hits / %lld disk / %lld misses (hit rate %.2f); "
+      "rejected %lld\n",
       static_cast<long long>(cache_hits),
+      static_cast<long long>(cache_disk_hits),
       static_cast<long long>(cache_misses),
       doc["cache"]["hit_rate"].as_double(),
-      static_cast<long long>(rejected_deadline + rejected_queue_full));
+      static_cast<long long>(rejected_deadline + rejected_predicted +
+                             rejected_queue_full));
   std::cout << "  digests: workload " << workload_digest.hex()
             << ", admission " << admission_digest.hex() << ", residuals "
             << residual_digest.hex() << "\n";
@@ -370,9 +402,11 @@ int main() {
 
   // The replay itself is the acceptance check: every request answered, no
   // solver errors, and per-request cache accounting adds up.
-  if (errors != 0 || completed + rejected_deadline + rejected_queue_full !=
-                         n_requests ||
-      cache_hits + cache_misses != completed) {
+  if (errors != 0 ||
+      completed + rejected_deadline + rejected_predicted +
+              rejected_queue_full !=
+          n_requests ||
+      cache_hits + cache_disk_hits + cache_misses != completed) {
     std::cout << "FAILED: inconsistent replay accounting\n";
     return 1;
   }

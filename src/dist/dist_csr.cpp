@@ -11,6 +11,62 @@
 
 namespace fsaic {
 
+namespace {
+
+/// SELL chunk widths the autotuner scores — exactly the compile-time
+/// specializations of SellMatrix::spmv (anything else takes the slower
+/// generic shape, so there is no point padding for it).
+constexpr index_t kAutotuneChunks[] = {4, 8, 16, 32};
+/// Padding overhead beyond which the SIMD format stops paying for its
+/// wasted loads and the scalar CSR reference wins.
+constexpr double kAutotunePaddingLimit = 1.25;
+
+/// Resolve `autotune` into a concrete format/chunk for this matrix: the
+/// least-padded candidate chunk over every block's interior+boundary row
+/// subsets (the exact SellMatrix builds use_kernel performs), ties to the
+/// wider chunk; Csr when even the best candidate pads more than the limit.
+KernelConfig resolve_autotune(const KernelConfig& requested,
+                              std::span<const RankBlock> blocks) {
+  KernelConfig resolved = requested;
+  resolved.autotune = false;
+  offset_t nnz = 0;
+  for (const auto& blk : blocks) nnz += blk.matrix.nnz();
+  if (nnz == 0) {
+    resolved.format = OperatorFormat::Csr;
+    return resolved;
+  }
+  index_t best_chunk = 0;
+  offset_t best_padded = 0;
+  for (const index_t chunk : kAutotuneChunks) {
+    const index_t sigma =
+        std::max(chunk, requested.sell_sigma / chunk * chunk);
+    offset_t padded = 0;
+    for (const auto& blk : blocks) {
+      padded += sell_padded_entries(blk.matrix, blk.interior_rows, chunk, sigma);
+      padded += sell_padded_entries(blk.matrix, blk.boundary_rows, chunk, sigma);
+    }
+    // `<=` prefers the widest chunk among equals: same stored slots, more
+    // SIMD lanes per iteration.
+    if (best_chunk == 0 || padded <= best_padded) {
+      best_chunk = chunk;
+      best_padded = padded;
+    }
+  }
+  const double ratio =
+      static_cast<double>(best_padded) / static_cast<double>(nnz);
+  if (ratio > kAutotunePaddingLimit) {
+    resolved.format = OperatorFormat::Csr;
+  } else {
+    resolved.format = OperatorFormat::Sell;
+    resolved.sell_chunk = best_chunk;
+    resolved.sell_sigma =
+        std::max(best_chunk, requested.sell_sigma / best_chunk * best_chunk);
+  }
+  return resolved;
+}
+
+}  // namespace
+
 DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
   return distribute(global, std::move(layout), CommConfig::from_env());
 }
@@ -128,7 +184,7 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout,
 }
 
 void DistCsr::use_kernel(const KernelConfig& kernel) {
-  kernel_ = kernel;
+  kernel_ = kernel.autotune ? resolve_autotune(kernel, blocks_) : kernel;
   ops_.clear();
   ops_.reserve(blocks_.size());
   for (const auto& blk : blocks_) {

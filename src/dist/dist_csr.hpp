@@ -97,11 +97,14 @@ class DistCsr {
 
   /// Swap the rank-local kernel backend (sparse/local_operator.hpp).
   /// distribute() starts from KernelConfig::from_env() — FSAIC_FORMAT
-  /// selects csr|sell process-wide — always at Double precision; Single
-  /// precision (float factor storage, double accumulation) is opt-in here
-  /// and meant for preconditioner factors only. Double-precision formats
-  /// are bit-identical: the SELL lanes accumulate each row in the CSR
-  /// reference order.
+  /// selects csr|sell|auto process-wide — always at Double precision;
+  /// Single precision (float factor storage, double accumulation) is opt-in
+  /// here and meant for preconditioner factors only. A config with
+  /// `autotune` set is resolved per matrix before building: the least-padded
+  /// SELL chunk in {4, 8, 16, 32} wins, or Csr when every candidate pads
+  /// beyond 1.25x, and kernel_config() reports the resolved choice.
+  /// Double-precision formats are bit-identical: the SELL lanes accumulate
+  /// each row in the CSR reference order.
   void use_kernel(const KernelConfig& kernel);
   [[nodiscard]] const KernelConfig& kernel_config() const { return kernel_; }
   /// Rank p's kernel realization (parallel to block(p)).

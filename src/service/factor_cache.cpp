@@ -1,41 +1,167 @@
 #include "service/factor_cache.hpp"
 
+#include <filesystem>
+#include <optional>
+#include <utility>
+
 #include "common/error.hpp"
+#include "core/factor_io.hpp"
 
 namespace fsaic {
 
-std::shared_ptr<const CachedFactor> FactorCache::get(const Key& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return nullptr;
+std::string FactorCache::store_path(const Key& key) const {
+  if (store_dir_.empty()) return "";
+  const std::string name =
+      hash_hex(key.fingerprint.content_hash) + "-" +
+      hash_hex(fnv1a64(key.config.data(), key.config.size())) + ".factor";
+  return (std::filesystem::path(store_dir_) / name).string();
+}
+
+bool FactorCache::persist(const Key& key, const CachedFactor& factor) {
+  try {
+    namespace fs = std::filesystem;
+    fs::create_directories(store_dir_);
+    const std::string path = store_path(key);
+    // Unique temp name per write so concurrent spills of the same key never
+    // clobber each other mid-file; the rename is atomic, so readers only
+    // ever see complete files.
+    const std::string tmp =
+        path + ".tmp" + std::to_string(tmp_seq_.fetch_add(1));
+    save_factor(tmp, factor.g, factor.layout, key.fingerprint);
+    fs::rename(tmp, path);
+    return true;
+  } catch (const std::exception&) {
+    return false;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  return it->second.factor;
+}
+
+std::shared_ptr<const CachedFactor> FactorCache::get(const Key& key,
+                                                     CacheTier* tier) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      if (tier != nullptr) *tier = CacheTier::Ram;
+      return it->second.factor;
+    }
+    if (store_dir_.empty() || capacity_ == 0) {
+      ++stats_.misses;
+      if (tier != nullptr) *tier = CacheTier::Miss;
+      return nullptr;
+    }
+  }
+
+  // RAM miss with a store configured: attempt the disk tier outside the
+  // mutex so concurrent hits never wait on file IO.
+  const std::string path = store_path(key);
+  std::shared_ptr<const CachedFactor> loaded;
+  bool corrupt = false;
+  try {
+    if (std::filesystem::exists(path)) {
+      SavedFactor saved = load_factor(path);
+      if (saved.built_for.has_value() && *saved.built_for == key.fingerprint) {
+        loaded = std::make_shared<const CachedFactor>(
+            CachedFactor{std::move(saved.g), std::move(saved.layout), 0.0});
+      } else {
+        corrupt = true;  // foreign or fingerprint-less file at our address
+      }
+    }
+  } catch (const std::exception&) {
+    corrupt = true;  // truncated/garbled: degrade to a fresh build
+  }
+  if (corrupt) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+
+  std::optional<std::pair<Key, std::shared_ptr<const CachedFactor>>> spill;
+  std::shared_ptr<const CachedFactor> result;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (loaded == nullptr) {
+      if (corrupt) ++stats_.load_failures;
+      ++stats_.misses;
+      if (tier != nullptr) *tier = CacheTier::Miss;
+      return nullptr;
+    }
+    ++stats_.disk_hits;
+    if (tier != nullptr) *tier = CacheTier::Disk;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Raced with another loader/builder; the resident entry wins.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      result = it->second.factor;
+    } else {
+      if (entries_.size() >= capacity_) {
+        const Key victim = lru_.back();
+        const auto vit = entries_.find(victim);
+        if (!vit->second.persisted) {
+          spill = {victim, vit->second.factor};
+        }
+        entries_.erase(vit);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{loaded, lru_.begin(), /*persisted=*/true});
+      result = std::move(loaded);
+    }
+  }
+  if (spill.has_value() && persist(spill->first, *spill->second)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.spills;
+  }
+  return result;
 }
 
 void FactorCache::put(const Key& key,
                       std::shared_ptr<const CachedFactor> factor) {
   FSAIC_REQUIRE(factor != nullptr, "cannot cache a null factor");
-  const std::lock_guard<std::mutex> lock(mutex_);
   if (capacity_ == 0) return;
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.factor = std::move(factor);
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-    return;
+
+  // Write-through: persist before insertion (outside the mutex) so the
+  // entry survives process death even if it is never evicted.
+  bool persisted = false;
+  if (!store_dir_.empty()) {
+    persisted = persist(key, *factor);
+    if (persisted) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.spills;
+    }
   }
-  if (entries_.size() >= capacity_) {
-    const Key& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
-    ++stats_.evictions;
+
+  std::optional<std::pair<Key, std::shared_ptr<const CachedFactor>>> spill;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.factor = std::move(factor);
+      it->second.persisted = it->second.persisted || persisted;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      const Key victim = lru_.back();
+      const auto vit = entries_.find(victim);
+      if (!store_dir_.empty() && !vit->second.persisted) {
+        spill = {victim, vit->second.factor};
+      }
+      entries_.erase(vit);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(factor), lru_.begin(), persisted});
+    ++stats_.insertions;
   }
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{std::move(factor), lru_.begin()});
-  ++stats_.insertions;
+  // A victim whose write-through failed earlier gets one more chance on the
+  // way out; losing it entirely would only cost a rebuild, never correctness.
+  if (spill.has_value() && persist(spill->first, *spill->second)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.spills;
+  }
 }
 
 FactorCacheStats FactorCache::stats() const {

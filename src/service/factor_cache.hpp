@@ -1,16 +1,31 @@
-// LRU cache of built FSAI factors, keyed by matrix content.
+// Two-tier (RAM LRU + optional disk store) cache of built FSAI factors,
+// keyed by matrix content.
 //
 // Setup is the expensive phase of the FSAI family (see bench/amortization
 // and bench/setup_speed); a serving workload that sees the same operator
-// for many right-hand sides should pay it once. The key combines the
-// matrix fingerprint (dims + nnz + content hash of the partition-permuted
-// system) with a build-configuration string (method, filter, strategy,
-// rank count), so same-shape matrices with different values, or the same
-// matrix built with different options, occupy distinct slots. Entries are
-// shared_ptr so an evicted factor stays alive while an in-flight batch is
-// still solving with it.
+// for many right-hand sides should pay it once — across requests *and*
+// across process restarts. The key combines the matrix fingerprint (dims +
+// nnz + content hash of the partition-permuted system) with a
+// build-configuration string (method, filter, strategy, rank count), so
+// same-shape matrices with different values, or the same matrix built with
+// different options, occupy distinct slots. Entries are shared_ptr so an
+// evicted factor stays alive while an in-flight batch is still solving
+// with it.
+//
+// Disk tier (enabled by a non-empty `store_dir`): every insert is persisted
+// write-through as a fingerprint-addressed factor_io V2 file
+// (`<content_hash>-<config_hash>.factor`), so a restarted process reloads
+// factors the previous one built. A RAM miss transparently attempts the
+// store; a loaded file whose embedded fingerprint does not match the key,
+// or that is truncated/corrupt, is deleted and counted as a load failure —
+// the caller sees a plain miss and rebuilds fresh. All file IO happens
+// outside the cache mutex, so concurrent hits never wait on a spill.
+// Factor files round-trip doubles bit-exactly, so a disk-reloaded factor
+// produces residual histories identical to the RAM-cached and
+// freshly-built ones.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -29,21 +44,34 @@ namespace fsaic {
 struct CachedFactor {
   CsrMatrix g;
   Layout layout;
-  double build_seconds = 0.0;  ///< wall time of the original build
+  double build_seconds = 0.0;  ///< wall time of the original build (0 when
+                               ///< reloaded from the disk store)
+};
+
+/// Where a cache lookup was satisfied.
+enum class CacheTier {
+  Ram,   ///< resident in the LRU
+  Disk,  ///< reloaded from the factor store
+  Miss,  ///< not cached anywhere — caller builds fresh
 };
 
 struct FactorCacheStats {
-  std::int64_t hits = 0;
-  std::int64_t misses = 0;
+  std::int64_t hits = 0;       ///< RAM-tier hits
+  std::int64_t misses = 0;     ///< full misses (neither tier)
   std::int64_t insertions = 0;
   std::int64_t evictions = 0;
+  std::int64_t disk_hits = 0;      ///< RAM misses satisfied by the store
+  std::int64_t spills = 0;         ///< factor files written to the store
+  std::int64_t load_failures = 0;  ///< corrupt/mismatched store files
 };
 
 class FactorCache {
  public:
   /// `capacity` = maximum number of resident factors; 0 disables caching
-  /// (every get misses, puts are dropped).
-  explicit FactorCache(std::size_t capacity) : capacity_(capacity) {}
+  /// (every get misses, puts are dropped). A non-empty `store_dir` enables
+  /// the disk tier; the directory is created on first use.
+  explicit FactorCache(std::size_t capacity, std::string store_dir = "")
+      : capacity_(capacity), store_dir_(std::move(store_dir)) {}
 
   struct Key {
     MatrixFingerprint fingerprint;
@@ -59,31 +87,53 @@ class FactorCache {
     }
   };
 
-  /// Look up a factor; null on miss. A hit moves the entry to
-  /// most-recently-used. Counts into stats either way.
-  [[nodiscard]] std::shared_ptr<const CachedFactor> get(const Key& key);
+  /// Look up a factor; null on miss. A RAM hit moves the entry to
+  /// most-recently-used; a RAM miss with a store configured attempts a disk
+  /// reload (re-inserting the factor into RAM on success). When `tier` is
+  /// non-null it reports where the lookup was satisfied. Counts into stats
+  /// either way.
+  [[nodiscard]] std::shared_ptr<const CachedFactor> get(
+      const Key& key, CacheTier* tier = nullptr);
 
   /// Insert (or refresh) a factor; evicts the least-recently-used entry
-  /// when at capacity.
+  /// when at capacity. With a store configured the factor is persisted
+  /// write-through (before insertion, outside the mutex), so it survives
+  /// process death regardless of later evictions; an entry whose persist
+  /// failed is written again when the LRU spills it.
   void put(const Key& key, std::shared_ptr<const CachedFactor> factor);
 
   [[nodiscard]] FactorCacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& store_dir() const { return store_dir_; }
 
+  /// The store file a key maps to ("" without a store) — exposed so tests
+  /// can corrupt/delete specific entries.
+  [[nodiscard]] std::string store_path(const Key& key) const;
+
+  /// Drop the RAM tier (store files are left in place — a subsequent get
+  /// exercises the disk-reload path, which is what the cold/warm-restart
+  /// tests do).
   void clear();
 
  private:
   struct Entry {
     std::shared_ptr<const CachedFactor> factor;
     std::list<Key>::iterator lru_pos;  ///< position in lru_ (front = newest)
+    bool persisted = false;            ///< already on disk (skip spill write)
   };
 
+  /// Write one factor file atomically (tmp + rename). Returns success; never
+  /// throws. Called outside the mutex.
+  bool persist(const Key& key, const CachedFactor& factor);
+
   const std::size_t capacity_;
+  const std::string store_dir_;
   mutable std::mutex mutex_;
   std::list<Key> lru_;
   std::map<Key, Entry> entries_;
   FactorCacheStats stats_;
+  std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp-file suffixes
 };
 
 }  // namespace fsaic

@@ -71,6 +71,8 @@ SolveRequest parse_request(const JsonValue& v) {
   req.rhs_seed = static_cast<std::uint64_t>(
       get_number(v, "rhs_seed", static_cast<double>(req.rhs_seed)));
   req.deadline_ms = get_number(v, "deadline_ms", -1.0);
+  req.priority = static_cast<int>(get_number(v, "priority", 0.0));
+  req.warm_start = get_bool(v, "warm_start", false);
   req.want_history = get_bool(v, "history", false);
   return req;
 }
@@ -90,6 +92,8 @@ JsonValue to_json(const SolveRequest& req) {
   if (!req.rhs_path.empty()) v["rhs"] = req.rhs_path;
   v["rhs_seed"] = static_cast<std::int64_t>(req.rhs_seed);
   if (req.deadline_ms >= 0.0) v["deadline_ms"] = req.deadline_ms;
+  if (req.priority != 0) v["priority"] = req.priority;
+  if (req.warm_start) v["warm_start"] = true;
   if (req.want_history) v["history"] = true;
   return v;
 }
@@ -109,6 +113,7 @@ JsonValue to_json(const SolveResponse& resp) {
     if (!resp.cache.empty()) v["cache"] = resp.cache;
     v["batch_size"] = resp.batch_size;
     if (!resp.fingerprint.empty()) v["fingerprint"] = resp.fingerprint;
+    if (resp.warm_start) v["warm_start"] = true;
     v["setup_us"] = resp.setup_us;
     v["solve_us"] = resp.solve_us;
   }

@@ -19,6 +19,10 @@
 //    "rhs": "b.mtx",                  MatrixMarket vector (else synthesized)
 //    "rhs_seed": 2022,                seed of the synthesized RHS
 //    "deadline_ms": 250.0,            relative to submission; absent = none
+//    "priority": 0,                   higher dequeues sooner (scheduler lane)
+//    "warm_start": false,             reuse + remember recent same-operator/
+//                                     same-RHS solutions (changes residual
+//                                     histories by design, hence opt-in)
 //    "history": false}                include per-iteration residuals
 //
 // Response schema:
@@ -28,7 +32,8 @@
 //    "status": "ok"|"rejected"|"error",
 //    "reason",                        rejected/error only
 //    "converged", "iterations", "initial_residual", "final_residual",
-//    "cache": "hit"|"miss", "batch_size", "fingerprint",
+//    "cache": "hit"|"disk"|"miss", "batch_size", "fingerprint",
+//    "warm_start": true,              present when a cached solution seeded x0
 //    "queue_us", "setup_us", "solve_us", "total_us",
 //    "residuals": [...]}              when history was requested
 #pragma once
@@ -59,6 +64,13 @@ struct SolveRequest {
   /// already due at submission, which deterministically exercises the
   /// rejection path.
   double deadline_ms = -1.0;
+  /// Scheduler lane: higher-priority requests dequeue before lower ones,
+  /// ahead of the EDF ordering. Does not affect solve results.
+  int priority = 0;
+  /// Opt into the solution cache: warm-start from a recent same-operator /
+  /// same-RHS solution and remember this solve's solution for the next one.
+  /// Off by default because a warm start shortens the residual history.
+  bool warm_start = false;
   bool want_history = false;
 
   /// The coalescing key of the multi-RHS batcher: requests with equal batch
@@ -80,9 +92,11 @@ struct SolveResponse {
   int iterations = 0;
   double initial_residual = 0.0;
   double final_residual = 0.0;
-  std::string cache;  ///< "hit" | "miss" (empty when no factor was involved)
+  std::string cache;  ///< "hit" (RAM) | "disk" (store reload) | "miss"
+                      ///< (empty when no factor was involved)
   int batch_size = 0;
   std::string fingerprint;  ///< hex content hash of the partitioned system
+  bool warm_start = false;  ///< x0 was seeded from a cached solution
   double queue_us = 0.0;    ///< submission -> dequeue
   double setup_us = 0.0;    ///< factor acquisition (build or cache fetch)
   double solve_us = 0.0;

@@ -1,6 +1,7 @@
 #include "service/solve_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <istream>
@@ -21,9 +22,19 @@ namespace fsaic {
 
 namespace {
 
+/// EWMA smoothing of the per-operator service-time model: heavy enough to
+/// converge within a few requests, light enough to track drift (e.g. the
+/// setup -> cache-hit transition after the first solve of an operator).
+constexpr double kServiceTimeAlpha = 0.3;
+
 double us_between(std::chrono::steady_clock::time_point from,
                   std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+double us_since_epoch(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp.time_since_epoch())
+      .count();
 }
 
 ExtensionMode extension_of(const std::string& method) {
@@ -52,6 +63,18 @@ std::vector<value_t> permute_rhs(std::span<const value_t> global,
   return out;
 }
 
+const char* tier_string(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::Ram:
+      return "hit";
+    case CacheTier::Disk:
+      return "disk";
+    case CacheTier::Miss:
+      break;
+  }
+  return "miss";
+}
+
 /// Base field set of every request-lifecycle log event.
 JsonValue rid_fields(std::int64_t rid, const std::string& id) {
   JsonValue f = JsonValue::object();
@@ -74,12 +97,17 @@ void ServiceStats::merge(const ServiceStats& other) {
   errors += other.errors;
   rejected_queue_full += other.rejected_queue_full;
   rejected_deadline += other.rejected_deadline;
+  rejected_predicted += other.rejected_predicted;
   batches += other.batches;
   max_batch_size = std::max(max_batch_size, other.max_batch_size);
+  warm_starts += other.warm_starts;
   cache.hits += other.cache.hits;
   cache.misses += other.cache.misses;
   cache.insertions += other.cache.insertions;
   cache.evictions += other.cache.evictions;
+  cache.disk_hits += other.cache.disk_hits;
+  cache.spills += other.cache.spills;
+  cache.load_failures += other.cache.load_failures;
 }
 
 JsonValue serve_stats_to_json(const ServiceStats& stats) {
@@ -91,13 +119,18 @@ JsonValue serve_stats_to_json(const ServiceStats& stats) {
   v["errors"] = stats.errors;
   v["rejected_queue_full"] = stats.rejected_queue_full;
   v["rejected_deadline"] = stats.rejected_deadline;
+  v["rejected_predicted"] = stats.rejected_predicted;
   v["batches"] = stats.batches;
   v["max_batch_size"] = stats.max_batch_size;
+  v["warm_starts"] = stats.warm_starts;
   JsonValue cache = JsonValue::object();
   cache["hits"] = stats.cache.hits;
   cache["misses"] = stats.cache.misses;
   cache["insertions"] = stats.cache.insertions;
   cache["evictions"] = stats.cache.evictions;
+  cache["disk_hits"] = stats.cache.disk_hits;
+  cache["spills"] = stats.cache.spills;
+  cache["load_failures"] = stats.cache.load_failures;
   v["cache"] = std::move(cache);
   return v;
 }
@@ -105,14 +138,16 @@ JsonValue serve_stats_to_json(const ServiceStats& stats) {
 SolveService::SolveService(ServiceOptions options, ResponseHandler on_response)
     : options_(options),
       on_response_(std::move(on_response)),
-      queue_(options.queue_capacity),
-      cache_(options.cache_capacity) {
+      queue_(options.queue_capacity,
+             static_cast<std::size_t>(std::max(options.workers, 1))),
+      cache_(options.cache_capacity, options.store_dir) {
   FSAIC_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   FSAIC_REQUIRE(options_.solver_threads >= 1, "solver_threads must be >= 1");
   FSAIC_REQUIRE(on_response_ != nullptr, "service needs a response handler");
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<std::size_t>(w)); });
   }
 }
 
@@ -127,10 +162,60 @@ bool SolveService::deadline_expired(
   return us_between(p.submitted_at, now) >= p.request.deadline_ms * 1000.0;
 }
 
+double SolveService::predict_us(const std::string& batch_key) const {
+  const std::lock_guard<std::mutex> lock(predict_mutex_);
+  const auto it = service_time_ewma_us_.find(batch_key);
+  return it == service_time_ewma_us_.end() ? 0.0 : it->second;
+}
+
+void SolveService::record_service_us(const std::string& batch_key, double us) {
+  const std::lock_guard<std::mutex> lock(predict_mutex_);
+  auto [it, inserted] = service_time_ewma_us_.try_emplace(batch_key, us);
+  if (!inserted) {
+    it->second += kServiceTimeAlpha * (us - it->second);
+  }
+}
+
+std::optional<SolveService::CachedSolution> SolveService::solution_get(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(solution_mutex_);
+  const auto it = solutions_.find(key);
+  if (it == solutions_.end()) return std::nullopt;
+  solution_lru_.splice(solution_lru_.begin(), solution_lru_,
+                       it->second.second);
+  return it->second.first;
+}
+
+void SolveService::solution_put(const std::string& key,
+                                CachedSolution solution) {
+  if (options_.solution_cache_capacity == 0) return;
+  const std::lock_guard<std::mutex> lock(solution_mutex_);
+  const auto it = solutions_.find(key);
+  if (it != solutions_.end()) {
+    it->second.first = std::move(solution);
+    solution_lru_.splice(solution_lru_.begin(), solution_lru_,
+                         it->second.second);
+    return;
+  }
+  if (solutions_.size() >= options_.solution_cache_capacity) {
+    solutions_.erase(solution_lru_.back());
+    solution_lru_.pop_back();
+  }
+  solution_lru_.push_front(key);
+  solutions_.emplace(key, std::make_pair(std::move(solution),
+                                         solution_lru_.begin()));
+}
+
 bool SolveService::submit(SolveRequest request) {
   const auto now = std::chrono::steady_clock::now();
   Pending p{std::move(request), "", now, next_rid_.fetch_add(1) + 1};
   p.batch_key = p.request.batch_key();
+  p.shard = static_cast<std::size_t>(
+      fnv1a64(p.batch_key.data(), p.batch_key.size()) %
+      static_cast<std::uint64_t>(std::max(options_.workers, 1)));
+  if (p.request.deadline_ms >= 0.0) {
+    p.deadline_at_us = us_since_epoch(now) + p.request.deadline_ms * 1000.0;
+  }
   Logger* const log = options_.log;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -138,53 +223,63 @@ bool SolveService::submit(SolveRequest request) {
   }
   if (options_.metrics != nullptr) options_.metrics->add("service.submitted", 1);
 
-  // Admission control. A deadline of 0 ms is already due at submission —
-  // the deterministic way to exercise the rejection path.
-  if (deadline_expired(p, now)) {
-    SolveResponse r;
-    r.id = p.request.id;
-    r.rid = p.rid;
-    r.status = "rejected";
-    r.reason = "deadline";
-    {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_deadline;
-    }
-    if (options_.metrics != nullptr) {
-      options_.metrics->add("service.rejected_deadline", 1);
-    }
-    if (log != nullptr && log->enabled(LogLevel::Warn)) {
-      JsonValue f = rid_fields(p.rid, p.request.id);
-      f["reason"] = "deadline";
-      log->warn("service.reject", f);
-    }
-    deliver(r);
-    return false;
-  }
+  // Capture id/rid by value: the queue_full path rejects after `p` has been
+  // moved into try_push.
   const std::string id = p.request.id;
   const std::int64_t rid = p.rid;
   const std::string batch_key = p.batch_key;
-  if (!queue_.try_push(std::move(p))) {
+  const auto reject = [&](const char* reason, std::int64_t* counter,
+                          const char* metric) {
     SolveResponse r;
     r.id = id;
     r.rid = rid;
     r.status = "rejected";
-    r.reason = "queue_full";
+    r.reason = reason;
     {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.rejected_queue_full;
+      ++*counter;
     }
-    if (options_.metrics != nullptr) {
-      options_.metrics->add("service.rejected_queue_full", 1);
-    }
+    if (options_.metrics != nullptr) options_.metrics->add(metric, 1);
     if (log != nullptr && log->enabled(LogLevel::Warn)) {
       JsonValue f = rid_fields(rid, id);
-      f["reason"] = "queue_full";
+      f["reason"] = reason;
       log->warn("service.reject", f);
     }
     deliver(r);
     return false;
+  };
+
+  // Admission control. A deadline of 0 ms is already due at submission —
+  // the deterministic way to exercise the rejection path.
+  if (deadline_expired(p, now)) {
+    return reject("deadline", &stats_.rejected_deadline,
+                  "service.rejected_deadline");
   }
+
+  // Predictive load-shedding: when this operator has service-time history,
+  // model the wait as the queued predicted work spread over the worker pool
+  // plus this request's own predicted service time; if that already blows
+  // the deadline, shed now instead of rejecting after the work has queued.
+  if (p.request.deadline_ms > 0.0) {
+    const double own_us = predict_us(p.batch_key);
+    if (own_us > 0.0) {
+      const double backlog_us =
+          static_cast<double>(queued_predicted_us_.load()) /
+          static_cast<double>(std::max(options_.workers, 1));
+      if (backlog_us + own_us >= p.request.deadline_ms * 1000.0) {
+        return reject("deadline_predicted", &stats_.rejected_predicted,
+                      "service.rejected_predicted");
+      }
+      p.predicted_us = own_us;
+    }
+  }
+
+  const auto predicted = static_cast<std::int64_t>(p.predicted_us);
+  if (!queue_.try_push(std::move(p))) {
+    return reject("queue_full", &stats_.rejected_queue_full,
+                  "service.rejected_queue_full");
+  }
+  queued_predicted_us_.fetch_add(predicted);
   {
     const std::lock_guard<std::mutex> lock(drain_mutex_);
     ++accepted_;
@@ -206,11 +301,11 @@ bool SolveService::submit(SolveRequest request) {
   return true;
 }
 
-void SolveService::worker_loop() {
+void SolveService::worker_loop(std::size_t shard) {
   // Each worker owns its executor so concurrent solves never share one; the
   // solve results do not depend on this choice.
   const auto exec = make_executor(ExecPolicy{options_.solver_threads});
-  while (auto head = queue_.pop()) {
+  while (auto head = queue_.pop(shard)) {
     std::vector<Pending> batch;
     batch.push_back(std::move(*head));
     if (options_.batching) {
@@ -219,6 +314,13 @@ void SolveService::worker_loop() {
           [&key](const Pending& p) { return p.batch_key == key; });
       for (auto& p : more) batch.push_back(std::move(p));
     }
+    // Release the batch's share of the modeled backlog now that it left the
+    // scheduler.
+    std::int64_t predicted = 0;
+    for (const auto& p : batch) {
+      predicted += static_cast<std::int64_t>(p.predicted_us);
+    }
+    if (predicted != 0) queued_predicted_us_.fetch_sub(predicted);
     if (options_.metrics != nullptr) {
       options_.metrics->set("service.queue_depth",
                             static_cast<double>(queue_.size()));
@@ -318,12 +420,14 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
   };
 
   // Shared batch setup: load + partition the operator, then acquire the
-  // factor — from the cache when the content fingerprint matches, freshly
-  // built otherwise. Everything downstream (halo scheme, distributed G /
-  // G^T, the preconditioner) is shared by the whole batch.
+  // factor — from the RAM tier when resident, reloaded from the disk store
+  // on a RAM miss, freshly built otherwise. Everything downstream (halo
+  // scheme, distributed G / G^T, the preconditioner) is shared by the whole
+  // batch, and the factor bits are identical on all three paths, so the
+  // residual histories are too.
   const SolveRequest& lead = live.front().request;
   CsrMatrix a;
-  bool cache_hit = false;
+  CacheTier tier = CacheTier::Miss;
   std::string fingerprint_hex;
   double setup_us = 0.0;
   std::unique_ptr<FactorizedPreconditioner> precond;
@@ -340,20 +444,19 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
 
     const auto t_setup = std::chrono::steady_clock::now();
     const MatrixFingerprint fp = fingerprint_of(sys.matrix);
-    fingerprint_hex = strformat(
-        "%016llx", static_cast<unsigned long long>(fp.content_hash));
+    fingerprint_hex = hash_hex(fp.content_hash);
     const FactorCache::Key key{
         fp, lead.method + "|" +
                 strformat("%.17g", static_cast<double>(lead.filter)) + "|" +
                 lead.filter_strategy + "|" + std::to_string(lead.ranks)};
-    std::shared_ptr<const CachedFactor> factor = cache_.get(key);
-    cache_hit = factor != nullptr;
+    std::shared_ptr<const CachedFactor> factor = cache_.get(key, &tier);
     if (options_.metrics != nullptr) {
-      options_.metrics->add(cache_hit ? "service.cache_hits"
-                                      : "service.cache_misses",
+      options_.metrics->add(tier == CacheTier::Ram    ? "service.cache_hits"
+                            : tier == CacheTier::Disk ? "service.cache_disk_hits"
+                                                      : "service.cache_misses",
                             1);
     }
-    if (cache_hit) {
+    if (factor != nullptr) {
       const DistCsr g_dist = DistCsr::distribute(factor->g, factor->layout);
       const DistCsr gt_dist =
           DistCsr::distribute(transpose(factor->g), factor->layout);
@@ -385,7 +488,7 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     }
     if (log != nullptr && log->enabled(LogLevel::Info)) {
       JsonValue f = rid_fields(live.front().rid, lead.id);
-      f["cache"] = cache_hit ? "hit" : "miss";
+      f["cache"] = tier_string(tier);
       f["fingerprint"] = fingerprint_hex;
       f["setup_us"] = setup_us;
       f["batch_size"] = static_cast<std::int64_t>(live.size());
@@ -405,7 +508,7 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     r.id = req.id;
     r.rid = p.rid;
     r.queue_us = us_between(p.submitted_at, t_dequeue);
-    r.cache = cache_hit ? "hit" : "miss";
+    r.cache = tier_string(tier);
     r.batch_size = static_cast<int>(live.size());
     r.fingerprint = fingerprint_hex;
     r.setup_us = setup_us;
@@ -421,34 +524,82 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
                 " does not match matrix rows " + std::to_string(a.rows()));
       }
       const DistVector b(sys.layout, permute_rhs(b_global, sys.perm));
+
+      // Warm start: every converged solve is remembered under its
+      // operator/solver/tolerance/RHS key, but a request only SEEDS x0 from
+      // that cache when it opts in (`warm_start: true`) — convergence is
+      // then anchored to the original cold solve's residual target instead
+      // of the (already tiny) warm ||r_0||.
       DistVector x(sys.layout);
-      const SolveOptions solve_opts{.rel_tol = req.tol,
-                                    .max_iterations = req.max_iterations,
-                                    .track_residual_history = req.want_history,
-                                    .exec = exec};
+      double reference = 0.0;
+      bool warm = false;
+      std::string solution_key;
+      if (options_.solution_cache_capacity > 0) {
+        solution_key =
+            p.batch_key + "|" + req.solver + "|" +
+            strformat("%.17g", static_cast<double>(req.tol)) + "|" +
+            std::to_string(req.max_iterations) + "|" +
+            hash_hex(fingerprint_of_values(b_global));
+      }
+      if (req.warm_start && !solution_key.empty()) {
+        if (auto cached = solution_get(solution_key)) {
+          // Same operator + rank count => same partition, so the global
+          // solution scatters back onto the layout unchanged.
+          x = DistVector(sys.layout, permute_rhs(cached->x, sys.perm));
+          reference = cached->reference_residual;
+          warm = reference > 0.0;
+        }
+      }
+      SolveOptions solve_opts{.rel_tol = req.tol,
+                              .max_iterations = req.max_iterations,
+                              .reference_residual =
+                                  static_cast<value_t>(reference),
+                              .track_residual_history = req.want_history,
+                              .exec = exec};
       const auto t_solve = std::chrono::steady_clock::now();
       const SolveResult result =
           req.solver == "pipelined-cg"
               ? pcg_solve_pipelined(*a_dist, b, x, *precond, solve_opts)
               : pcg_solve(*a_dist, b, x, *precond, solve_opts);
       const auto t_done = std::chrono::steady_clock::now();
+      if (!solution_key.empty() && result.converged) {
+        // Remember the solution in global (pre-partition) numbering; the
+        // reference stays the cold solve's ||r_0|| across refreshes.
+        std::vector<value_t> x_global(
+            static_cast<std::size_t>(sys.layout.global_size()));
+        const auto x_part = x.to_global();
+        for (std::size_t i = 0; i < x_global.size(); ++i) {
+          x_global[i] = x_part[static_cast<std::size_t>(sys.perm[i])];
+        }
+        solution_put(solution_key,
+                     CachedSolution{std::move(x_global),
+                                    warm ? reference
+                                         : static_cast<double>(
+                                               result.initial_residual)});
+      }
       r.status = "ok";
       r.converged = result.converged;
       r.iterations = result.iterations;
       r.initial_residual = static_cast<double>(result.initial_residual);
       r.final_residual = static_cast<double>(result.final_residual);
+      r.warm_start = warm;
       r.solve_us = us_between(t_solve, t_done);
       r.total_us = us_between(p.submitted_at, t_done);
       if (req.want_history) {
         r.residuals.assign(result.residual_history.begin(),
                            result.residual_history.end());
       }
+      record_service_us(p.batch_key,
+                        setup_us / static_cast<double>(live.size()) +
+                            r.solve_us);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.completed;
+        if (warm) ++stats_.warm_starts;
       }
       if (options_.metrics != nullptr) {
         options_.metrics->add("service.completed", 1);
+        if (warm) options_.metrics->add("service.warm_starts", 1);
         options_.metrics->observe("service.queue_us", r.queue_us);
         options_.metrics->observe("service.setup_us", r.setup_us);
         options_.metrics->observe("service.solve_us", r.solve_us);
@@ -465,6 +616,7 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
         f["converged"] = result.converged;
         f["iterations"] = result.iterations;
         f["cache"] = r.cache;
+        if (warm) f["warm_start"] = true;
         f["queue_us"] = r.queue_us;
         f["setup_us"] = r.setup_us;
         f["solve_us"] = r.solve_us;

@@ -45,7 +45,15 @@ SolveResult pcg_solve(const DistCsr& a, const DistVector& b, DistVector& x,
     result.converged = true;
     return result;
   }
-  const value_t target = options.rel_tol * result.initial_residual;
+  const value_t reference = options.reference_residual > 0.0
+                                ? options.reference_residual
+                                : result.initial_residual;
+  const value_t target = options.rel_tol * reference;
+  if (options.reference_residual > 0.0 && result.initial_residual <= target) {
+    // Warm start already at the cold solve's target: nothing to iterate.
+    result.converged = true;
+    return result;
+  }
 
   {
     ScopedPhase phase(trace, "precond_apply", "solve");

@@ -17,6 +17,13 @@ struct SolveOptions {
   /// initial residual by eight orders of magnitude).
   value_t rel_tol = 1e-8;
   int max_iterations = 20000;
+  /// When positive, the convergence target is rel_tol * reference_residual
+  /// instead of rel_tol * ||r_0||_2 — the warm-start contract: a solve
+  /// started from a cached solution x0 keeps chasing the *cold* solve's
+  /// absolute target rather than rel_tol times its own (already tiny)
+  /// initial residual, and returns immediately (0 iterations) when x0
+  /// already meets it. 0 (the default) preserves the classic relative test.
+  value_t reference_residual = 0.0;
   /// Append ||r_k|| of every iteration to SolveResult::residual_history
   /// (the initial residual is recorded regardless).
   bool track_residual_history = false;

@@ -161,7 +161,15 @@ SolveResult pcg_solve_pipelined(const DistCsr& a, const DistVector& b,
     result.converged = true;
     return result;
   }
-  const value_t target = options.rel_tol * result.initial_residual;
+  const value_t reference = options.reference_residual > 0.0
+                                ? options.reference_residual
+                                : result.initial_residual;
+  const value_t target = options.rel_tol * reference;
+  if (options.reference_residual > 0.0 && result.initial_residual <= target) {
+    // Warm start already at the cold solve's target: nothing to iterate.
+    result.converged = true;
+    return result;
+  }
 
   value_t gamma = d.ru;
   value_t alpha = d.wu > 0.0 ? gamma / d.wu : 0.0;

@@ -20,6 +20,14 @@ std::string MatrixFingerprint::to_string() const {
                    static_cast<unsigned long long>(content_hash));
 }
 
+std::uint64_t fingerprint_of_values(std::span<const value_t> v) {
+  return fnv1a64(v.data(), v.size_bytes());
+}
+
+std::string hash_hex(std::uint64_t h) {
+  return strformat("%016llx", static_cast<unsigned long long>(h));
+}
+
 MatrixFingerprint fingerprint_of(const CsrMatrix& a) {
   MatrixFingerprint fp;
   fp.rows = a.rows();

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "sparse/csr.hpp"
@@ -37,5 +38,13 @@ struct MatrixFingerprint {
 /// arrays, so it is sensitive to value bit patterns (0.0 vs -0.0 differ) and
 /// identical across runs and machines of the same endianness.
 [[nodiscard]] MatrixFingerprint fingerprint_of(const CsrMatrix& a);
+
+/// FNV-1a over the exact bytes of a value span — the content identity of a
+/// right-hand side (the warm-start solution cache keys on it).
+[[nodiscard]] std::uint64_t fingerprint_of_values(std::span<const value_t> v);
+
+/// 16-digit lowercase hex of a 64-bit hash — the on-wire / on-disk spelling
+/// of content hashes (response "fingerprint" field, factor store filenames).
+[[nodiscard]] std::string hash_hex(std::uint64_t h);
 
 }  // namespace fsaic

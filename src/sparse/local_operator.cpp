@@ -31,7 +31,11 @@ KernelConfig KernelConfig::from_env() {
   KernelConfig config;
   const char* env = std::getenv("FSAIC_FORMAT");
   if (env != nullptr && *env != '\0') {
-    config.format = operator_format_from_string(env);
+    if (std::string(env) == "auto") {
+      config.autotune = true;
+    } else {
+      config.format = operator_format_from_string(env);
+    }
   }
   return config;
 }

@@ -63,12 +63,20 @@ struct KernelConfig {
   /// row-sorting window (multiple of chunk).
   index_t sell_chunk = 8;
   index_t sell_sigma = 64;
+  /// Pick format and chunk per matrix from the padding ratio instead of the
+  /// fields above (the `--format auto` seed): DistCsr::use_kernel scores
+  /// SELL chunks {4, 8, 16, 32} over the matrix's row-length profile, keeps
+  /// the least-padded one, and falls back to Csr when even that pads more
+  /// than 1.25x. Resolved at distribute/use_kernel time — the stored config
+  /// always reports the format actually built.
+  bool autotune = false;
 
   bool operator==(const KernelConfig&) const = default;
 
-  /// Config from FSAIC_FORMAT ("csr" | "sell"; unset/empty -> csr). The
-  /// precision always starts Double — mixed precision is a per-matrix
-  /// decision made by the caller, never a process-wide env default.
+  /// Config from FSAIC_FORMAT ("csr" | "sell" | "auto"; unset/empty ->
+  /// csr). The precision always starts Double — mixed precision is a
+  /// per-matrix decision made by the caller, never a process-wide env
+  /// default.
   [[nodiscard]] static KernelConfig from_env();
 };
 

@@ -1,6 +1,7 @@
 #include "sparse/sell.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -63,6 +64,38 @@ void sell_chunks(index_t nc, const offset_t* cp, const index_t* cw,
 }
 
 }  // namespace
+
+offset_t sell_padded_entries(const CsrMatrix& a, std::span<const index_t> rows,
+                             index_t chunk, index_t sigma) {
+  FSAIC_REQUIRE(chunk >= 1 && chunk <= kMaxChunk,
+                "chunk must be in [1, " + std::to_string(kMaxChunk) + "]");
+  FSAIC_REQUIRE(sigma >= chunk && sigma % chunk == 0,
+                "sigma must be a positive multiple of chunk");
+  // Row lengths in subset order, sorted descending per sigma window — the
+  // same permutation the constructor's stable_sort produces (only lengths
+  // matter for the padded size, so sorting the lengths is equivalent).
+  std::vector<index_t> lengths;
+  lengths.reserve(rows.size());
+  for (const index_t r : rows) {
+    FSAIC_REQUIRE(r >= 0 && r < a.rows(), "subset row out of range");
+    lengths.push_back(a.pattern().row_nnz(r));
+  }
+  const auto n = static_cast<index_t>(lengths.size());
+  for (index_t w = 0; w < n; w += sigma) {
+    std::stable_sort(lengths.begin() + w,
+                     lengths.begin() + std::min<index_t>(w + sigma, n),
+                     std::greater<index_t>());
+  }
+  offset_t padded = 0;
+  for (index_t c = 0; c < n; c += chunk) {
+    index_t width = 0;
+    for (index_t lane = c; lane < std::min<index_t>(c + chunk, n); ++lane) {
+      width = std::max(width, lengths[static_cast<std::size_t>(lane)]);
+    }
+    padded += static_cast<offset_t>(width) * static_cast<offset_t>(chunk);
+  }
+  return padded;
+}
 
 SellMatrix::SellMatrix(const CsrMatrix& a, index_t chunk, index_t sigma,
                        bool single_precision)

@@ -37,6 +37,15 @@
 
 namespace fsaic {
 
+/// Padded slot count a SellMatrix(a, rows, chunk, sigma) build would store,
+/// computed without materializing the format — the cost function of the
+/// `--format auto` chunk autotuner. Replicates the construction exactly:
+/// rows sigma-window stable-sorted by descending length, then per chunk
+/// `chunk * max(row lengths)` summed over all (including partial) chunks.
+[[nodiscard]] offset_t sell_padded_entries(const CsrMatrix& a,
+                                           std::span<const index_t> rows,
+                                           index_t chunk, index_t sigma);
+
 class SellMatrix {
  public:
   /// Convert from CSR. `chunk` (C) is the SIMD width to pad for; `sigma` is

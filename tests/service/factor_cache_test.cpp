@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
 #include "matgen/generators.hpp"
 #include "sparse/fingerprint.hpp"
 
@@ -135,6 +143,182 @@ TEST(FactorCacheTest, ClearEmptiesTheCache) {
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+}
+
+// ------------------------------------------------------------ disk tier --
+
+namespace fs = std::filesystem;
+
+class DiskFactorCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = fs::temp_directory_path() /
+             ("fsaic_factor_store_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(store_);
+  }
+  void TearDown() override { fs::remove_all(store_); }
+
+  fs::path store_;
+};
+
+TEST_F(DiskFactorCacheTest, PutPersistsWriteThroughAndClearKeepsTheFile) {
+  FactorCache cache(4, store_.string());
+  const auto a = poisson2d(6, 6);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  EXPECT_EQ(cache.stats().spills, 1) << "write-through persists on put";
+  const std::string path = cache.store_path(key_of(a, "cfg"));
+  ASSERT_FALSE(path.empty());
+  EXPECT_TRUE(fs::exists(path));
+
+  cache.clear();
+  EXPECT_TRUE(fs::exists(path)) << "clear drops RAM only";
+
+  CacheTier tier = CacheTier::Miss;
+  const auto reloaded = cache.get(key_of(a, "cfg"), &tier);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(tier, CacheTier::Disk);
+  EXPECT_EQ(cache.stats().disk_hits, 1);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(reloaded->build_seconds, 0.0) << "reload is not a build";
+  // The factor round-trips bit-exactly (the determinism contract).
+  const auto original = factor_for(a);
+  ASSERT_EQ(reloaded->g.nnz(), original->g.nnz());
+  for (std::size_t k = 0; k < reloaded->g.values().size(); ++k) {
+    EXPECT_EQ(reloaded->g.values()[k], original->g.values()[k]) << k;
+  }
+  EXPECT_EQ(reloaded->layout, original->layout);
+
+  // The reload re-inserted into RAM: the next get is a RAM hit.
+  tier = CacheTier::Miss;
+  EXPECT_NE(cache.get(key_of(a, "cfg"), &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Ram);
+}
+
+TEST_F(DiskFactorCacheTest, WarmRestartReadsThePreviousProcessesStore) {
+  const auto a = poisson2d(6, 6);
+  {
+    FactorCache first(4, store_.string());
+    first.put(key_of(a, "cfg"), factor_for(a));
+  }  // "process death": only the store directory survives
+  FactorCache second(4, store_.string());
+  CacheTier tier = CacheTier::Miss;
+  const auto reloaded = second.get(key_of(a, "cfg"), &tier);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(tier, CacheTier::Disk);
+  EXPECT_EQ(second.stats().disk_hits, 1);
+}
+
+TEST_F(DiskFactorCacheTest, EvictedFactorRemainsLoadableFromTheStore) {
+  FactorCache cache(1, store_.string());
+  const auto a = poisson2d(4, 4);
+  const auto b = poisson2d(5, 5);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  cache.put(key_of(b, "cfg"), factor_for(b));  // evicts a from RAM
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  CacheTier tier = CacheTier::Miss;
+  EXPECT_NE(cache.get(key_of(a, "cfg"), &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Disk) << "eviction demotes to the disk tier";
+}
+
+TEST_F(DiskFactorCacheTest, TruncatedStoreFileDegradesToFreshBuild) {
+  FactorCache cache(4, store_.string());
+  const auto a = poisson2d(6, 6);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  const std::string path = cache.store_path(key_of(a, "cfg"));
+  // Truncate the file mid-payload, as a crash mid-write (without the atomic
+  // rename) or disk corruption would.
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size / 2);
+  cache.clear();
+
+  CacheTier tier = CacheTier::Ram;
+  EXPECT_EQ(cache.get(key_of(a, "cfg"), &tier), nullptr)
+      << "a truncated store file must degrade to a plain miss";
+  EXPECT_EQ(tier, CacheTier::Miss);
+  EXPECT_EQ(cache.stats().load_failures, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_FALSE(fs::exists(path)) << "the corrupt file is removed";
+}
+
+TEST_F(DiskFactorCacheTest, GarbageStoreFileDegradesToFreshBuild) {
+  FactorCache cache(4, store_.string());
+  const auto a = poisson2d(6, 6);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  const std::string path = cache.store_path(key_of(a, "cfg"));
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "this is not a factor file";
+  }
+  cache.clear();
+  EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+  EXPECT_EQ(cache.stats().load_failures, 1);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(DiskFactorCacheTest, FingerprintMismatchedFileIsRejected) {
+  // A file that parses but embeds a different build fingerprint (say, a
+  // hash collision in the file name, or a manually copied store) must not
+  // be served for this key.
+  FactorCache cache(4, store_.string());
+  const auto a = poisson2d(6, 6);
+  auto b = poisson2d(6, 6);
+  for (auto& v : b.values()) v *= 2.0;
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  fs::copy_file(cache.store_path(key_of(a, "cfg")),
+                cache.store_path(key_of(b, "cfg")));
+  EXPECT_EQ(cache.get(key_of(b, "cfg")), nullptr);
+  EXPECT_EQ(cache.stats().load_failures, 1);
+  EXPECT_FALSE(fs::exists(cache.store_path(key_of(b, "cfg"))));
+}
+
+TEST_F(DiskFactorCacheTest, CapacityZeroDisablesBothTiers) {
+  FactorCache cache(0, store_.string());
+  const auto a = poisson2d(4, 4);
+  cache.put(key_of(a, "cfg"), factor_for(a));
+  EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
+  EXPECT_EQ(cache.stats().spills, 0);
+}
+
+TEST_F(DiskFactorCacheTest, ConcurrentHitsAndSpillsAreRaceFree) {
+  // Hammer one small cache from several threads: concurrent RAM hits, disk
+  // reloads, evictions and write-through spills on the same keys. The
+  // assertions are loose — the point is running the interleavings under
+  // TSAN (the threaded CI pass) with capacity pressure forcing constant
+  // tier transitions.
+  FactorCache cache(2, store_.string());
+  std::vector<CsrMatrix> mats;
+  for (int n = 4; n < 10; ++n) mats.push_back(poisson2d(n, n));
+  for (const auto& m : mats) cache.put(key_of(m, "cfg"), factor_for(m));
+
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 30; ++round) {
+        const auto& m = mats[static_cast<std::size_t>((t + round) %
+                                                      mats.size())];
+        if (round % 10 == 9) {
+          cache.put(key_of(m, "cfg"), factor_for(m));
+        }
+        const auto got = cache.get(key_of(m, "cfg"));
+        if (got != nullptr) {
+          served.fetch_add(1);
+          // Touch the payload so TSAN sees reads racing any spill IO.
+          EXPECT_EQ(got->g.rows(), m.rows());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(served.load(), 4 * 30)
+      << "every lookup must be served from RAM or disk";
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_GT(stats.disk_hits, 0) << "capacity 2 over 6 keys must hit disk";
 }
 
 }  // namespace

@@ -71,6 +71,8 @@ TEST(ProtocolTest, RequestRoundTripsThroughJson) {
   req.rhs_path = "b.mtx";
   req.rhs_seed = 7;
   req.deadline_ms = 250.0;
+  req.priority = 3;
+  req.warm_start = true;
   req.want_history = true;
 
   const SolveRequest back = parse_request(to_json(req));
@@ -86,6 +88,8 @@ TEST(ProtocolTest, RequestRoundTripsThroughJson) {
   EXPECT_EQ(back.rhs_path, req.rhs_path);
   EXPECT_EQ(back.rhs_seed, req.rhs_seed);
   EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.priority, req.priority);
+  EXPECT_EQ(back.warm_start, req.warm_start);
   EXPECT_EQ(back.want_history, req.want_history);
 }
 
@@ -475,6 +479,220 @@ TEST_F(ServiceTest, TraceSlicesCarryRidArgs) {
   EXPECT_NE(json.str().find("\"args\":{\"rid\":1}"), std::string::npos);
 }
 
+// ------------------------------------------------- disk tier / restarts --
+
+TEST_F(ServiceTest, RestartedServiceReloadsFactorsFromTheStore) {
+  const std::string store = (dir_ / "factor_store").string();
+  Collector first_run;
+  {
+    SolveService service({.workers = 1, .store_dir = store},
+                         first_run.handler());
+    service.submit(request("cold"));
+    service.drain();
+    EXPECT_EQ(service.stats().cache.spills, 1)
+        << "the built factor is persisted write-through";
+  }  // service torn down: RAM tier gone, store survives
+
+  Collector second_run;
+  {
+    SolveService service({.workers = 1, .store_dir = store},
+                         second_run.handler());
+    service.submit(request("warm"));
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.disk_hits, 1);
+    EXPECT_EQ(stats.cache.misses, 0) << "restart must not rebuild";
+  }
+  const SolveResponse& cold = first_run.by_id.at("cold");
+  const SolveResponse& warm = second_run.by_id.at("warm");
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(warm.cache, "disk");
+  EXPECT_EQ(cold.iterations, warm.iterations);
+  ASSERT_EQ(cold.residuals.size(), warm.residuals.size());
+  for (std::size_t k = 0; k < cold.residuals.size(); ++k) {
+    EXPECT_EQ(cold.residuals[k], warm.residuals[k])
+        << "disk-reloaded factor must solve bit-identically at " << k;
+  }
+}
+
+TEST_F(ServiceTest, AllThreeCacheTiersSolveBitIdentically) {
+  const std::string store = (dir_ / "tier_store").string();
+  Collector col;
+  {
+    SolveService service({.workers = 1, .store_dir = store}, col.handler());
+    service.submit(request("cold"));  // miss: builds + persists
+    service.drain();
+    service.submit(request("ram"));  // RAM hit
+    service.drain();
+  }
+  {
+    SolveService service({.workers = 1, .store_dir = store}, col.handler());
+    service.submit(request("disk"));  // fresh process: disk reload
+    service.drain();
+  }
+  EXPECT_EQ(col.by_id.at("cold").cache, "miss");
+  EXPECT_EQ(col.by_id.at("ram").cache, "hit");
+  EXPECT_EQ(col.by_id.at("disk").cache, "disk");
+  const auto& ref = col.by_id.at("cold").residuals;
+  ASSERT_FALSE(ref.empty());
+  for (const std::string id : {"ram", "disk"}) {
+    const auto& got = col.by_id.at(id).residuals;
+    ASSERT_EQ(got.size(), ref.size()) << id;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(got[k], ref[k]) << id << " iteration " << k;
+    }
+  }
+}
+
+TEST_F(ServiceTest, CorruptedStoreFileDegradesToFreshBuild) {
+  const std::string store = (dir_ / "corrupt_store").string();
+  Collector col;
+  {
+    SolveService service({.workers = 1, .store_dir = store}, col.handler());
+    service.submit(request("cold"));
+    service.drain();
+  }
+  // Corrupt every store file (the service computes the key internally, so
+  // the test clobbers the whole directory).
+  int clobbered = 0;
+  for (const auto& entry : fs::directory_iterator(store)) {
+    std::ofstream f(entry.path(), std::ios::binary | std::ios::trunc);
+    f << "garbage";
+    ++clobbered;
+  }
+  ASSERT_EQ(clobbered, 1);
+  Collector after;
+  {
+    SolveService service({.workers = 1, .store_dir = store}, after.handler());
+    service.submit(request("rebuild"));
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.load_failures, 1);
+    EXPECT_EQ(stats.cache.misses, 1) << "corrupt file -> fresh build";
+    EXPECT_EQ(stats.completed, 1);
+  }
+  const auto& cold = col.by_id.at("cold");
+  const auto& rebuilt = after.by_id.at("rebuild");
+  EXPECT_EQ(rebuilt.cache, "miss");
+  ASSERT_EQ(rebuilt.residuals.size(), cold.residuals.size());
+  for (std::size_t k = 0; k < cold.residuals.size(); ++k) {
+    EXPECT_EQ(rebuilt.residuals[k], cold.residuals[k]) << k;
+  }
+}
+
+// ------------------------------------------------ SLO-aware scheduling --
+
+TEST_F(ServiceTest, PredictiveSheddingRejectsDoomedDeadlines) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    // Establish per-operator service-time history.
+    service.submit(request("seed"));
+    service.drain();
+    // A microsecond-scale deadline cannot fit the observed multi-ms solve:
+    // the predictor must shed at admission, before any work queues.
+    SolveRequest doomed = request("doomed");
+    doomed.deadline_ms = 0.001;
+    EXPECT_FALSE(service.submit(doomed));
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.rejected_predicted, 1);
+    EXPECT_EQ(stats.rejected_deadline, 0);
+    EXPECT_EQ(stats.completed, 1);
+  }
+  const SolveResponse& r = col.by_id.at("doomed");
+  EXPECT_EQ(r.status, "rejected");
+  EXPECT_EQ(r.reason, "deadline_predicted");
+}
+
+TEST_F(ServiceTest, FirstRequestOfAnOperatorIsNeverPredictivelyShed) {
+  // Without history the predictor has no estimate and must not guess —
+  // admission stays deterministic for fresh operators (the bench's replay
+  // reproducibility depends on this).
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    SolveRequest tight = request("tight");
+    tight.deadline_ms = 0.001;
+    EXPECT_TRUE(service.submit(tight)) << "no history -> no prediction";
+    service.drain();
+    EXPECT_EQ(service.stats().rejected_predicted, 0);
+  }
+  // The request was admitted; its microsecond deadline then lapsed while
+  // queued, which is the pre-existing (post-admission) rejection path.
+  EXPECT_EQ(col.by_id.at("tight").reason, "deadline");
+}
+
+// ----------------------------------------------------------- warm start --
+
+TEST_F(ServiceTest, WarmStartReusesTheCachedSolution) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    service.submit(request("cold"));
+    service.drain();
+    SolveRequest again = request("again");
+    again.warm_start = true;  // same operator, same RHS seed
+    service.submit(again);
+    service.drain();
+    EXPECT_EQ(service.stats().warm_starts, 1);
+  }
+  const SolveResponse& cold = col.by_id.at("cold");
+  const SolveResponse& again = col.by_id.at("again");
+  EXPECT_FALSE(cold.warm_start);
+  EXPECT_TRUE(again.warm_start);
+  EXPECT_TRUE(again.converged);
+  EXPECT_EQ(again.iterations, 0)
+      << "starting from the converged solution of the identical request "
+         "needs no iterations";
+  // The warm solve honors the cold solve's residual target, not its own
+  // (already tiny) initial residual.
+  ASSERT_FALSE(cold.residuals.empty());
+  EXPECT_LE(again.residuals.front(), 1e-8 * cold.residuals.front());
+  const JsonValue v = to_json(again);
+  EXPECT_TRUE(v.at("warm_start").as_bool());
+}
+
+TEST_F(ServiceTest, WarmStartIsOptInAndDefaultPathIsUnchanged) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    service.submit(request("cold"));
+    service.drain();
+    // Same request again WITHOUT warm_start: the populated solution cache
+    // must not shorten the default path.
+    service.submit(request("default"));
+    service.drain();
+    EXPECT_EQ(service.stats().warm_starts, 0);
+  }
+  const SolveResponse& cold = col.by_id.at("cold");
+  const SolveResponse& dflt = col.by_id.at("default");
+  EXPECT_FALSE(dflt.warm_start);
+  EXPECT_EQ(dflt.iterations, cold.iterations);
+  ASSERT_EQ(dflt.residuals.size(), cold.residuals.size());
+  for (std::size_t k = 0; k < cold.residuals.size(); ++k) {
+    EXPECT_EQ(dflt.residuals[k], cold.residuals[k]) << k;
+  }
+}
+
+TEST_F(ServiceTest, WarmStartDifferentRhsFallsBackToColdSolve) {
+  Collector col;
+  {
+    SolveService service({.workers = 1}, col.handler());
+    service.submit(request("cold"));
+    service.drain();
+    SolveRequest other = request("other");
+    other.warm_start = true;
+    other.rhs_seed = 777;  // different RHS: cached solution must not apply
+    service.submit(other);
+    service.drain();
+    EXPECT_EQ(service.stats().warm_starts, 0);
+  }
+  const SolveResponse& other = col.by_id.at("other");
+  EXPECT_FALSE(other.warm_start) << "no matching solution -> cold solve";
+  EXPECT_GT(other.iterations, 0);
+}
+
 TEST(ServeStatsTest, MergeAddsCountersAndMaxesBatchSize) {
   ServiceStats a;
   a.submitted = 3;
@@ -490,28 +708,43 @@ TEST(ServeStatsTest, MergeAddsCountersAndMaxesBatchSize) {
   b.completed = 3;
   b.errors = 1;
   b.rejected_deadline = 1;
+  b.rejected_predicted = 2;
+  b.warm_starts = 1;
   b.batches = 1;
   b.max_batch_size = 3;
   b.cache.hits = 2;
   b.cache.insertions = 1;
+  b.cache.disk_hits = 1;
+  b.cache.spills = 2;
+  b.cache.load_failures = 1;
   a.merge(b);
   EXPECT_EQ(a.submitted, 7);
   EXPECT_EQ(a.admitted, 6);
   EXPECT_EQ(a.completed, 5);
   EXPECT_EQ(a.errors, 1);
   EXPECT_EQ(a.rejected_deadline, 1);
+  EXPECT_EQ(a.rejected_predicted, 2);
+  EXPECT_EQ(a.warm_starts, 1);
   EXPECT_EQ(a.batches, 3);
   EXPECT_EQ(a.max_batch_size, 3);
   EXPECT_EQ(a.cache.hits, 3);
   EXPECT_EQ(a.cache.misses, 1);
   EXPECT_EQ(a.cache.insertions, 1);
+  EXPECT_EQ(a.cache.disk_hits, 1);
+  EXPECT_EQ(a.cache.spills, 2);
+  EXPECT_EQ(a.cache.load_failures, 1);
 
   const JsonValue v = serve_stats_to_json(a);
   EXPECT_EQ(v.at("kind").as_string(), "serve");
   EXPECT_EQ(v.at("submitted").as_int(), 7);
   EXPECT_EQ(v.at("admitted").as_int(), 6);
+  EXPECT_EQ(v.at("rejected_predicted").as_int(), 2);
+  EXPECT_EQ(v.at("warm_starts").as_int(), 1);
   EXPECT_EQ(v.at("max_batch_size").as_int(), 3);
   EXPECT_EQ(v.at("cache").at("hits").as_int(), 3);
+  EXPECT_EQ(v.at("cache").at("disk_hits").as_int(), 1);
+  EXPECT_EQ(v.at("cache").at("spills").as_int(), 2);
+  EXPECT_EQ(v.at("cache").at("load_failures").as_int(), 1);
 }
 
 // ------------------------------------------------------- JSONL frontend --
@@ -565,6 +798,32 @@ TEST_F(ServiceTest, WorkerCountDoesNotChangeResults) {
     for (std::size_t k = 0; k < h1.size(); ++k) {
       EXPECT_EQ(h1[k].as_double(), h4[k].as_double())
           << id << " iteration " << k;
+    }
+  }
+}
+
+TEST_F(ServiceTest, PrioritizedTrafficSolvesIdenticallyAcrossWorkerCounts) {
+  // Priorities and deadlines reorder *scheduling*; per-request results must
+  // stay bit-identical for any worker count (acceptance criterion).
+  std::string requests;
+  for (int i = 0; i < 6; ++i) {
+    SolveRequest req = request("p" + std::to_string(i));
+    req.rhs_seed = static_cast<std::uint64_t>(2000 + i);
+    req.priority = i % 3;
+    if (i % 2 == 0) req.deadline_ms = 60000.0;
+    requests += to_json(req).dump() + "\n";
+  }
+  const ResponseMap one = run_jsonl({.workers = 1}, requests);
+  const ResponseMap four = run_jsonl({.workers = 4}, requests);
+  ASSERT_EQ(one.size(), 6u);
+  for (const auto& [id, r1] : one) {
+    ASSERT_EQ(r1.at("status").as_string(), "ok") << id;
+    const JsonValue& r4 = four.at(id);
+    const auto& h1 = r1.at("residuals").as_array();
+    const auto& h4 = r4.at("residuals").as_array();
+    ASSERT_EQ(h1.size(), h4.size()) << id;
+    for (std::size_t k = 0; k < h1.size(); ++k) {
+      EXPECT_EQ(h1[k].as_double(), h4[k].as_double()) << id << " " << k;
     }
   }
 }

@@ -16,6 +16,7 @@
 #include "matgen/generators.hpp"
 #include "solver/pcg.hpp"
 #include "solver/pipelined_cg.hpp"
+#include "sparse/coo.hpp"
 #include "sparse/local_operator.hpp"
 
 namespace fsaic {
@@ -193,6 +194,77 @@ TEST(KernelBackendTest, MixedPrecisionPerturbsRoundingOnly) {
   EXPECT_TRUE(diverged_somewhere)
       << "mixed precision produced a bitwise-identical history — the Single "
          "path is not being exercised";
+}
+
+// --format auto: DistCsr scores SELL chunks {4, 8, 16, 32} by padded size
+// and keeps the least-padded one, falling back to CSR past 1.25x padding.
+
+TEST(KernelBackendTest, AutotunePinsWidestChunkOnUniformRows) {
+  // A diagonal matrix pads identically (not at all) under every chunk; the
+  // tie-break must keep the widest candidate.
+  CooBuilder bld(64, 64);
+  for (index_t i = 0; i < 64; ++i) bld.add(i, i, 2.0);
+  const auto a = bld.to_csr();
+  auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 2));
+  d.use_kernel(KernelConfig{.autotune = true});
+  const KernelConfig& resolved = d.kernel_config();
+  EXPECT_FALSE(resolved.autotune);
+  EXPECT_EQ(resolved.format, OperatorFormat::Sell);
+  EXPECT_EQ(resolved.sell_chunk, 32);
+  EXPECT_EQ(d.padding_ratio(), 1.0);
+}
+
+TEST(KernelBackendTest, AutotuneFallsBackToCsrWhenEveryChunkOverpads) {
+  // Symmetric arrow matrix: one row of length n among rows of length 2.
+  // Every chunk containing the dense row pads its whole chunk to n entries,
+  // so all candidates blow the 1.25x budget.
+  constexpr index_t n = 64;
+  CooBuilder bld(n, n);
+  for (index_t i = 0; i < n; ++i) bld.add(i, i, 4.0 * n);
+  for (index_t i = 1; i < n; ++i) {
+    bld.add(0, i, -1.0);
+    bld.add(i, 0, -1.0);
+  }
+  const auto a = bld.to_csr();
+  auto d = DistCsr::distribute(a, Layout::blocked(a.rows(), 1));
+  d.use_kernel(KernelConfig{.autotune = true});
+  const KernelConfig& resolved = d.kernel_config();
+  EXPECT_FALSE(resolved.autotune);
+  EXPECT_EQ(resolved.format, OperatorFormat::Csr);
+  EXPECT_EQ(d.padding_ratio(), 1.0) << "CSR stores no padding";
+}
+
+TEST(KernelBackendTest, AutotunePicksLeastPaddedChunkAndSolvesBitwiseLikeCsr) {
+  const auto a = poisson2d(24, 24);
+  SolveSetup tuned(a, 4, KernelConfig{.autotune = true},
+                   KernelConfig{.autotune = true});
+  const KernelConfig& resolved = tuned.a_dist.kernel_config();
+  EXPECT_FALSE(resolved.autotune);
+  ASSERT_EQ(resolved.format, OperatorFormat::Sell);
+  EXPECT_LE(tuned.a_dist.padding_ratio(), 1.25);
+  // The pick must be the widest chunk among the least-padded explicit builds.
+  index_t expected_chunk = 0;
+  offset_t best_padded = 0;
+  for (const index_t chunk : {4, 8, 16, 32}) {
+    auto d = DistCsr::distribute(a, tuned.layout);
+    d.use_kernel(KernelConfig{.format = OperatorFormat::Sell,
+                              .sell_chunk = chunk,
+                              .sell_sigma = 64});
+    const offset_t padded = d.padded_entries();
+    if (expected_chunk == 0 || padded <= best_padded) {
+      expected_chunk = chunk;
+      best_padded = padded;
+    }
+  }
+  EXPECT_EQ(resolved.sell_chunk, expected_chunk);
+  // And the resolved kernel is still just a storage change: residual
+  // histories match scalar CSR bit for bit.
+  SolveSetup csr(a, 4, kCsr, kCsr);
+  const SolveOptions opts{.rel_tol = 1e-10, .max_iterations = 500};
+  const auto r_csr = run_pcg(csr, opts, 29);
+  const auto r_auto = run_pcg(tuned, opts, 29);
+  EXPECT_TRUE(r_csr.converged);
+  expect_identical_histories(r_csr, r_auto, "autotuned vs csr");
 }
 
 }  // namespace

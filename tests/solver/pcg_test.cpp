@@ -84,6 +84,55 @@ TEST(CgTest, ResidualHistoryIsTrackedAndDecreasesOverall) {
             1e-8 * result.residual_history.front());
 }
 
+TEST(CgTest, ReferenceResidualHonorsTheColdSolvesTarget) {
+  // The warm-start contract: a solve seeded with a previous solution and
+  // the previous run's ||r_0|| as reference converges against the ORIGINAL
+  // target rel_tol * reference — not against its own (already tiny) initial
+  // residual, which would demand pointless extra digits.
+  const auto a = poisson2d(12, 12);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 9);
+  DistVector x(l);
+  const auto cold = cg_solve(d, b, x, {.rel_tol = 1e-8});
+  ASSERT_TRUE(cold.converged);
+  ASSERT_GT(cold.iterations, 0);
+
+  // x now holds the converged solution. Re-solving with the cold reference
+  // recognizes the target is already met and returns without iterating.
+  const auto warm =
+      cg_solve(d, b, x,
+               {.rel_tol = 1e-8,
+                .reference_residual = cold.initial_residual});
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_LE(warm.final_residual, 1e-8 * cold.initial_residual);
+
+  // Without the reference, the same warm start chases 1e-8 relative to its
+  // own tiny r_0 and must iterate — the default path is unchanged.
+  DistVector y = x;
+  const auto no_ref = cg_solve(d, b, y, {.rel_tol = 1e-8});
+  EXPECT_GT(no_ref.iterations, 0);
+}
+
+TEST(CgTest, ReferenceResidualStillIteratesWhenTargetNotMet) {
+  // A reference only relaxes the target; a cold start with the (equal)
+  // reference must behave exactly like the default solve.
+  const auto a = poisson2d(10, 10);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 11);
+  DistVector x0(l);
+  const auto base = cg_solve(d, b, x0, {.rel_tol = 1e-8});
+  DistVector x1(l);
+  const auto with_ref =
+      cg_solve(d, b, x1,
+               {.rel_tol = 1e-8, .reference_residual = base.initial_residual});
+  EXPECT_EQ(with_ref.iterations, base.iterations)
+      << "reference == own r_0 must reproduce the default solve";
+  EXPECT_EQ(with_ref.final_residual, base.final_residual);
+}
+
 TEST(CgTest, MaxIterationsStopsWithoutConvergence) {
   const auto a = anisotropic2d(30, 30, 0.01);
   const Layout l = Layout::blocked(a.rows(), 2);

@@ -93,6 +93,26 @@ TEST(PipelinedCgTest, TrueResidualMatchesRecurrence) {
   EXPECT_LE(norm2(res), 1e-8 * r.initial_residual);
 }
 
+TEST(PipelinedCgTest, ReferenceResidualSkipsConvergedWarmStart) {
+  // Same warm-start contract as classic PCG: with the cold ||r_0|| as
+  // reference, restarting from the converged solution returns immediately.
+  const auto a = poisson2d(10, 10);
+  const Layout l = Layout::blocked(a.rows(), 2);
+  const auto d = DistCsr::distribute(a, l);
+  const auto b = random_rhs(l, 4);
+  const IdentityPreconditioner identity;
+  DistVector x(l);
+  const auto cold = pcg_solve_pipelined(d, b, x, identity, {.rel_tol = 1e-8});
+  ASSERT_TRUE(cold.converged);
+  ASSERT_GT(cold.iterations, 0);
+  const auto warm = pcg_solve_pipelined(
+      d, b, x, identity,
+      {.rel_tol = 1e-8, .reference_residual = cold.initial_residual});
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_LE(warm.final_residual, 1e-8 * cold.initial_residual);
+}
+
 TEST(PipelinedCgTest, ZeroRhsImmediate) {
   const auto a = poisson2d(5, 5);
   const Layout l = Layout::blocked(a.rows(), 1);

@@ -56,8 +56,13 @@ TEST(KernelConfigTest, FromEnvReadsFormatOnly) {
   const auto sell_cfg = KernelConfig::from_env();
   EXPECT_EQ(sell_cfg.format, OperatorFormat::Sell);
   EXPECT_EQ(sell_cfg.precision, FactorPrecision::Double);
+  ::setenv("FSAIC_FORMAT", "auto", 1);
+  const auto auto_cfg = KernelConfig::from_env();
+  EXPECT_TRUE(auto_cfg.autotune);
+  EXPECT_FALSE(sell_cfg.autotune);
   ::unsetenv("FSAIC_FORMAT");
   const auto default_cfg = KernelConfig::from_env();
+  EXPECT_FALSE(default_cfg.autotune);
   EXPECT_EQ(default_cfg.format, OperatorFormat::Csr);
   EXPECT_EQ(default_cfg.precision, FactorPrecision::Double);
   ::setenv("FSAIC_FORMAT", "blocked-ell", 1);

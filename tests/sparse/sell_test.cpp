@@ -120,6 +120,42 @@ TEST(SellTest, PaddingRatioIsExactOnHandBuiltMatrix) {
   EXPECT_EQ(sell.stored_rows(), 5);
 }
 
+TEST(SellTest, PaddedEntriesEstimatorMatchesConstruction) {
+  // sell_padded_entries is the autotuner's costing primitive: it must
+  // predict the padded size of an actual SellMatrix build exactly, for any
+  // geometry and row subset, without building anything.
+  const auto a = random_laplacian(200, 6, 0.1, 13);
+  std::vector<index_t> all(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<index_t>(i);
+  }
+  std::vector<index_t> evens;
+  for (index_t i = 0; i < a.rows(); i += 2) evens.push_back(i);
+  for (const index_t chunk : {1, 4, 8, 16, 32}) {
+    for (const index_t sigma : {chunk, 4 * chunk, 64 * chunk}) {
+      EXPECT_EQ(sell_padded_entries(a, all, chunk, sigma),
+                SellMatrix(a, all, chunk, sigma).padded_size())
+          << "C=" << chunk << " sigma=" << sigma;
+      EXPECT_EQ(sell_padded_entries(a, evens, chunk, sigma),
+                SellMatrix(a, evens, chunk, sigma).padded_size())
+          << "subset C=" << chunk << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(SellTest, PaddedEntriesEstimatorValidatesInput) {
+  const auto a = poisson2d(4, 4);
+  std::vector<index_t> all(static_cast<std::size_t>(a.rows()));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = static_cast<index_t>(i);
+  }
+  EXPECT_THROW((void)sell_padded_entries(a, all, 0, 8), Error);
+  EXPECT_THROW((void)sell_padded_entries(a, all, 8, 12), Error)
+      << "sigma must be a multiple of the chunk";
+  const std::vector<index_t> bad = {0, static_cast<index_t>(a.rows())};
+  EXPECT_THROW((void)sell_padded_entries(a, bad, 4, 4), Error);
+}
+
 TEST(SellTest, SubsetSpmvWritesOnlySubsetRows) {
   const auto a = poisson2d(8, 8);
   const std::vector<index_t> rows{3, 7, 20, 21, 22, 63};

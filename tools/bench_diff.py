@@ -4,6 +4,8 @@
 Usage:
     bench_diff.py BASELINE.json CANDIDATE.json [--max-rps-drop PCT]
                   [--max-p99-rise PCT]
+    bench_diff.py CANDIDATE.json          (baseline defaults to the committed
+                  bench/baselines/BENCH_serve.json next to this script)
     bench_diff.py --mode comm CANDIDATE.jsonl [BASELINE.jsonl]
                   [--max-comm-bytes-rise PCT]
     bench_diff.py --mode kernels CANDIDATE.json [BASELINE.json]
@@ -33,7 +35,14 @@ Stdlib only, so the CI job can run it on a bare runner.
 
 import argparse
 import json
+import os
 import sys
+
+# The committed serve baseline: serve mode with a single positional compares
+# that candidate against this artifact.
+DEFAULT_SERVE_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baselines", "BENCH_serve.json")
 
 
 def load(path):
@@ -243,7 +252,10 @@ def main():
     if args.mode == "kernels":
         return kernels_mode(args)
     if args.candidate is None:
-        ap.error("serve mode needs BASELINE and CANDIDATE")
+        # Single positional: it is the candidate, compared against the
+        # committed in-tree baseline.
+        args.baseline, args.candidate = DEFAULT_SERVE_BASELINE, args.baseline
+        print(f"baseline: {args.baseline} (committed default)")
 
     base = load(args.baseline)
     cand = load(args.candidate)
@@ -275,9 +287,15 @@ def main():
     hb, cb = base["cache"], cand["cache"]
     print(f"cache hit rate: {hb['hit_rate']:.2f} -> {cb['hit_rate']:.2f}")
     rb, rc = base["requests"], cand["requests"]
+
+    def rejected(r):
+        # rejected_predicted appeared with the SLO-aware scheduler; older
+        # artifacts predate it.
+        return (r["rejected_deadline"] + r["rejected_queue_full"]
+                + r.get("rejected_predicted", 0))
+
     print(f"completed: {rb['completed']} -> {rc['completed']}; rejected: "
-          f"{rb['rejected_deadline'] + rb['rejected_queue_full']} -> "
-          f"{rc['rejected_deadline'] + rc['rejected_queue_full']}")
+          f"{rejected(rb)} -> {rejected(rc)}")
 
     failures = []
     if same_workload:

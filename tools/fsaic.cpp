@@ -20,13 +20,18 @@
 //                             coalesces inter-node messages through node
 //                             leaders and overlaps the exchange with the
 //                             interior SpMV — residuals stay bit-identical
-//         --ranks-per-node N  simulated ranks per node   (default 1; the
-//                             FSAIC_RANKS_PER_NODE env var sets the default)
+//         --ranks-per-node N  simulated ranks per node (the
+//                             FSAIC_RANKS_PER_NODE env var sets the default).
+//                             When neither is given under --comm node-aware,
+//                             the cheapest of {1,2,4,8} per the machine's
+//                             cost model is picked automatically
 //         --tol T             relative tolerance         (default 1e-8)
-//         --format F          csr|sell rank-local kernel backend (default
-//                             csr; FSAIC_FORMAT sets the default). sell is
-//                             the SELL-C-sigma SIMD layout — residual
-//                             histories stay bit-identical in double
+//         --format F          csr|sell|auto rank-local kernel backend
+//                             (default csr; FSAIC_FORMAT sets the default).
+//                             sell is the SELL-C-sigma SIMD layout — residual
+//                             histories stay bit-identical in double. auto
+//                             picks the least-padded SELL chunk per matrix,
+//                             falling back to csr past 1.25x padding
 //         --precision P       double|single factor storage (default double).
 //                             single stores G and G^T in float32 (double
 //                             accumulation, CG vectors stay double); the
@@ -50,14 +55,19 @@
 //       Run a suite through the experiment harness: FSAI baseline vs
 //       FSAIE-Comm per matrix, plus a metrics summary.
 //   fsaic serve    --requests in.jsonl --report out.jsonl [options]
-//       Long-lived solve service: bounded request queue, worker pool,
-//       content-addressed factor cache, multi-RHS batching, per-request
-//       deadlines with admission control (docs/service.md).
+//       Long-lived solve service: bounded request queue, fingerprint-sharded
+//       worker pool with idle stealing, two-tier (RAM + disk) factor cache,
+//       multi-RHS batching, priority lanes with earliest-deadline-first
+//       ordering, and predictive admission control (docs/service.md).
 //         --requests PATH     JSONL request file ("-" = stdin)
 //         --report PATH       JSONL response file ("-" = stdout, default)
 //         --workers N         worker threads              (default 1)
 //         --queue-capacity Q  admission bound             (default 64)
 //         --cache-capacity K  resident factors            (default 8)
+//         --store DIR         disk tier for the factor cache: factors are
+//                             persisted fingerprint-addressed under DIR and
+//                             reloaded on cache miss, so a restarted service
+//                             warm-starts from the store
 //         --solver-threads T  executor threads per worker (default 1)
 //         --no-batch          disable multi-RHS coalescing
 //         --metrics PATH      JSON metrics dump (queue/cache/latency)
@@ -261,7 +271,13 @@ int cmd_solve(const Args& args) {
   // double, so the CG recurrence itself is untouched.
   KernelConfig kernel = KernelConfig::from_env();
   if (args.has("format")) {
-    kernel.format = operator_format_from_string(args.get("format", "csr"));
+    const std::string fmt = args.get("format", "csr");
+    if (fmt == "auto") {
+      kernel.autotune = true;
+    } else {
+      kernel.autotune = false;
+      kernel.format = operator_format_from_string(fmt);
+    }
   }
   KernelConfig factor_kernel = kernel;
   if (args.has("precision")) {
@@ -275,6 +291,35 @@ int cmd_solve(const Args& args) {
   std::cout << args.positional[0] << ": " << a.rows() << " rows, " << a.nnz()
             << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
             << ")\n";
+
+  // Node-aware runs without an explicit node geometry pick one: score the
+  // candidate ranks-per-node values against the machine's cost model (one
+  // modeled CG iteration = SpMV halo exchange + 3 allreduces) and keep the
+  // cheapest. Explicit --ranks-per-node or FSAIC_RANKS_PER_NODE wins.
+  const char* rpn_env = std::getenv("FSAIC_RANKS_PER_NODE");
+  if (comm.mode == CommMode::NodeAware && !args.has("ranks-per-node") &&
+      (rpn_env == nullptr || *rpn_env == '\0')) {
+    int best_rpn = 1;
+    double best_score = 0.0;
+    for (const int rpn : {1, 2, 4, 8}) {
+      if (rpn > nranks) continue;
+      CommConfig trial = comm;
+      trial.ranks_per_node = rpn;
+      const CostModel trial_cost(machine,
+                                 {.threads_per_rank = threads, .comm = trial});
+      const double score = trial_cost.spmv_cost(a_dist).total() +
+                           3.0 * trial_cost.allreduce_cost(nranks);
+      if (best_score == 0.0 || score < best_score) {
+        best_score = score;
+        best_rpn = rpn;
+      }
+    }
+    comm.ranks_per_node = best_rpn;
+    a_dist.use_comm(comm);
+    std::cout << "auto ranks/node: picked " << best_rpn << " on "
+              << machine.name << " (modeled iteration " << sci2(best_score)
+              << " s)\n";
+  }
 
   // Right-hand side: loaded from a MatrixMarket vector file when --rhs is
   // given, otherwise synthesized per the paper's setup.
@@ -397,9 +442,20 @@ int cmd_solve(const Args& args) {
     fp->use_kernel(factor_kernel);
     factor_padding = fp->padding_ratio();
   }
-  if (kernel.format == OperatorFormat::Sell) {
-    std::cout << "kernel backend sell (C=" << kernel.sell_chunk
-              << ", sigma=" << kernel.sell_sigma << "): padding ratio A "
+  // Report the *resolved* kernel: under --format auto the distribute-time
+  // autotuner may have picked a different chunk (or fallen back to csr).
+  const KernelConfig& a_kernel = a_dist.kernel_config();
+  if (kernel.autotune) {
+    std::cout << "kernel autotune: picked " << to_string(a_kernel.format);
+    if (a_kernel.format == OperatorFormat::Sell) {
+      std::cout << " C=" << a_kernel.sell_chunk;
+    }
+    std::cout << " (padding ratio " << strformat("%.3f", a_dist.padding_ratio())
+              << ")\n";
+  }
+  if (a_kernel.format == OperatorFormat::Sell) {
+    std::cout << "kernel backend sell (C=" << a_kernel.sell_chunk
+              << ", sigma=" << a_kernel.sell_sigma << "): padding ratio A "
               << strformat("%.3f", a_dist.padding_ratio()) << ", factors "
               << strformat("%.3f", factor_padding) << "\n";
   }
@@ -477,7 +533,7 @@ int cmd_solve(const Args& args) {
     rec["ranks_per_node"] = comm.ranks_per_node;
     rec["comm_intra_bytes"] = r.comm.halo_intra_bytes;
     rec["comm_inter_bytes"] = r.comm.halo_inter_bytes;
-    rec["format"] = to_string(kernel.format);
+    rec["format"] = to_string(a_kernel.format);
     rec["precision"] = to_string(factor_kernel.precision);
     rec["padding_ratio"] = a_dist.padding_ratio();
     rec["factor_padding_ratio"] = factor_padding;
@@ -577,6 +633,9 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(std::stoul(args.get("cache-capacity", "8")));
   opts.solver_threads = std::stoi(args.get("solver-threads", "1"));
   opts.batching = !args.has("no-batch");
+  // Disk tier: factors persist to --store and survive process restarts (a
+  // warm restart reloads them on first miss instead of rebuilding).
+  opts.store_dir = args.get("store", "");
 
   MetricsRegistry metrics;
   opts.metrics = &metrics;
@@ -640,12 +699,15 @@ int cmd_serve(const Args& args) {
     std::cerr << "serve: " << stats.submitted << " requests, "
               << stats.completed << " completed, " << stats.errors
               << " errors, "
-              << stats.rejected_queue_full + stats.rejected_deadline
-              << " rejected (" << stats.rejected_deadline << " deadline); "
-              << stats.batches << " batches (max size " << stats.max_batch_size
-              << "); cache " << stats.cache.hits << " hits / "
-              << stats.cache.misses << " misses / " << stats.cache.evictions
-              << " evictions\n";
+              << stats.rejected_queue_full + stats.rejected_deadline +
+                     stats.rejected_predicted
+              << " rejected (" << stats.rejected_deadline << " deadline, "
+              << stats.rejected_predicted << " predicted); " << stats.batches
+              << " batches (max size " << stats.max_batch_size << "); cache "
+              << stats.cache.hits << " hits / " << stats.cache.disk_hits
+              << " disk / " << stats.cache.misses << " misses / "
+              << stats.cache.evictions << " evictions / " << stats.cache.spills
+              << " spills; " << stats.warm_starts << " warm starts\n";
     write_snapshots();
     if (args.has("metrics")) std::cout << "metrics -> " << metrics_path << "\n";
     if (args.has("prom")) std::cout << "prometheus -> " << prom_path << "\n";
