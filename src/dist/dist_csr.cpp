@@ -1,6 +1,8 @@
 #include "dist/dist_csr.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <limits>
 
 #include "exec/executor.hpp"
 #include "exec/halo.hpp"
@@ -65,6 +67,92 @@ KernelConfig resolve_autotune(const KernelConfig& requested,
   return resolved;
 }
 
+/// One row of global-column input to build_rank_block.
+struct RowView {
+  std::span<const index_t> cols;
+  std::span<const value_t> vals;
+};
+
+/// Build rank p's RankBlock from its rows of the conceptual global matrix
+/// (`row(li)` yields local row li with GLOBAL column ids). This is the one
+/// remapping code path shared by distribute() and from_rank_local(), so
+/// both produce bit-identical blocks from the same rows. Pure per-rank
+/// work — safe to run for distinct ranks concurrently.
+template <typename RowFn>
+void build_rank_block(const Layout& layout, rank_t p, RowFn&& row,
+                      RankBlock& blk) {
+  const index_t row0 = layout.begin(p);
+  const index_t nloc = layout.local_size(p);
+
+  // Pass 1: collect ghost column ids.
+  std::vector<index_t> ghosts;
+  for (index_t li = 0; li < nloc; ++li) {
+    for (index_t j : row(li).cols) {
+      if (!layout.owns(p, j)) ghosts.push_back(j);
+    }
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+  blk.ghost_gids = ghosts;
+
+  // Pass 2: build the local CSR with remapped columns.
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(nloc) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<value_t> values;
+  for (index_t li = 0; li < nloc; ++li) {
+    const RowView rv = row(li);
+    // Owned columns keep relative order; ghosts are appended per row then
+    // the row is re-sorted by the remapped index so CSR invariants hold.
+    std::vector<std::pair<index_t, value_t>> entries;
+    entries.reserve(rv.cols.size());
+    for (std::size_t k = 0; k < rv.cols.size(); ++k) {
+      const index_t j = rv.cols[k];
+      index_t lj;
+      if (layout.owns(p, j)) {
+        lj = j - row0;
+        ++blk.local_entries;
+      } else {
+        const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), j);
+        lj = nloc + static_cast<index_t>(it - ghosts.begin());
+        ++blk.halo_entries;
+      }
+      entries.emplace_back(lj, rv.vals[k]);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [lj, v] : entries) {
+      col_idx.push_back(lj);
+      values.push_back(v);
+    }
+    row_ptr[static_cast<std::size_t>(li) + 1] = static_cast<offset_t>(col_idx.size());
+  }
+  blk.matrix = CsrMatrix(nloc, nloc + static_cast<index_t>(ghosts.size()),
+                         std::move(row_ptr), std::move(col_idx),
+                         std::move(values));
+
+  // Interior/boundary row split for the overlap-capable SpMV: a row is
+  // boundary iff it touches any ghost column.
+  for (index_t li = 0; li < nloc; ++li) {
+    const auto cols = blk.matrix.row_cols(li);
+    const bool boundary =
+        std::any_of(cols.begin(), cols.end(),
+                    [nloc](index_t c) { return c >= nloc; });
+    (boundary ? blk.boundary_rows : blk.interior_rows).push_back(li);
+  }
+
+  // Recv map: ghosts grouped by owning rank (ascending rank, sorted gids —
+  // ghosts are globally sorted and ranks own ascending ranges, so a single
+  // sweep groups them).
+  rank_t current = -1;
+  for (index_t gid : ghosts) {
+    const rank_t q = layout.owner(gid);
+    if (q != current) {
+      blk.recv.push_back({q, {}});
+      current = q;
+    }
+    blk.recv.back().gids.push_back(gid);
+  }
+}
+
 }  // namespace
 
 DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout) {
@@ -83,89 +171,85 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout,
   d.blocks_.resize(static_cast<std::size_t>(layout.nranks()));
 
   for (rank_t p = 0; p < layout.nranks(); ++p) {
-    RankBlock& blk = d.blocks_[static_cast<std::size_t>(p)];
     const index_t row0 = layout.begin(p);
-    const index_t nloc = layout.local_size(p);
-
-    // Pass 1: collect ghost column ids.
-    std::vector<index_t> ghosts;
-    for (index_t i = row0; i < layout.end(p); ++i) {
-      for (index_t j : global.row_cols(i)) {
-        if (!layout.owns(p, j)) ghosts.push_back(j);
-      }
-    }
-    std::sort(ghosts.begin(), ghosts.end());
-    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
-    blk.ghost_gids = ghosts;
-
-    // Pass 2: build the local CSR with remapped columns.
-    std::vector<offset_t> row_ptr(static_cast<std::size_t>(nloc) + 1, 0);
-    std::vector<index_t> col_idx;
-    std::vector<value_t> values;
-    for (index_t li = 0; li < nloc; ++li) {
-      const index_t gi = row0 + li;
-      const auto cols = global.row_cols(gi);
-      const auto vals = global.row_vals(gi);
-      // Owned columns keep relative order; ghosts are appended per row then
-      // the row is re-sorted by the remapped index so CSR invariants hold.
-      std::vector<std::pair<index_t, value_t>> entries;
-      entries.reserve(cols.size());
-      for (std::size_t k = 0; k < cols.size(); ++k) {
-        const index_t j = cols[k];
-        index_t lj;
-        if (layout.owns(p, j)) {
-          lj = j - row0;
-          ++blk.local_entries;
-        } else {
-          const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), j);
-          lj = nloc + static_cast<index_t>(it - ghosts.begin());
-          ++blk.halo_entries;
-        }
-        entries.emplace_back(lj, vals[k]);
-      }
-      std::sort(entries.begin(), entries.end());
-      for (const auto& [lj, v] : entries) {
-        col_idx.push_back(lj);
-        values.push_back(v);
-      }
-      row_ptr[static_cast<std::size_t>(li) + 1] = static_cast<offset_t>(col_idx.size());
-    }
-    blk.matrix = CsrMatrix(nloc, nloc + static_cast<index_t>(ghosts.size()),
-                           std::move(row_ptr), std::move(col_idx),
-                           std::move(values));
-
-    // Interior/boundary row split for the overlap-capable SpMV: a row is
-    // boundary iff it touches any ghost column.
-    for (index_t li = 0; li < nloc; ++li) {
-      const auto cols = blk.matrix.row_cols(li);
-      const bool boundary =
-          std::any_of(cols.begin(), cols.end(),
-                      [nloc](index_t c) { return c >= nloc; });
-      (boundary ? blk.boundary_rows : blk.interior_rows).push_back(li);
-    }
-
-    // Recv map: ghosts grouped by owning rank (ascending rank, sorted gids —
-    // ghosts are globally sorted and ranks own ascending ranges, so a single
-    // sweep groups them).
-    rank_t current = -1;
-    for (index_t gid : ghosts) {
-      const rank_t q = layout.owner(gid);
-      if (q != current) {
-        blk.recv.push_back({q, {}});
-        current = q;
-      }
-      blk.recv.back().gids.push_back(gid);
-    }
+    build_rank_block(
+        layout, p,
+        [&](index_t li) {
+          return RowView{global.row_cols(row0 + li), global.row_vals(row0 + li)};
+        },
+        d.blocks_[static_cast<std::size_t>(p)]);
   }
 
+  d.finish_build(comm);
+  return d;
+}
+
+DistCsr DistCsr::from_rank_local(
+    Layout layout, const std::function<RankLocalRows(rank_t)>& rank_rows,
+    const CommConfig& comm, Executor* exec) {
+  DistCsr d;
+  d.row_layout_ = layout;
+  d.col_layout_ = layout;
+  d.blocks_.resize(static_cast<std::size_t>(layout.nranks()));
+
+  // Each rank's block is a pure function of its generated rows; build them
+  // in parallel. Exceptions (e.g. a generator handing back malformed rows)
+  // must not escape the superstep body — the sequential executor's
+  // parallel_for is an OpenMP region — so they are captured per rank and
+  // the first one (in rank order, deterministically) rethrown after.
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(layout.nranks()));
+  resolve_executor(exec).parallel_for(
+      static_cast<index_t>(layout.nranks()), [&](index_t pi, int /*slot*/) {
+        try {
+          const auto p = static_cast<rank_t>(pi);
+          const RankLocalRows rows = rank_rows(p);
+          const index_t nloc = layout.local_size(p);
+          FSAIC_REQUIRE(
+              rows.row_ptr.size() == static_cast<std::size_t>(nloc) + 1 &&
+                  rows.row_ptr.front() == 0,
+              "rank rows must cover exactly the layout's local range");
+          const auto nnz = static_cast<std::size_t>(rows.row_ptr.back());
+          FSAIC_REQUIRE(
+              rows.col_gids.size() == nnz && rows.values.size() == nnz,
+              "rank rows arrays disagree with row_ptr");
+          for (const index_t j : rows.col_gids) {
+            FSAIC_REQUIRE(j >= 0 && j < layout.global_size(),
+                          "rank rows column id out of range");
+          }
+          build_rank_block(
+              layout, p,
+              [&](index_t li) {
+                const auto b = static_cast<std::size_t>(
+                    rows.row_ptr[static_cast<std::size_t>(li)]);
+                const auto e = static_cast<std::size_t>(
+                    rows.row_ptr[static_cast<std::size_t>(li) + 1]);
+                return RowView{
+                    std::span<const index_t>(rows.col_gids).subspan(b, e - b),
+                    std::span<const value_t>(rows.values).subspan(b, e - b)};
+              },
+              d.blocks_[static_cast<std::size_t>(p)]);
+        } catch (...) {
+          errors[static_cast<std::size_t>(pi)] = std::current_exception();
+        }
+      });
+  for (const auto& err : errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+
+  d.finish_build(comm);
+  return d;
+}
+
+void DistCsr::finish_build(const CommConfig& comm) {
   // Send maps mirror the recv maps: rank q sends to p what p receives from q.
-  for (rank_t p = 0; p < layout.nranks(); ++p) {
-    for (const auto& nb : d.blocks_[static_cast<std::size_t>(p)].recv) {
-      auto& sender = d.blocks_[static_cast<std::size_t>(nb.rank)];
+  for (rank_t p = 0; p < row_layout_.nranks(); ++p) {
+    for (const auto& nb : blocks_[static_cast<std::size_t>(p)].recv) {
+      auto& sender = blocks_[static_cast<std::size_t>(nb.rank)];
       sender.send.push_back({p, nb.gids});
     }
   }
-  for (auto& blk : d.blocks_) {
+  for (auto& blk : blocks_) {
     std::sort(blk.send.begin(), blk.send.end(),
               [](const RankBlock::Neighbor& a, const RankBlock::Neighbor& b) {
                 return a.rank < b.rank;
@@ -174,13 +258,12 @@ DistCsr DistCsr::distribute(const CsrMatrix& global, Layout layout,
 
   // Materialize the comm scheme as halo plans and realize them under the
   // requested comm config (shared by copies).
-  d.comm_ = comm;
-  d.halo_ = make_halo_exchanger(layout, d.build_halo_plans(), comm);
+  comm_ = comm;
+  halo_ = make_halo_exchanger(row_layout_, build_halo_plans(), comm);
 
   // Rank-local kernel backend: FSAIC_FORMAT selects the process-wide
   // default format; precision always starts Double (use_kernel opts in).
-  d.use_kernel(KernelConfig::from_env());
-  return d;
+  use_kernel(KernelConfig::from_env());
 }
 
 void DistCsr::use_kernel(const KernelConfig& kernel) {
@@ -378,6 +461,68 @@ CsrMatrix DistCsr::to_global() const {
     }
   }
   return builder.to_csr();
+}
+
+MatrixFingerprint fingerprint_rank_local(const DistCsr& a) {
+  const Layout& layout = a.row_layout();
+  MatrixFingerprint fp;
+  fp.rows = layout.global_size();
+  fp.cols = layout.global_size();
+  fp.nnz = a.nnz();
+
+  // fingerprint_of() hashes the global CSR's row_ptr bytes, then col_idx
+  // bytes, then value bytes; reproduce those exact streams from the rank
+  // blocks. Row pointers are the running global nnz prefix; columns and
+  // values come out per row by merging the block row's local run (ascending
+  // gid = row0 + c) with its ghost run (ascending ghost_gids) — sorting by
+  // local index put every owned column before every ghost, so each run is
+  // already sorted and a two-pointer merge restores global column order.
+  Fnv1a64Stream h;
+  offset_t acc = 0;
+  h.update(&acc, sizeof(acc));
+  for (rank_t p = 0; p < a.nranks(); ++p) {
+    const auto rp = a.block(p).matrix.row_ptr();
+    for (std::size_t li = 0; li + 1 < rp.size(); ++li) {
+      acc += rp[li + 1] - rp[li];
+      h.update(&acc, sizeof(acc));
+    }
+  }
+
+  const auto scan = [&](auto&& emit) {
+    constexpr index_t kDone = std::numeric_limits<index_t>::max();
+    for (rank_t p = 0; p < a.nranks(); ++p) {
+      const RankBlock& blk = a.block(p);
+      const index_t row0 = layout.begin(p);
+      const index_t nloc = blk.matrix.rows();
+      for (index_t li = 0; li < nloc; ++li) {
+        const auto cols = blk.matrix.row_cols(li);
+        const auto vals = blk.matrix.row_vals(li);
+        std::size_t split = 0;
+        while (split < cols.size() && cols[split] < nloc) ++split;
+        std::size_t il = 0;
+        std::size_t ig = split;
+        while (il < split || ig < cols.size()) {
+          const index_t gl = il < split ? row0 + cols[il] : kDone;
+          const index_t gg =
+              ig < cols.size()
+                  ? blk.ghost_gids[static_cast<std::size_t>(cols[ig]) -
+                                   static_cast<std::size_t>(nloc)]
+                  : kDone;
+          if (gl < gg) {
+            emit(gl, vals[il]);
+            ++il;
+          } else {
+            emit(gg, vals[ig]);
+            ++ig;
+          }
+        }
+      }
+    }
+  };
+  scan([&](index_t gid, value_t) { h.update(&gid, sizeof(gid)); });
+  scan([&](index_t, value_t v) { h.update(&v, sizeof(v)); });
+  fp.content_hash = h.digest();
+  return fp;
 }
 
 value_t dist_dot(const DistVector& x, const DistVector& y, CommStats* stats,

@@ -5,6 +5,7 @@
 // local unknowns, "halo entries" couple local with halo unknowns.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "dist/dist_vector.hpp"
 #include "dist/layout.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/fingerprint.hpp"
 #include "sparse/local_operator.hpp"
 
 namespace fsaic {
@@ -21,6 +23,16 @@ class TraceRecorder;
 class Executor;
 class HaloExchanger;
 struct HaloPlan;
+
+/// One rank's rows of a global operator in raw CSR form with GLOBAL column
+/// ids (sorted, duplicate-free per row) — the hand-off format of rank-local
+/// generators (src/wgen) into DistCsr::from_rank_local. row_ptr has
+/// local_rows + 1 entries starting at 0.
+struct RankLocalRows {
+  std::vector<offset_t> row_ptr;
+  std::vector<index_t> col_gids;
+  std::vector<value_t> values;
+};
 
 /// One rank's share of a distributed matrix.
 struct RankBlock {
@@ -67,6 +79,20 @@ class DistCsr {
   static DistCsr distribute(const CsrMatrix& global, Layout layout,
                             const CommConfig& comm);
   static DistCsr distribute(const CsrMatrix& global, Layout layout);
+
+  /// Assemble a distributed matrix from per-rank row generators WITHOUT a
+  /// global CsrMatrix ever existing: `rank_rows(p)` returns rank p's rows
+  /// of the conceptual global operator (global column ids, sorted per
+  /// row), and each block is remapped to [local | ghost] form
+  /// independently — peak memory is one rank's rows plus its ghosts. Rank
+  /// blocks build in parallel on `exec` (nullptr -> the process-wide
+  /// default executor); block construction is a pure per-rank function, so
+  /// the result is bit-identical to distribute(global, layout, comm) of
+  /// the concatenated rows for every executor and thread count.
+  /// `rank_rows` must be safe to call concurrently for distinct ranks.
+  static DistCsr from_rank_local(
+      Layout layout, const std::function<RankLocalRows(rank_t)>& rank_rows,
+      const CommConfig& comm, Executor* exec = nullptr);
 
   [[nodiscard]] const Layout& row_layout() const { return row_layout_; }
   [[nodiscard]] const Layout& col_layout() const { return col_layout_; }
@@ -146,6 +172,10 @@ class DistCsr {
 
  private:
   [[nodiscard]] std::vector<HaloPlan> build_halo_plans() const;
+  /// Shared epilogue of distribute()/from_rank_local(): mirror the send
+  /// maps from the recv maps, realize the halo exchanger under `comm`, and
+  /// install the environment-selected kernel backend.
+  void finish_build(const CommConfig& comm);
 
   Layout row_layout_;
   Layout col_layout_;
@@ -163,6 +193,13 @@ class DistCsr {
 
 /// Non-square distribution used by rectangular operators is not needed in
 /// this reproduction; DistCsr is square-only by construction.
+
+/// Fingerprint of the GLOBAL operator a DistCsr represents, computed by
+/// streaming the per-rank blocks — byte-for-byte equal to
+/// fingerprint_of(a.to_global()) without materializing it. This is what
+/// lets generated million-row operators key the FactorCache and the factor
+/// store exactly like file-loaded ones.
+[[nodiscard]] MatrixFingerprint fingerprint_rank_local(const DistCsr& a);
 
 // ---- distributed vector kernels (instrumented collectives) --------------
 //

@@ -1,8 +1,10 @@
 #include "service/factor_cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/factor_io.hpp"
@@ -29,9 +31,78 @@ bool FactorCache::persist(const Key& key, const CachedFactor& factor) {
         path + ".tmp" + std::to_string(tmp_seq_.fetch_add(1));
     save_factor(tmp, factor.g, factor.layout, key.fingerprint);
     fs::rename(tmp, path);
+    note_store_write(path);
     return true;
   } catch (const std::exception&) {
     return false;
+  }
+}
+
+void FactorCache::ensure_store_index_locked() {
+  if (store_index_ready_) return;
+  store_index_ready_ = true;
+  namespace fs = std::filesystem;
+  // Seed recency from mtimes so a restarted process evicts the stalest
+  // files first instead of whatever order the directory iterator yields.
+  std::vector<std::pair<fs::file_time_type, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(store_dir_, ec)) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    if (entry.path().extension() != ".factor") continue;
+    found.emplace_back(entry.last_write_time(entry_ec),
+                       entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [mtime, path] : found) {
+    std::error_code size_ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, size_ec);
+    if (size_ec) continue;
+    store_index_[path] = StoreEntry{bytes, ++store_seq_};
+  }
+}
+
+void FactorCache::note_store_access(const std::string& path) {
+  if (store_max_bytes_ == 0) return;
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  ensure_store_index_locked();
+  const auto it = store_index_.find(path);
+  if (it != store_index_.end()) it->second.last_access = ++store_seq_;
+}
+
+void FactorCache::note_store_write(const std::string& path) {
+  if (store_max_bytes_ == 0) return;
+  std::int64_t evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(store_mutex_);
+    ensure_store_index_locked();
+    std::error_code ec;
+    const std::uintmax_t bytes = std::filesystem::file_size(path, ec);
+    store_index_[path] = StoreEntry{ec ? 0 : bytes, ++store_seq_};
+    std::uintmax_t total = 0;
+    for (const auto& [p, e] : store_index_) total += e.bytes;
+    // The file just written is exempt: the cap trims history, it never
+    // rejects the newest factor (which the caller is about to rely on).
+    while (total > store_max_bytes_ && store_index_.size() > 1) {
+      auto victim = store_index_.end();
+      for (auto it = store_index_.begin(); it != store_index_.end(); ++it) {
+        if (it->first == path) continue;
+        if (victim == store_index_.end() ||
+            it->second.last_access < victim->second.last_access) {
+          victim = it;
+        }
+      }
+      if (victim == store_index_.end()) break;
+      std::error_code rm_ec;
+      std::filesystem::remove(victim->first, rm_ec);
+      total -= std::min(total, victim->second.bytes);
+      store_index_.erase(victim);
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.store_evictions += evicted;
   }
 }
 
@@ -74,7 +145,12 @@ std::shared_ptr<const CachedFactor> FactorCache::get(const Key& key,
   if (corrupt) {
     std::error_code ec;
     std::filesystem::remove(path, ec);
+    if (store_max_bytes_ != 0) {
+      const std::lock_guard<std::mutex> lock(store_mutex_);
+      store_index_.erase(path);
+    }
   }
+  if (loaded != nullptr) note_store_access(path);
 
   std::optional<std::pair<Key, std::shared_ptr<const CachedFactor>>> spill;
   std::shared_ptr<const CachedFactor> result;

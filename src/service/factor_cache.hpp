@@ -23,6 +23,13 @@
 // Factor files round-trip doubles bit-exactly, so a disk-reloaded factor
 // produces residual histories identical to the RAM-cached and
 // freshly-built ones.
+//
+// The store is optionally size-capped (`store_max_bytes`, 0 = unlimited):
+// after each successful persist the total on-disk footprint is reconciled
+// against the cap and the least-recently-accessed factor files are deleted
+// (never the one just written) until the store fits. Disk-tier reloads
+// count as accesses, so hot factors survive the cap while stale ones age
+// out; on restart recency is seeded from file modification times.
 #pragma once
 
 #include <atomic>
@@ -63,6 +70,7 @@ struct FactorCacheStats {
   std::int64_t disk_hits = 0;      ///< RAM misses satisfied by the store
   std::int64_t spills = 0;         ///< factor files written to the store
   std::int64_t load_failures = 0;  ///< corrupt/mismatched store files
+  std::int64_t store_evictions = 0;  ///< store files deleted by the size cap
 };
 
 class FactorCache {
@@ -70,8 +78,14 @@ class FactorCache {
   /// `capacity` = maximum number of resident factors; 0 disables caching
   /// (every get misses, puts are dropped). A non-empty `store_dir` enables
   /// the disk tier; the directory is created on first use.
-  explicit FactorCache(std::size_t capacity, std::string store_dir = "")
-      : capacity_(capacity), store_dir_(std::move(store_dir)) {}
+  /// `store_max_bytes` caps the disk store's total footprint (0 =
+  /// unlimited): exceeding it after a persist evicts the
+  /// least-recently-accessed factor files.
+  explicit FactorCache(std::size_t capacity, std::string store_dir = "",
+                       std::size_t store_max_bytes = 0)
+      : capacity_(capacity),
+        store_dir_(std::move(store_dir)),
+        store_max_bytes_(store_max_bytes) {}
 
   struct Key {
     MatrixFingerprint fingerprint;
@@ -106,6 +120,9 @@ class FactorCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] const std::string& store_dir() const { return store_dir_; }
+  [[nodiscard]] std::size_t store_max_bytes() const {
+    return store_max_bytes_;
+  }
 
   /// The store file a key maps to ("" without a store) — exposed so tests
   /// can corrupt/delete specific entries.
@@ -123,17 +140,39 @@ class FactorCache {
     bool persisted = false;            ///< already on disk (skip spill write)
   };
 
+  /// Bookkeeping for one on-disk factor file (size-cap enforcement).
+  struct StoreEntry {
+    std::uintmax_t bytes = 0;
+    std::uint64_t last_access = 0;  ///< monotone sequence; larger = fresher
+  };
+
   /// Write one factor file atomically (tmp + rename). Returns success; never
-  /// throws. Called outside the mutex.
+  /// throws. Called outside the mutex. On success reconciles the store
+  /// against `store_max_bytes_`.
   bool persist(const Key& key, const CachedFactor& factor);
+
+  /// Populate the store index from a directory scan, seeding recency from
+  /// file mtimes. Requires `store_mutex_` held.
+  void ensure_store_index_locked();
+  /// Mark a store file as just accessed (disk-tier reload).
+  void note_store_access(const std::string& path);
+  /// Record a freshly persisted file, then evict least-recently-accessed
+  /// files (never `path` itself) while the store exceeds the cap.
+  void note_store_write(const std::string& path);
 
   const std::size_t capacity_;
   const std::string store_dir_;
+  const std::size_t store_max_bytes_ = 0;  ///< 0 = unlimited
   mutable std::mutex mutex_;
   std::list<Key> lru_;
   std::map<Key, Entry> entries_;
   FactorCacheStats stats_;
   std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp-file suffixes
+  std::mutex store_mutex_;  ///< guards the store index (never nested inside
+                            ///< `mutex_`)
+  bool store_index_ready_ = false;
+  std::uint64_t store_seq_ = 0;
+  std::map<std::string, StoreEntry> store_index_;  ///< path -> size/recency
 };
 
 }  // namespace fsaic

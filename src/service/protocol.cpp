@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "wgen/wgen.hpp"
 
 namespace fsaic {
 
@@ -59,6 +60,15 @@ SolveRequest parse_request(const JsonValue& v) {
       "\"filter_strategy\" must be \"dynamic\" or \"static\"");
   req.ranks = static_cast<rank_t>(get_number(v, "ranks", req.ranks));
   FSAIC_REQUIRE(req.ranks >= 1, "\"ranks\" must be >= 1");
+  if (!req.generate.empty() && wgen::is_workload_spec(req.generate)) {
+    // Workload spec strings ("stencil3d:nx=64,...") are validated — and
+    // fully resolved against the requested rank count — at admission time.
+    // This runs in parse_request, the one parsing path shared by
+    // --requests, stdin, and watch-dir mode, so every intake rejects a bad
+    // spec identically instead of failing inside a worker.
+    (void)wgen::resolve_workload(wgen::parse_workload_spec(req.generate),
+                                 req.ranks);
+  }
   req.solver = get_string(v, "solver", req.solver);
   FSAIC_REQUIRE(req.solver == "pcg" || req.solver == "pipelined-cg",
                 "\"solver\" must be \"pcg\" or \"pipelined-cg\"");

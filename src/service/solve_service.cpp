@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <istream>
+#include <numeric>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -17,6 +18,7 @@
 #include "solver/pipelined_cg.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/ops.hpp"
+#include "wgen/wgen.hpp"
 
 namespace fsaic {
 
@@ -108,6 +110,7 @@ void ServiceStats::merge(const ServiceStats& other) {
   cache.disk_hits += other.cache.disk_hits;
   cache.spills += other.cache.spills;
   cache.load_failures += other.cache.load_failures;
+  cache.store_evictions += other.cache.store_evictions;
 }
 
 JsonValue serve_stats_to_json(const ServiceStats& stats) {
@@ -131,6 +134,7 @@ JsonValue serve_stats_to_json(const ServiceStats& stats) {
   cache["disk_hits"] = stats.cache.disk_hits;
   cache["spills"] = stats.cache.spills;
   cache["load_failures"] = stats.cache.load_failures;
+  cache["store_evictions"] = stats.cache.store_evictions;
   v["cache"] = std::move(cache);
   return v;
 }
@@ -140,7 +144,8 @@ SolveService::SolveService(ServiceOptions options, ResponseHandler on_response)
       on_response_(std::move(on_response)),
       queue_(options.queue_capacity,
              static_cast<std::size_t>(std::max(options.workers, 1))),
-      cache_(options.cache_capacity, options.store_dir) {
+      cache_(options.cache_capacity, options.store_dir,
+             options.store_max_bytes) {
   FSAIC_REQUIRE(options_.workers >= 1, "service needs at least one worker");
   FSAIC_REQUIRE(options_.solver_threads >= 1, "solver_threads must be >= 1");
   FSAIC_REQUIRE(on_response_ != nullptr, "service needs a response handler");
@@ -433,17 +438,41 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
   std::unique_ptr<FactorizedPreconditioner> precond;
   std::unique_ptr<DistCsr> a_dist;
   PartitionedSystem sys;
+  index_t global_rows = 0;
+  // Workload-spec operators ("stencil3d:nx=64,...") generate rank-locally:
+  // no global CsrMatrix exists on this path, each simulated rank
+  // materializes only its own rows (suite names and files keep the
+  // assembled path and its graph partitioning).
+  const bool rank_local_gen =
+      lead.matrix_path.empty() && wgen::is_workload_spec(lead.generate);
   try {
-    a = lead.matrix_path.empty() ? suite_entry(lead.generate).generate()
-                                 : read_matrix_market_file(lead.matrix_path);
-    FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
-    FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
-                  "matrix must be symmetric (CG requires SPD)");
-    sys = partition_system(a, lead.ranks);
-    a_dist = std::make_unique<DistCsr>(DistCsr::distribute(sys.matrix, sys.layout));
+    if (rank_local_gen) {
+      const auto w = wgen::resolve_workload(
+          wgen::parse_workload_spec(lead.generate), lead.ranks);
+      a_dist = std::make_unique<DistCsr>(wgen::generate_dist(
+          w, lead.ranks, CommConfig::from_env(), nullptr, exec));
+      sys.layout = a_dist->row_layout();
+      // Generated operators are born in blocked order: identity permutation.
+      sys.perm.resize(static_cast<std::size_t>(sys.layout.global_size()));
+      std::iota(sys.perm.begin(), sys.perm.end(), index_t{0});
+    } else {
+      a = lead.matrix_path.empty() ? suite_entry(lead.generate).generate()
+                                   : read_matrix_market_file(lead.matrix_path);
+      FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+      FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
+                    "matrix must be symmetric (CG requires SPD)");
+      sys = partition_system(a, lead.ranks);
+      a_dist = std::make_unique<DistCsr>(DistCsr::distribute(sys.matrix, sys.layout));
+    }
+    global_rows = sys.layout.global_size();
 
     const auto t_setup = std::chrono::steady_clock::now();
-    const MatrixFingerprint fp = fingerprint_of(sys.matrix);
+    // The streamed rank-local fingerprint equals fingerprint_of() of the
+    // assembled operator, so generated operators share the FactorCache and
+    // disk store keying with file/suite operators unchanged.
+    const MatrixFingerprint fp = rank_local_gen
+                                     ? fingerprint_rank_local(*a_dist)
+                                     : fingerprint_of(sys.matrix);
     fingerprint_hex = hash_hex(fp.content_hash);
     const FactorCache::Key key{
         fp, lead.method + "|" +
@@ -471,6 +500,12 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
                                  : FilterStrategy::Dynamic;
       opts.exec = exec;
       opts.trace = trace;
+      if (rank_local_gen) {
+        // The FSAI setup is the one stage still built from assembled rows.
+        // A factor-cache hit (RAM or disk) skips this branch entirely, so
+        // repeat traffic against a generated operator stays global-free.
+        sys.matrix = a_dist->to_global();
+      }
       FsaiBuildResult build =
           build_fsai_preconditioner(sys.matrix, sys.layout, opts);
       const double build_seconds =
@@ -515,13 +550,13 @@ void SolveService::process_batch(std::vector<Pending> batch, Executor* exec) {
     try {
       std::vector<value_t> b_global;
       if (req.rhs_path.empty()) {
-        b_global = synthesize_rhs(req.rhs_seed, a.rows());
+        b_global = synthesize_rhs(req.rhs_seed, global_rows);
       } else {
         b_global = read_matrix_market_vector_file(req.rhs_path);
         FSAIC_REQUIRE(
-            b_global.size() == static_cast<std::size_t>(a.rows()),
+            b_global.size() == static_cast<std::size_t>(global_rows),
             "right-hand side length " + std::to_string(b_global.size()) +
-                " does not match matrix rows " + std::to_string(a.rows()));
+                " does not match matrix rows " + std::to_string(global_rows));
       }
       const DistVector b(sys.layout, permute_rhs(b_global, sys.perm));
 

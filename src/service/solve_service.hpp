@@ -74,6 +74,10 @@ struct ServiceOptions {
   /// Factors are persisted write-through and reloaded transparently on RAM
   /// misses, so a restarted service reuses the previous process's setups.
   std::string store_dir;
+  /// Total bytes the disk store may occupy (0 = unlimited). When a persist
+  /// pushes the store past the cap, the least-recently-accessed factor
+  /// files are deleted until it fits (see factor_cache.hpp).
+  std::size_t store_max_bytes = 0;
   /// Coalesce queued same-operator requests into one batched solve.
   bool batching = true;
   /// Executor threads per worker for the solves themselves (1 = sequential;

@@ -36,10 +36,11 @@ MatrixFingerprint fingerprint_of(const CsrMatrix& a) {
   const auto rp = a.row_ptr();
   const auto ci = a.col_idx();
   const auto vals = a.values();
-  std::uint64_t h = fnv1a64(rp.data(), rp.size_bytes());
-  h = fnv1a64(ci.data(), ci.size_bytes(), h);
-  h = fnv1a64(vals.data(), vals.size_bytes(), h);
-  fp.content_hash = h;
+  Fnv1a64Stream h;
+  h.update(rp.data(), rp.size_bytes());
+  h.update(ci.data(), ci.size_bytes());
+  h.update(vals.data(), vals.size_bytes());
+  fp.content_hash = h.digest();
   return fp;
 }
 

@@ -34,6 +34,22 @@ struct MatrixFingerprint {
 [[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t bytes,
                                     std::uint64_t seed = 0xcbf29ce484222325ull);
 
+/// Incremental FNV-1a 64-bit: update() in any chunking yields the same
+/// digest as one fnv1a64 over the concatenated bytes. This is what lets
+/// fingerprint_rank_local (dist/dist_csr.hpp) hash a distributed operator
+/// block by block yet land on the exact fingerprint_of() of the assembled
+/// global matrix.
+class Fnv1a64Stream {
+ public:
+  void update(const void* data, std::size_t bytes) {
+    hash_ = fnv1a64(data, bytes, hash_);
+  }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
 /// Fingerprint of a CSR matrix. The hash covers the exact bytes of the CSR
 /// arrays, so it is sensitive to value bit patterns (0.0 vs -0.0 differ) and
 /// identical across runs and machines of the same endianness.

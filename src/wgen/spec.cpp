@@ -1,0 +1,335 @@
+// WorkloadSpec parsing (spec strings + JSON) and resolution to concrete
+// per-rank-count dimensions. Everything here throws fsaic::Error with a
+// pointed message on malformed input — the serve protocol parses specs at
+// admission time, so a bad request is rejected before any worker runs.
+#include "wgen/wgen.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace fsaic::wgen {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+/// Target mean vertex degree of the auto rgg radius.
+constexpr double kRggAutoDegree = 8.0;
+
+bool parse_family(const std::string& name, Family* out) {
+  if (name == "stencil2d") {
+    *out = Family::Stencil2D;
+  } else if (name == "stencil3d") {
+    *out = Family::Stencil3D;
+  } else if (name == "stencil27") {
+    *out = Family::Stencil27;
+  } else if (name == "rgg2d") {
+    *out = Family::Rgg2D;
+  } else if (name == "rgg3d") {
+    *out = Family::Rgg3D;
+  } else if (name == "rmat") {
+    *out = Family::Rmat;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+long long parse_int(const std::string& key, const std::string& value) {
+  FSAIC_REQUIRE(!value.empty(),
+                strformat("workload spec: empty value for '%s'", key.c_str()));
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  FSAIC_REQUIRE(errno == 0 && end == value.c_str() + value.size(),
+                strformat("workload spec: '%s' is not an integer for '%s'",
+                          value.c_str(), key.c_str()));
+  return v;
+}
+
+index_t parse_dim(const std::string& key, const std::string& value) {
+  const long long v = parse_int(key, value);
+  FSAIC_REQUIRE(v >= 1 && v <= std::numeric_limits<index_t>::max(),
+                strformat("workload spec: '%s' out of range for '%s'",
+                          value.c_str(), key.c_str()));
+  return static_cast<index_t>(v);
+}
+
+double parse_real(const std::string& key, const std::string& value) {
+  FSAIC_REQUIRE(!value.empty(),
+                strformat("workload spec: empty value for '%s'", key.c_str()));
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  FSAIC_REQUIRE(errno == 0 && end == value.c_str() + value.size() &&
+                    std::isfinite(v),
+                strformat("workload spec: '%s' is not a number for '%s'",
+                          value.c_str(), key.c_str()));
+  return v;
+}
+
+void apply_key(WorkloadSpec& spec, const std::string& key,
+               const std::string& value) {
+  if (key == "n") {
+    spec.n = parse_dim(key, value);
+  } else if (key == "nx") {
+    spec.nx = parse_dim(key, value);
+  } else if (key == "ny") {
+    spec.ny = parse_dim(key, value);
+  } else if (key == "nz") {
+    spec.nz = parse_dim(key, value);
+  } else if (key == "rows_per_rank" || key == "rpn") {
+    // "rpn=fixed" documents a fixed global size — the default — so it is
+    // accepted as a no-op; a number switches to weak-scaling mode.
+    if (key == "rpn" && value == "fixed") return;
+    spec.rows_per_rank = parse_dim(key, value);
+  } else if (key == "seed") {
+    const long long v = parse_int(key, value);
+    FSAIC_REQUIRE(v >= 0, "workload spec: seed must be non-negative");
+    spec.seed = static_cast<std::uint64_t>(v);
+  } else if (key == "radius") {
+    if (value == "auto") {
+      spec.radius = 0.0;
+      return;
+    }
+    spec.radius = parse_real(key, value);
+    FSAIC_REQUIRE(spec.radius > 0.0 && spec.radius < 1.0,
+                  "workload spec: radius must be in (0, 1) or 'auto'");
+  } else if (key == "edge_factor") {
+    spec.edge_factor = parse_dim(key, value);
+    FSAIC_REQUIRE(spec.edge_factor <= 1024,
+                  "workload spec: edge_factor must be <= 1024");
+  } else if (key == "shift") {
+    spec.shift = parse_real(key, value);
+    FSAIC_REQUIRE(spec.shift >= 0.0,
+                  "workload spec: shift must be non-negative");
+  } else {
+    throw Error(strformat("workload spec: unknown key '%s'", key.c_str()));
+  }
+}
+
+double default_shift(Family f) {
+  switch (f) {
+    case Family::Stencil2D:
+    case Family::Stencil3D:
+    case Family::Stencil27:
+      return 0.0;  // constant-diagonal Laplacians are SPD already
+    case Family::Rgg2D:
+    case Family::Rgg3D:
+    case Family::Rmat:
+      // Graph Laplacians are only semi-definite; +0.5 (exactly
+      // representable) makes every row strictly diagonally dominant.
+      return 0.5;
+  }
+  return 0.0;
+}
+
+bool is_stencil(Family f) {
+  return f == Family::Stencil2D || f == Family::Stencil3D ||
+         f == Family::Stencil27;
+}
+
+index_t checked_rows(offset_t rows, const char* what) {
+  FSAIC_REQUIRE(rows >= 1 && rows <= std::numeric_limits<index_t>::max(),
+                strformat("workload spec: %s row count out of range", what));
+  return static_cast<index_t>(rows);
+}
+
+}  // namespace
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::Stencil2D:
+      return "stencil2d";
+    case Family::Stencil3D:
+      return "stencil3d";
+    case Family::Stencil27:
+      return "stencil27";
+    case Family::Rgg2D:
+      return "rgg2d";
+    case Family::Rgg3D:
+      return "rgg3d";
+    case Family::Rmat:
+      return "rmat";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::to_string() const {
+  std::string s = family_name(family);
+  char sep = ':';
+  const auto add = [&](const std::string& kv) {
+    s += sep;
+    s += kv;
+    sep = ',';
+  };
+  if (n > 0) add(strformat("n=%d", n));
+  if (nx > 0) add(strformat("nx=%d", nx));
+  if (ny > 0) add(strformat("ny=%d", ny));
+  if (nz > 0) add(strformat("nz=%d", nz));
+  if (rows_per_rank > 0) add(strformat("rows_per_rank=%d", rows_per_rank));
+  // Always spelled out so the canonical form round-trips through
+  // parse_workload_spec (a bare family name would not be a spec string).
+  add(strformat("seed=%llu", static_cast<unsigned long long>(seed)));
+  if (radius > 0.0) add(strformat("radius=%.17g", radius));
+  if (edge_factor != 8) add(strformat("edge_factor=%d", edge_factor));
+  if (shift >= 0.0) add(strformat("shift=%.17g", shift));
+  return s;
+}
+
+bool is_workload_spec(const std::string& text) {
+  return text.find(':') != std::string::npos;
+}
+
+WorkloadSpec parse_workload_spec(const std::string& text) {
+  const auto colon = text.find(':');
+  FSAIC_REQUIRE(colon != std::string::npos,
+                "workload spec must look like 'family:key=value,...'");
+  WorkloadSpec spec;
+  const std::string fam = text.substr(0, colon);
+  FSAIC_REQUIRE(parse_family(fam, &spec.family),
+                strformat("workload spec: unknown family '%s' (stencil2d, "
+                          "stencil3d, stencil27, rgg2d, rgg3d, rmat)",
+                          fam.c_str()));
+  std::size_t pos = colon + 1;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    FSAIC_REQUIRE(!item.empty(), "workload spec: empty parameter");
+    const auto eq = item.find('=');
+    FSAIC_REQUIRE(eq != std::string::npos && eq > 0,
+                  strformat("workload spec: expected key=value, got '%s'",
+                            item.c_str()));
+    apply_key(spec, item.substr(0, eq), item.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return spec;
+}
+
+WorkloadSpec workload_spec_from_json(const JsonValue& v) {
+  FSAIC_REQUIRE(v.is_object(), "workload spec JSON must be an object");
+  WorkloadSpec spec;
+  const JsonValue* fam = v.find("family");
+  FSAIC_REQUIRE(fam != nullptr && fam->is_string(),
+                "workload spec JSON needs a 'family' string");
+  FSAIC_REQUIRE(parse_family(fam->as_string(), &spec.family),
+                strformat("workload spec: unknown family '%s'",
+                          fam->as_string().c_str()));
+  for (const auto& [key, val] : v.as_object()) {
+    if (key == "family") continue;
+    if (key == "radius" && val.is_string()) {
+      apply_key(spec, key, val.as_string());
+      continue;
+    }
+    FSAIC_REQUIRE(val.is_number(),
+                  strformat("workload spec JSON: '%s' must be a number",
+                            key.c_str()));
+    apply_key(spec, key,
+              val.is_int() ? strformat("%lld", static_cast<long long>(
+                                                   val.as_int()))
+                           : strformat("%.17g", val.as_double()));
+  }
+  return spec;
+}
+
+JsonValue workload_spec_to_json(const WorkloadSpec& spec) {
+  JsonValue v = JsonValue::object();
+  v["family"] = JsonValue(std::string(family_name(spec.family)));
+  if (spec.n > 0) v["n"] = JsonValue(spec.n);
+  if (spec.nx > 0) v["nx"] = JsonValue(spec.nx);
+  if (spec.ny > 0) v["ny"] = JsonValue(spec.ny);
+  if (spec.nz > 0) v["nz"] = JsonValue(spec.nz);
+  if (spec.rows_per_rank > 0) v["rows_per_rank"] = JsonValue(spec.rows_per_rank);
+  v["seed"] = JsonValue(static_cast<std::int64_t>(spec.seed));
+  if (spec.radius > 0.0) v["radius"] = JsonValue(spec.radius);
+  if (spec.edge_factor != 8) v["edge_factor"] = JsonValue(spec.edge_factor);
+  if (spec.shift >= 0.0) v["shift"] = JsonValue(spec.shift);
+  return v;
+}
+
+ResolvedWorkload resolve_workload(const WorkloadSpec& spec, rank_t nranks) {
+  FSAIC_REQUIRE(nranks >= 1, "workload resolution needs >= 1 ranks");
+  ResolvedWorkload w;
+  w.family = spec.family;
+  w.seed = spec.seed;
+  w.shift = spec.shift >= 0.0 ? spec.shift : default_shift(spec.family);
+  const offset_t weak_rows =
+      static_cast<offset_t>(spec.rows_per_rank) * static_cast<offset_t>(nranks);
+
+  if (is_stencil(spec.family)) {
+    const bool two_d = spec.family == Family::Stencil2D;
+    index_t nx = spec.nx > 0 ? spec.nx : spec.n;
+    index_t ny = spec.ny > 0 ? spec.ny : spec.n;
+    index_t nz = two_d ? 1 : (spec.nz > 0 ? spec.nz : spec.n);
+    if (spec.rows_per_rank > 0) {
+      // Weak-scaling mode: the LAST grid dimension grows with the rank
+      // count so the blocked layout cuts between grid planes.
+      if (two_d) {
+        FSAIC_REQUIRE(spec.ny == 0,
+                      "stencil2d: give ny= or rows_per_rank=, not both");
+        nx = nx > 0 ? nx : 256;
+        ny = checked_rows((weak_rows + nx - 1) / nx, "stencil2d");
+      } else {
+        FSAIC_REQUIRE(spec.nz == 0,
+                      "3d stencil: give nz= or rows_per_rank=, not both");
+        nx = nx > 0 ? nx : 64;
+        ny = ny > 0 ? ny : 64;
+        const offset_t plane = static_cast<offset_t>(nx) * ny;
+        nz = checked_rows((weak_rows + plane - 1) / plane, "3d stencil");
+      }
+    }
+    FSAIC_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1,
+                  strformat("%s needs n=, explicit extents, or rows_per_rank=",
+                            family_name(spec.family)));
+    w.nx = nx;
+    w.ny = ny;
+    w.nz = nz;
+    w.rows = checked_rows(
+        static_cast<offset_t>(nx) * static_cast<offset_t>(ny) * nz,
+        family_name(spec.family));
+    return w;
+  }
+
+  if (spec.family == Family::Rgg2D || spec.family == Family::Rgg3D) {
+    const int dim = spec.family == Family::Rgg2D ? 2 : 3;
+    FSAIC_REQUIRE(spec.n > 0 || spec.rows_per_rank > 0,
+                  "rgg needs n= or rows_per_rank=");
+    w.rows = spec.n > 0 ? spec.n : checked_rows(weak_rows, "rgg");
+    const double n = static_cast<double>(w.rows);
+    w.radius = spec.radius > 0.0
+                   ? spec.radius
+                   : (dim == 2 ? std::sqrt(kRggAutoDegree / (kPi * n))
+                               : std::cbrt(3.0 * kRggAutoDegree /
+                                           (4.0 * kPi * n)));
+    if (w.radius > 0.5) w.radius = 0.5;
+    // Cell side must be >= radius (neighbors live in the 3^d surrounding
+    // cells) and cells^dim must not outgrow the point count.
+    const index_t max_cells = std::max<index_t>(
+        1, static_cast<index_t>(std::floor(std::pow(n, 1.0 / dim))));
+    const double inv_radius = 1.0 / w.radius;
+    w.cells = inv_radius >= static_cast<double>(max_cells)
+                  ? max_cells
+                  : std::max<index_t>(1, static_cast<index_t>(inv_radius));
+    return w;
+  }
+
+  // R-MAT: rows are the smallest power of two >= the requested count.
+  FSAIC_REQUIRE(spec.n > 0 || spec.rows_per_rank > 0,
+                "rmat needs n= or rows_per_rank=");
+  const offset_t want = spec.n > 0 ? spec.n : weak_rows;
+  FSAIC_REQUIRE(want >= 2, "rmat needs at least 2 rows");
+  int scale = 1;
+  while ((offset_t{1} << scale) < want) ++scale;
+  FSAIC_REQUIRE(scale <= 30, "rmat scale too large for 32-bit indices");
+  w.scale = scale;
+  w.rows = static_cast<index_t>(offset_t{1} << scale);
+  w.edges = static_cast<offset_t>(w.rows) * spec.edge_factor;
+  return w;
+}
+
+}  // namespace fsaic::wgen

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -279,6 +280,92 @@ TEST_F(DiskFactorCacheTest, CapacityZeroDisablesBothTiers) {
   cache.put(key_of(a, "cfg"), factor_for(a));
   EXPECT_EQ(cache.get(key_of(a, "cfg")), nullptr);
   EXPECT_EQ(cache.stats().spills, 0);
+}
+
+TEST_F(DiskFactorCacheTest, StoreCapEvictsLeastRecentlyAccessedFiles) {
+  // Measure one factor file (all keys below share the matrix, so all files
+  // have identical size), then cap the store at exactly three of them.
+  const auto a = poisson2d(6, 6);
+  std::uintmax_t file_bytes = 0;
+  {
+    FactorCache probe(1, store_.string());
+    probe.put(key_of(a, "probe"), factor_for(a));
+    file_bytes = fs::file_size(probe.store_path(key_of(a, "probe")));
+  }
+  fs::remove_all(store_);
+  ASSERT_GT(file_bytes, 0u);
+
+  // RAM capacity 1 keeps the disk tier doing the real work.
+  FactorCache cache(1, store_.string(), 3 * file_bytes);
+  EXPECT_EQ(cache.store_max_bytes(), 3 * file_bytes);
+  const auto cfg = [](int i) { return "cfg" + std::to_string(i); };
+  for (int i = 0; i < 5; ++i) {
+    cache.put(key_of(a, cfg(i)), factor_for(a));
+  }
+  // Five files written, cap holds three: the two oldest were dropped at put
+  // time, newest-first retention.
+  EXPECT_EQ(cache.stats().store_evictions, 2);
+  EXPECT_FALSE(fs::exists(cache.store_path(key_of(a, cfg(0)))));
+  EXPECT_FALSE(fs::exists(cache.store_path(key_of(a, cfg(1)))));
+  for (int i = 2; i < 5; ++i) {
+    EXPECT_TRUE(fs::exists(cache.store_path(key_of(a, cfg(i))))) << i;
+  }
+
+  // Surviving entries still reload from the store (RAM holds only cfg4).
+  CacheTier tier = CacheTier::Miss;
+  ASSERT_NE(cache.get(key_of(a, cfg(3)), &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Disk);
+  // ... and an evicted one is a plain miss that would rebuild fresh.
+  EXPECT_EQ(cache.get(key_of(a, cfg(0))), nullptr);
+
+  // Disk reloads count as accesses: cfg2 was the stalest survivor, but
+  // touching it shifts the next eviction onto cfg3's slot... except cfg3
+  // was itself just reloaded above. Touch cfg2, then overflow once more:
+  // the victim must be cfg4's elder, i.e. the least-recently-accessed file
+  // (cfg4, untouched since its put, loses to the two freshly accessed).
+  tier = CacheTier::Miss;
+  ASSERT_NE(cache.get(key_of(a, cfg(2)), &tier), nullptr);
+  EXPECT_EQ(tier, CacheTier::Disk);
+  cache.put(key_of(a, cfg(5)), factor_for(a));
+  EXPECT_EQ(cache.stats().store_evictions, 3);
+  EXPECT_FALSE(fs::exists(cache.store_path(key_of(a, cfg(4)))))
+      << "the least-recently-accessed file is the victim";
+  EXPECT_TRUE(fs::exists(cache.store_path(key_of(a, cfg(2)))));
+  EXPECT_TRUE(fs::exists(cache.store_path(key_of(a, cfg(3)))));
+  EXPECT_TRUE(fs::exists(cache.store_path(key_of(a, cfg(5)))));
+}
+
+TEST_F(DiskFactorCacheTest, StoreCapSeedsRecencyFromMtimesOnRestart) {
+  const auto a = poisson2d(6, 6);
+  std::uintmax_t file_bytes = 0;
+  {
+    FactorCache first(1, store_.string());
+    first.put(key_of(a, "old"), factor_for(a));
+    file_bytes = fs::file_size(first.store_path(key_of(a, "old")));
+    // Ensure a distinguishable mtime ordering on coarse-grained clocks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    first.put(key_of(a, "new"), factor_for(a));
+  }  // restart: only the directory survives
+  FactorCache second(1, store_.string(), 2 * file_bytes);
+  second.put(key_of(a, "newest"), factor_for(a));
+  EXPECT_EQ(second.stats().store_evictions, 1);
+  EXPECT_FALSE(fs::exists(second.store_path(key_of(a, "old"))))
+      << "the stalest pre-restart file is evicted first";
+  EXPECT_TRUE(fs::exists(second.store_path(key_of(a, "new"))));
+  EXPECT_TRUE(fs::exists(second.store_path(key_of(a, "newest"))));
+}
+
+TEST_F(DiskFactorCacheTest, UncappedStoreNeverEvicts) {
+  FactorCache cache(1, store_.string());  // store_max_bytes defaults to 0
+  const auto a = poisson2d(6, 6);
+  for (int i = 0; i < 6; ++i) {
+    cache.put(key_of(a, "cfg" + std::to_string(i)), factor_for(a));
+  }
+  EXPECT_EQ(cache.stats().store_evictions, 0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(
+        fs::exists(cache.store_path(key_of(a, "cfg" + std::to_string(i)))));
+  }
 }
 
 TEST_F(DiskFactorCacheTest, ConcurrentHitsAndSpillsAreRaceFree) {

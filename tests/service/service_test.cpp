@@ -109,6 +109,30 @@ TEST(ProtocolTest, RejectsInvalidRequests) {
   EXPECT_THROW(parse(R"({"id":"a","matrix":"m","tol":-1.0})"), Error);
 }
 
+TEST(ProtocolTest, ValidatesWorkloadSpecsAtParseTime) {
+  const auto parse = [](const std::string& json) {
+    return parse_request(JsonValue::parse(json));
+  };
+  // parse_request is the one intake shared by --requests, stdin, and
+  // watch-dir mode, so a bad generator spec is rejected identically
+  // everywhere instead of failing inside a worker.
+  EXPECT_THROW(parse(R"({"id":"a","generate":"stencil3d:nx=0"})"), Error)
+      << "non-positive dimension";
+  EXPECT_THROW(parse(R"({"id":"a","generate":"stencil3d:bogus=1"})"), Error)
+      << "unknown key";
+  EXPECT_THROW(parse(R"({"id":"a","generate":"hexmesh:n=100"})"), Error)
+      << "unknown family";
+  EXPECT_THROW(
+      parse(
+          R"({"id":"a","generate":"stencil2d:nx=10,ny=10,rows_per_rank=50"})"),
+      Error)
+      << "conflicting sizing (ny is the grown dimension)";
+  const SolveRequest ok =
+      parse(R"({"id":"a","generate":"stencil3d:nx=8,ny=8,nz=8","ranks":4})");
+  EXPECT_EQ(ok.generate, "stencil3d:nx=8,ny=8,nz=8");
+  EXPECT_TRUE(ok.matrix_path.empty());
+}
+
 TEST(ProtocolTest, BatchKeyIgnoresSolveOnlyFields) {
   SolveRequest a;
   a.id = "a";
@@ -873,6 +897,108 @@ TEST_F(ServiceTest, WatchModeAccumulatesStatsAcrossFiles) {
   EXPECT_EQ(stats.completed, 3);
   EXPECT_EQ(stats.rejected_deadline, 1);
   EXPECT_EQ(stats.cache.misses + stats.cache.hits, stats.batches);
+}
+
+// ------------------------------------------------- generated operators --
+
+TEST_F(ServiceTest, GeneratedOperatorSolvesAndHitsCacheOnRepeat) {
+  Collector col;
+  {
+    SolveService service({.workers = 1, .cache_capacity = 4}, col.handler());
+    SolveRequest req;
+    req.id = "gen-cold";
+    req.generate = "stencil3d:nx=8,ny=8,nz=8";
+    req.ranks = 4;
+    req.want_history = true;
+    EXPECT_TRUE(service.submit(req));
+    service.drain();
+    req.id = "gen-warm";
+    EXPECT_TRUE(service.submit(req));
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.misses, 1);
+    EXPECT_EQ(stats.cache.hits, 1);
+  }
+  const SolveResponse& cold = col.by_id.at("gen-cold");
+  const SolveResponse& warm = col.by_id.at("gen-warm");
+  ASSERT_EQ(cold.status, "ok");
+  EXPECT_TRUE(cold.converged);
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(warm.cache, "hit");
+  EXPECT_FALSE(cold.fingerprint.empty());
+  EXPECT_EQ(cold.fingerprint, warm.fingerprint)
+      << "rank-local fingerprint must be deterministic across solves";
+  ASSERT_EQ(cold.residuals.size(), warm.residuals.size());
+  for (std::size_t k = 0; k < cold.residuals.size(); ++k) {
+    EXPECT_EQ(cold.residuals[k], warm.residuals[k])
+        << "cached-factor solve of a generated operator must be "
+           "bit-identical at iteration "
+        << k;
+  }
+}
+
+TEST_F(ServiceTest, GeneratedOperatorFingerprintIsRankCountInvariant) {
+  // The same spec served at different rank counts is the same global
+  // operator; the reported fingerprint must not depend on the partition.
+  const auto serve_at = [&](const std::string& id, int ranks) {
+    Collector col;
+    {
+      SolveService service({.workers = 1}, col.handler());
+      SolveRequest req;
+      req.id = id;
+      req.generate = "rgg2d:n=500,seed=3";
+      req.ranks = static_cast<rank_t>(ranks);
+      EXPECT_TRUE(service.submit(req));
+      service.drain();
+    }
+    const SolveResponse& r = col.by_id.at(id);
+    EXPECT_EQ(r.status, "ok") << r.reason;
+    return r.fingerprint;
+  };
+  const std::string fp1 = serve_at("one", 1);
+  const std::string fp4 = serve_at("four", 4);
+  EXPECT_FALSE(fp1.empty());
+  EXPECT_EQ(fp1, fp4);
+}
+
+TEST_F(ServiceTest, ServeRequestsRejectsBadSpecsAndSolvesGoodOnes) {
+  const std::string requests =
+      R"({"id":"g1","generate":"stencil2d:nx=16,ny=16","ranks":4})" "\n"
+      R"({"id":"gbad","generate":"stencil2d:nx=0","ranks":4})" "\n"
+      R"({"id":"gfam","generate":"hexmesh:n=64"})" "\n";
+  const ResponseMap by_id = run_jsonl({.workers = 1}, requests);
+  ASSERT_EQ(by_id.size(), 3u);
+  EXPECT_EQ(by_id.at("g1").at("status").as_string(), "ok");
+  EXPECT_EQ(by_id.at("gbad").at("status").as_string(), "error");
+  EXPECT_EQ(by_id.at("gfam").at("status").as_string(), "error");
+}
+
+TEST_F(ServiceTest, WatchDirectoryServesGeneratorSpecRequests) {
+  // Satellite acceptance: watch-dir mode accepts generator-spec request
+  // files through the same parse path as --requests/stdin.
+  const fs::path watch_dir = dir_ / "inbox_gen";
+  fs::create_directories(watch_dir);
+  {
+    std::ofstream req(watch_dir / "gen.jsonl");
+    req << R"({"id":"w-gen","generate":"stencil3d:nx=8,ny=8,nz=8","ranks":4,"history":true})"
+        << "\n"
+        << R"({"id":"w-mtx","matrix":")" << matrix_path_ << R"(","ranks":4})"
+        << "\n"
+        << R"({"id":"w-bad","generate":"stencil3d:bogus=1"})" << "\n";
+  }
+  EXPECT_EQ(process_watch_directory({.workers = 1}, watch_dir.string()), 1);
+  std::ifstream out(watch_dir / "gen.out.jsonl");
+  ASSERT_TRUE(out.good());
+  std::map<std::string, JsonValue> by_id;
+  for (const JsonValue& v : read_jsonl(out)) {
+    by_id[v.at("id").as_string()] = v;
+  }
+  ASSERT_EQ(by_id.size(), 3u);
+  EXPECT_EQ(by_id.at("w-gen").at("status").as_string(), "ok");
+  EXPECT_TRUE(by_id.at("w-gen").at("converged").as_bool());
+  EXPECT_EQ(by_id.at("w-mtx").at("status").as_string(), "ok");
+  EXPECT_EQ(by_id.at("w-bad").at("status").as_string(), "error")
+      << "watch-dir intake must reject bad specs like every other intake";
 }
 
 }  // namespace

@@ -11,6 +11,8 @@ Usage:
     bench_diff.py --mode kernels CANDIDATE.json [BASELINE.json]
                   [--min-sell-speedup X] [--min-fast-fraction F]
                   [--max-padding-ratio R] [--max-gflops-drop PCT]
+    bench_diff.py --mode weakscale CANDIDATE.json
+                  [--min-rows N] [--max-balance B]
 
 Default (serve) mode exits non-zero when the candidate's sustained
 throughput dropped, or its p99 total latency rose, by more than the
@@ -29,6 +31,18 @@ communication contract on every matrix:
   - with a BASELINE report, per-matrix FSAIE-Comm halo bytes must not rise
     more than --max-comm-bytes-rise percent (default 0: byte-exact), and
     node-aware message counts must not rise at all.
+
+Weakscale mode enforces the rank-local workload-generation contract on a
+BENCH_weakscale.json artifact (bench/weak_scaling):
+  - fixed series: the operator's content fingerprint is identical at every
+    rank count and comm scheme (bit-identical generation), flat and
+    node-aware residual digests match per rank count, the intra + inter
+    byte split sums to the flat total, per-rank nnz balance stays under
+    --max-balance, and the operator has at least --min-rows rows;
+  - weak series: the comm-aware pattern extension admits exactly zero new
+    communication columns while the full-halo strawman admits some, and
+    the max per-rank halo recv bytes are byte-identical (+-0%) across all
+    rank counts at fixed rows/rank.
 
 Stdlib only, so the CI job can run it on a bare runner.
 """
@@ -212,11 +226,102 @@ def kernels_mode(args):
     return 1 if failures else 0
 
 
+def load_weakscale(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "fsaic.bench.weakscale/v1":
+        sys.exit(f"{path}: not a fsaic.bench.weakscale/v1 artifact "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def weakscale_mode(args):
+    doc = load_weakscale(args.baseline)
+    failures = []
+
+    fixed = doc["fixed"]["cells"]
+    if not fixed:
+        sys.exit("candidate has no fixed-series cells")
+    fingerprints = {c["fingerprint"] for c in fixed}
+    if len(fingerprints) != 1:
+        failures.append(
+            f"fixed series: {len(fingerprints)} distinct operator "
+            f"fingerprints across rank counts / comm schemes "
+            f"({sorted(fingerprints)}) — generation is not deterministic")
+    for c in fixed:
+        label = f"fixed ranks={c['ranks']} comm={c['comm']}"
+        if c["rows"] < args.min_rows:
+            failures.append(f"{label}: only {c['rows']} rows "
+                            f"(need >= {args.min_rows})")
+        if c["balance"] > args.max_balance:
+            failures.append(f"{label}: nnz balance {c['balance']:.3f} exceeds "
+                            f"{args.max_balance:.3f}")
+        if c["halo_intra_bytes"] + c["halo_inter_bytes"] != c["halo_bytes"]:
+            failures.append(
+                f"{label}: intra {c['halo_intra_bytes']} + inter "
+                f"{c['halo_inter_bytes']} != total {c['halo_bytes']}")
+    by_ranks = {}
+    for c in fixed:
+        by_ranks.setdefault(c["ranks"], {})[c["comm"]] = c
+    for ranks, cells in sorted(by_ranks.items()):
+        flat, na = cells.get("flat"), cells.get("node-aware")
+        if flat is None or na is None:
+            failures.append(f"fixed ranks={ranks}: missing a comm scheme")
+            continue
+        if flat["residual_digest"] != na["residual_digest"]:
+            failures.append(
+                f"fixed ranks={ranks}: node-aware residual digest "
+                f"{na['residual_digest']} != flat {flat['residual_digest']} "
+                "— the comm scheme changed the arithmetic")
+        if na["halo_bytes"] != flat["halo_bytes"]:
+            failures.append(
+                f"fixed ranks={ranks}: node-aware payload bytes "
+                f"{na['halo_bytes']} != flat {flat['halo_bytes']}")
+        print(f"fixed ranks={ranks}: fingerprint {flat['fingerprint']}, "
+              f"digest {flat['residual_digest']}, halo {flat['halo_bytes']} B "
+              f"(node-aware intra {na['halo_intra_bytes']} / inter "
+              f"{na['halo_inter_bytes']})")
+
+    weak = doc["weak"]["cells"]
+    if not weak:
+        sys.exit("candidate has no weak-series cells")
+    halo_levels = {c["max_rank_halo_recv_bytes"] for c in weak}
+    if len(halo_levels) != 1:
+        failures.append(
+            f"weak series: max per-rank halo recv bytes vary across rank "
+            f"counts ({sorted(halo_levels)}) — halo volume is not flat at "
+            "fixed rows/rank")
+    full_added = 0
+    for c in weak:
+        label = f"weak ranks={c['ranks']}"
+        if c["new_comm_cols_comm_aware"] != 0:
+            failures.append(
+                f"{label}: comm-aware extension admitted "
+                f"{c['new_comm_cols_comm_aware']} new communication columns "
+                "(must be exactly 0)")
+        full_added += c["new_comm_cols_full_halo"]
+        print(f"{label}: {c['rows']} rows, halo recv "
+              f"{c['max_rank_halo_recv_bytes']} B/rank, new comm cols "
+              f"comm-aware {c['new_comm_cols_comm_aware']} / full-halo "
+              f"{c['new_comm_cols_full_halo']}")
+    if full_added == 0:
+        failures.append(
+            "weak series: the full-halo strawman never admitted a new "
+            "communication column — the neutrality check has no teeth")
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    if not failures:
+        print(f"OK: weak-scaling contract holds on {len(fixed)} fixed + "
+              f"{len(weak)} weak cells")
+    return 1 if failures else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
     ap.add_argument("candidate", nargs="?")
-    ap.add_argument("--mode", choices=("serve", "comm", "kernels"),
+    ap.add_argument("--mode", choices=("serve", "comm", "kernels", "weakscale"),
                     default="serve",
                     help="serve: compare two BENCH_serve.json artifacts; "
                          "comm: enforce the comm contract on a "
@@ -224,7 +329,9 @@ def main():
                          "the candidate, optional second a baseline); "
                          "kernels: enforce the kernel-backend contract on a "
                          "BENCH_kernels.json artifact (first positional is "
-                         "the candidate, optional second a baseline)")
+                         "the candidate, optional second a baseline); "
+                         "weakscale: enforce the workload-generation "
+                         "contract on a BENCH_weakscale.json artifact")
     ap.add_argument("--max-rps-drop", type=float, default=20.0,
                     help="fail when throughput drops more than PCT (default 20)")
     ap.add_argument("--max-p99-rise", type=float, default=20.0,
@@ -245,12 +352,20 @@ def main():
     ap.add_argument("--max-gflops-drop", type=float, default=30.0,
                     help="kernels mode: fail when a matrix's SELL GFLOP/s "
                          "drop more than PCT vs baseline (default 30)")
+    ap.add_argument("--min-rows", type=int, default=1000000,
+                    help="weakscale mode: minimum rows of the fixed-series "
+                         "operator (default 1000000)")
+    ap.add_argument("--max-balance", type=float, default=1.05,
+                    help="weakscale mode: max per-rank nnz balance of a "
+                         "fixed-series cell (default 1.05)")
     args = ap.parse_args()
 
     if args.mode == "comm":
         return comm_mode(args)
     if args.mode == "kernels":
         return kernels_mode(args)
+    if args.mode == "weakscale":
+        return weakscale_mode(args)
     if args.candidate is None:
         # Single positional: it is the candidate, compared against the
         # committed in-tree baseline.

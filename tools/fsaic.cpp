@@ -3,7 +3,13 @@
 //   fsaic analyze  <matrix.mtx> [--ranks P]
 //       Structure, partition-quality and conditioning report.
 //   fsaic solve    <matrix.mtx> [options]
-//       Preconditioned CG solve with the FSAI family.
+//   fsaic solve    --gen <spec> [options]
+//       Preconditioned CG solve with the FSAI family. With --gen the
+//       operator is generated rank-local from a workload spec (see
+//       docs/workload-generation.md) instead of read from a file — no
+//       global matrix is materialized for the matrix-free preconditioners
+//       (jacobi/block-jacobi/block-ic0/none), so million-row weak-scaling
+//       operators fit in per-rank memory.
 //         --method fsai|fsaie|fsaie-comm|fsaie-full|jacobi|block-jacobi|
 //                  block-ic0|schwarz|none  (default fsaie-comm)
 //         --overlap K         Schwarz overlap level      (default 1)
@@ -68,6 +74,10 @@
 //                             persisted fingerprint-addressed under DIR and
 //                             reloaded on cache miss, so a restarted service
 //                             warm-starts from the store
+//         --store-max-bytes B cap the store's total on-disk footprint; when
+//                             a persist pushes past B, the least-recently-
+//                             accessed factor files are evicted (0 =
+//                             unlimited, the default)
 //         --solver-threads T  executor threads per worker (default 1)
 //         --no-batch          disable multi-RHS coalescing
 //         --metrics PATH      JSON metrics dump (queue/cache/latency)
@@ -88,6 +98,13 @@
 //       List the built-in synthetic suites.
 //   fsaic generate <entry-name> <out.mtx>
 //       Write one suite matrix to a MatrixMarket file.
+//   fsaic gen      <spec> [--ranks P] [--out file.mtx]
+//       Resolve a workload spec ("stencil3d:n=100", "rgg2d:rows_per_rank=
+//       65536,radius=auto", ...), generate it rank-local over P simulated
+//       ranks and print operator + distribution stats (rows, nnz, per-rank
+//       peak, halo volume, content fingerprint). --out additionally writes
+//       the assembled operator to a MatrixMarket file (this one path does
+//       materialize the global matrix; see docs/workload-generation.md).
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -95,6 +112,7 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,16 +139,18 @@
 #include "solver/gmres.hpp"
 #include "solver/pipelined_cg.hpp"
 #include "solver/schwarz.hpp"
+#include "sparse/fingerprint.hpp"
 #include "sparse/mm_io.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/stats.hpp"
+#include "wgen/wgen.hpp"
 
 namespace {
 
 using namespace fsaic;
 
 int usage() {
-  std::cerr << "usage: fsaic <analyze|solve|bench|serve|suite|generate> ...\n"
+  std::cerr << "usage: fsaic <analyze|solve|bench|serve|suite|generate|gen> ...\n"
             << "       (see the header of tools/fsaic.cpp for options)\n";
   return 1;
 }
@@ -212,11 +232,19 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_solve(const Args& args) {
-  if (args.positional.empty()) return usage();
-  CsrMatrix a = read_matrix_market_file(args.positional[0]);
-  FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
-  FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
-                "matrix must be symmetric (CG requires SPD)");
+  const bool gen_mode = args.has("gen");
+  if (!gen_mode && args.positional.empty()) return usage();
+  FSAIC_REQUIRE(!gen_mode || args.positional.empty(),
+                "--gen replaces the positional matrix file");
+  CsrMatrix a;  // stays empty with --gen: the operator is generated rank-local
+  if (!gen_mode) {
+    a = read_matrix_market_file(args.positional[0]);
+    FSAIC_REQUIRE(a.rows() == a.cols(), "matrix must be square");
+    FSAIC_REQUIRE(a.is_symmetric(1e-10 * a.max_abs()),
+                  "matrix must be symmetric (CG requires SPD)");
+  }
+  const std::string operator_name =
+      gen_mode ? args.get("gen", "") : args.positional[0];
 
   const Machine machine = machine_by_name(args.get("machine", "skylake"));
   const auto nranks = static_cast<rank_t>(std::stoi(args.get("ranks", "8")));
@@ -260,6 +288,9 @@ int cmd_solve(const Args& args) {
   }
 
   if (args.has("rcm")) {
+    FSAIC_REQUIRE(!gen_mode,
+                  "--rcm needs a matrix file: generated operators are "
+                  "assembled rank-local in their natural row order");
     const Graph g = Graph::from_pattern(a.pattern());
     a = permute_symmetric(a, rcm_permutation(g));
     std::cout << "applied RCM: bandwidth now " << pattern_bandwidth(a.pattern())
@@ -285,12 +316,50 @@ int cmd_solve(const Args& args) {
         factor_precision_from_string(args.get("precision", "double"));
   }
 
-  const PartitionedSystem sys = partition_system(a, nranks);
-  DistCsr a_dist = DistCsr::distribute(sys.matrix, sys.layout, comm);
+  PartitionedSystem sys;
+  wgen::WgenStats gen_stats;
+  DistCsr a_dist = [&] {
+    if (gen_mode) {
+      // Rank-local generation: each simulated rank assembles only its own
+      // row block, so no global matrix exists and peak per-rank memory is
+      // O(rows/rank). The permutation is identity — specs enumerate rows in
+      // an order that is already contiguous per rank.
+      const wgen::ResolvedWorkload w = wgen::resolve_workload(
+          wgen::parse_workload_spec(args.get("gen", "")), nranks);
+      DistCsr d = wgen::generate_dist(w, nranks, comm, &gen_stats, exec.get());
+      sys.layout = d.row_layout();
+      sys.perm.resize(static_cast<std::size_t>(sys.layout.global_size()));
+      std::iota(sys.perm.begin(), sys.perm.end(), index_t{0});
+      return d;
+    }
+    sys = partition_system(a, nranks);
+    return DistCsr::distribute(sys.matrix, sys.layout, comm);
+  }();
   a_dist.use_kernel(kernel);
-  std::cout << args.positional[0] << ": " << a.rows() << " rows, " << a.nnz()
-            << " nnz over " << nranks << " ranks (edge cut " << sys.edge_cut
-            << ")\n";
+  if (gen_mode) {
+    std::cout << operator_name << ": " << gen_stats.rows << " rows, "
+              << gen_stats.nnz << " nnz over " << nranks
+              << " ranks, generated rank-local (per-rank peak "
+              << gen_stats.max_rank_nnz << " nnz, balance "
+              << strformat("%.3f", gen_stats.balance()) << ")\n";
+  } else {
+    std::cout << operator_name << ": " << sys.matrix.rows() << " rows, "
+              << sys.matrix.nnz() << " nnz over " << nranks
+              << " ranks (edge cut " << sys.edge_cut << ")\n";
+  }
+
+  // Methods that build from the assembled matrix (schwarz + the FSAI
+  // family) need a global copy; with --gen it is materialized on demand so
+  // the matrix-free preconditioners (jacobi / block-jacobi / block-ic0 /
+  // none) keep the whole run free of any global matrix.
+  const auto ensure_global = [&]() -> const CsrMatrix& {
+    if (gen_mode && sys.matrix.rows() == 0) {
+      std::cout << "note: method " << method
+                << " assembles the generated operator globally for setup\n";
+      sys.matrix = a_dist.to_global();
+    }
+    return sys.matrix;
+  };
 
   // Node-aware runs without an explicit node geometry pick one: score the
   // candidate ranks-per-node values against the machine's cost model (one
@@ -324,15 +393,16 @@ int cmd_solve(const Args& args) {
   // Right-hand side: loaded from a MatrixMarket vector file when --rhs is
   // given, otherwise synthesized per the paper's setup.
   std::vector<value_t> bg;
+  const index_t global_rows = sys.layout.global_size();
   if (args.has("rhs")) {
     bg = read_matrix_market_vector_file(args.get("rhs", ""));
-    FSAIC_REQUIRE(bg.size() == static_cast<std::size_t>(a.rows()),
+    FSAIC_REQUIRE(bg.size() == static_cast<std::size_t>(global_rows),
                   "right-hand side length " + std::to_string(bg.size()) +
                       " does not match matrix rows " +
-                      std::to_string(a.rows()));
+                      std::to_string(global_rows));
   } else {
     Rng rng(2022);
-    bg.resize(static_cast<std::size_t>(a.rows()));
+    bg.resize(static_cast<std::size_t>(global_rows));
     for (auto& v : bg) v = rng.next_uniform(-1.0, 1.0);
   }
   std::vector<value_t> b_perm(bg.size());
@@ -357,8 +427,8 @@ int cmd_solve(const Args& args) {
     precond = std::make_unique<BlockIc0Preconditioner>(a_dist);
   } else if (method == "schwarz") {
     const int overlap = std::stoi(args.get("overlap", "1"));
-    auto ras = std::make_unique<SchwarzPreconditioner>(sys.matrix, sys.layout,
-                                                       overlap);
+    auto ras = std::make_unique<SchwarzPreconditioner>(ensure_global(),
+                                                       sys.layout, overlap);
     std::cout << "schwarz overlap " << overlap << ": "
               << ras->apply_halo_bytes() << " halo B/application\n";
     precond = std::move(ras);
@@ -387,7 +457,7 @@ int cmd_solve(const Args& args) {
       const SavedFactor saved = load_factor(args.get("load-factor", ""));
       FSAIC_REQUIRE(saved.layout == sys.layout,
                     "saved factor was built for a different layout");
-      require_factor_matches(saved, sys.matrix);
+      require_factor_matches(saved, ensure_global());
       const DistCsr g_dist = DistCsr::distribute(saved.g, saved.layout, comm);
       const DistCsr gt_dist =
           DistCsr::distribute(transpose(saved.g), saved.layout, comm);
@@ -396,7 +466,7 @@ int cmd_solve(const Args& args) {
                                                            method + "(loaded)");
     } else {
       FsaiBuildResult build =
-          build_fsai_preconditioner(sys.matrix, sys.layout, opts);
+          build_fsai_preconditioner(ensure_global(), sys.layout, opts);
       build.g_dist.use_comm(comm);
       build.gt_dist.use_comm(comm);
       std::cout << method << ": +" << pct2(build.nnz_increase_pct)
@@ -523,7 +593,7 @@ int cmd_solve(const Args& args) {
   if (report != nullptr) {
     JsonValue rec;
     rec["kind"] = "run";
-    rec["matrix"] = args.positional[0];
+    rec["matrix"] = operator_name;
     rec["method"] = method;
     rec["solver"] = args.has("gmres")
                         ? "gmres"
@@ -636,6 +706,8 @@ int cmd_serve(const Args& args) {
   // Disk tier: factors persist to --store and survive process restarts (a
   // warm restart reloads them on first miss instead of rebuilding).
   opts.store_dir = args.get("store", "");
+  opts.store_max_bytes =
+      static_cast<std::size_t>(std::stoull(args.get("store-max-bytes", "0")));
 
   MetricsRegistry metrics;
   opts.metrics = &metrics;
@@ -707,7 +779,9 @@ int cmd_serve(const Args& args) {
               << stats.cache.hits << " hits / " << stats.cache.disk_hits
               << " disk / " << stats.cache.misses << " misses / "
               << stats.cache.evictions << " evictions / " << stats.cache.spills
-              << " spills; " << stats.warm_starts << " warm starts\n";
+              << " spills / " << stats.cache.store_evictions
+              << " store evictions; " << stats.warm_starts
+              << " warm starts\n";
     write_snapshots();
     if (args.has("metrics")) std::cout << "metrics -> " << metrics_path << "\n";
     if (args.has("prom")) std::cout << "prometheus -> " << prom_path << "\n";
@@ -793,6 +867,46 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+// `fsaic gen`: resolve + generate a workload spec rank-local and report the
+// operator / distribution / memory-footprint stats a weak-scaling study
+// needs. No global matrix is built unless --out asks for a MatrixMarket
+// export.
+int cmd_gen(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nranks = static_cast<rank_t>(std::stoi(args.get("ranks", "8")));
+  const wgen::WorkloadSpec spec =
+      wgen::parse_workload_spec(args.positional[0]);
+  const wgen::ResolvedWorkload w = wgen::resolve_workload(spec, nranks);
+  CommConfig comm = CommConfig::from_env();
+  if (args.has("comm")) {
+    comm.mode = comm_mode_from_string(args.get("comm", "flat"));
+  }
+  if (args.has("ranks-per-node")) {
+    comm.ranks_per_node =
+        std::max(1, std::stoi(args.get("ranks-per-node", "1")));
+  }
+  const auto exec = make_executor(ExecPolicy::from_env());
+  wgen::WgenStats stats;
+  const DistCsr dist = wgen::generate_dist(w, nranks, comm, &stats, exec.get());
+  const MatrixFingerprint fp = fingerprint_rank_local(dist);
+  std::cout << spec.to_string() << ": " << stats.rows << " rows, " << stats.nnz
+            << " nnz over " << nranks << " ranks\n"
+            << "  per-rank peak: " << stats.max_rank_rows << " rows, "
+            << stats.max_rank_nnz << " nnz (balance "
+            << strformat("%.3f", stats.balance()) << ")\n"
+            << "  halo/update " << dist.halo_update_bytes() << " B in "
+            << dist.halo_update_messages() << " messages\n"
+            << "  fingerprint " << hash_hex(fp.content_hash) << ", generated in "
+            << sci2(stats.generate_seconds) << " s\n";
+  if (args.has("out")) {
+    const std::string out = args.get("out", "");
+    write_matrix_market_file(out, wgen::generate_global(w));
+    std::cout << "wrote " << out << " (global assembly — only this export "
+              << "materializes the full operator)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -806,6 +920,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "suite") return cmd_suite(args);
     if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "gen") return cmd_gen(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "fsaic: " << e.what() << "\n";
